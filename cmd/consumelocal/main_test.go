@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs shrinks the workload so CLI tests stay quick.
+func fastArgs(name string) []string {
+	return []string{name, "-scale", "0.002", "-days", "7"}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("expected error without experiment name")
+	}
+	if !strings.Contains(buf.String(), "usage:") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"figure-nine"}, &buf); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"table3", "-nope"}, &buf); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	for _, name := range []string{"table1", "table3", "table4"} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(fastArgs(name), &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+func TestRunTable3Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"table3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"345", "11.1%", "Core Router"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "ablations", "provisioning", "live", "accounting"} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(fastArgs(name), &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+func TestRunTracegen(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("tracegen"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "#meta ") {
+		t.Errorf("tracegen output missing meta header: %.60q", out)
+	}
+	if !strings.Contains(out, "user,content,isp") {
+		t.Error("tracegen output missing CSV header")
+	}
+}
+
+func TestRunSimulateFromFile(t *testing.T) {
+	// Generate a tiny trace, write it to disk, then simulate it through
+	// the CLI round trip.
+	var csv bytes.Buffer
+	if err := run([]string{"tracegen", "-scale", "0.0005", "-days", "3"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(path, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonPath := filepath.Join(dir, "result.json")
+	var out bytes.Buffer
+	err := run([]string{"simulate", "-trace", path, "-ratio", "0.8",
+		"-participation", "0.5", "-json", jsonPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "system") {
+		t.Errorf("missing system row: %s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"swarms"`) {
+		t.Error("JSON result missing swarms field")
+	}
+}
+
+func TestRunSimulateBadTracePath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"simulate", "-trace", "/nonexistent/trace.csv"}, &out); err == nil {
+		t.Error("expected error for missing trace file")
+	}
+}
+
+func TestRunSimulateBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"simulate", "-bogus"}, &out); err == nil {
+		t.Error("expected flag error")
+	}
+}
+
+func TestRunWritesTSVMirror(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"fig5", "-tsv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no TSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Errorf("TSV file missing title comment: %.40q", string(data))
+	}
+}

@@ -1,0 +1,185 @@
+// Package consumelocal is a reproduction of Raman, Karamshuk, Sastry,
+// Secker and Chandaria, "Consume Local: Towards Carbon Free Content
+// Delivery" (IEEE ICDCS 2018) as a reusable Go library.
+//
+// The paper shows that peer-assisted (hybrid) CDNs do not just save
+// traffic: matching users with *nearby* peers shortens delivery paths and
+// cuts the end-to-end carbon footprint of video streaming by 24–48%, and
+// that transferring the CDN's savings to users as carbon credits can make
+// most users carbon positive.
+//
+// The library exposes three layers:
+//
+//   - The closed-form analytical model (Model): energy savings S(c),
+//     traffic offload G, and carbon credit transfer CCT as functions of
+//     swarm capacity, upload/bitrate ratio, energy parameters (Table IV)
+//     and ISP topology (Table III).
+//   - The trace-driven simulator (Simulate): replays a session trace,
+//     matches peers locality-first inside ISP metropolitan trees, and
+//     accounts every delivered bit by source and network layer.
+//   - The experiment harnesses (package internal/experiments, reachable
+//     through the consumelocal CLI and the root benchmarks): regenerate
+//     every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	model, err := consumelocal.NewModel(consumelocal.Valancius(),
+//	    consumelocal.DefaultTopology().Probabilities())
+//	if err != nil { ... }
+//	s := model.Savings(10, 1.0) // savings of a 10-user swarm at q/β = 1
+//
+// For trace-driven studies, generate a synthetic workload (or load your
+// own CSV) and run the simulator:
+//
+//	tr, err := consumelocal.GenerateTrace(consumelocal.DefaultTraceConfig(0.01))
+//	res, err := consumelocal.Simulate(tr, consumelocal.DefaultSimConfig(1.0))
+//	report := consumelocal.EvaluateEnergy(res.Total, consumelocal.Baliga())
+package consumelocal
+
+import (
+	"io"
+
+	"consumelocal/internal/carbon"
+	"consumelocal/internal/cdn"
+	"consumelocal/internal/core"
+	"consumelocal/internal/energy"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/topology"
+	"consumelocal/internal/trace"
+)
+
+// Re-exported core types. The aliases make the library usable without
+// importing internal packages, which the Go toolchain would reject outside
+// this module anyway.
+type (
+	// EnergyParams is one per-bit energy parameter set (paper Table IV).
+	EnergyParams = energy.Params
+	// Layer identifies a P2P localisation layer of the metro tree.
+	Layer = energy.Layer
+	// Model is the closed-form savings model (paper Eq. 12 / 13).
+	Model = core.Model
+	// SavingsBreakdown bundles the Fig. 5 curves at one capacity.
+	SavingsBreakdown = core.SavingsBreakdown
+	// Topology is an ISP metropolitan tree (paper Fig. 1).
+	Topology = topology.Tree
+	// TopologyProbabilities are per-layer localisation probabilities
+	// (paper Table III).
+	TopologyProbabilities = topology.Probabilities
+	// Trace is a session trace (the simulator's workload).
+	Trace = trace.Trace
+	// Session is one playback session of a trace.
+	Session = trace.Session
+	// TraceConfig parameterises the synthetic trace generator.
+	TraceConfig = trace.GeneratorConfig
+	// TraceSummary is the Table I row of a trace.
+	TraceSummary = trace.Summary
+	// BitrateClass buckets sessions by streaming bitrate.
+	BitrateClass = trace.BitrateClass
+	// SimConfig parameterises a simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of a simulation run.
+	SimResult = sim.Result
+	// Tally is a delivered-traffic accounting unit.
+	Tally = sim.Tally
+	// EnergyReport prices a tally under one parameter set.
+	EnergyReport = sim.EnergyReport
+	// UserStats is a per-user byte ledger.
+	UserStats = sim.UserStats
+	// CarbonDistribution summarises per-user CCT (paper Fig. 6).
+	CarbonDistribution = carbon.Distribution
+)
+
+// Bitrate classes of the synthetic workload.
+const (
+	// BitrateMobile is the low-bitrate mobile representation (800 kb/s).
+	BitrateMobile = trace.BitrateMobile
+	// BitrateSD is the most common catch-up TV bitrate (1.5 Mb/s).
+	BitrateSD = trace.BitrateSD
+	// BitrateHD is the large-screen representation (3 Mb/s).
+	BitrateHD = trace.BitrateHD
+)
+
+// Valancius returns the Valancius et al. energy parameters of Table IV.
+func Valancius() EnergyParams { return energy.Valancius() }
+
+// Baliga returns the Baliga et al. energy parameters of Table IV.
+func Baliga() EnergyParams { return energy.Baliga() }
+
+// BothEnergyModels returns the two published parameter sets in paper
+// order.
+func BothEnergyModels() []EnergyParams { return energy.BothModels() }
+
+// DefaultTopology returns the London metropolitan tree of Table III
+// (345 exchange points, 9 PoPs, 1 core router).
+func DefaultTopology() *Topology { return topology.DefaultLondon() }
+
+// NewTopology builds a custom metropolitan tree.
+func NewTopology(name string, exchanges, pops int) (*Topology, error) {
+	return topology.New(name, exchanges, pops)
+}
+
+// NewModel builds the closed-form savings model from energy parameters
+// and topology localisation probabilities.
+func NewModel(params EnergyParams, probs TopologyProbabilities) (*Model, error) {
+	return core.New(params, probs)
+}
+
+// DefaultTraceConfig returns a synthetic-trace configuration scaled
+// relative to the paper's London dataset (scale 1.0 ≈ 3.3M users, 23.5M
+// sessions, 30 days).
+func DefaultTraceConfig(scale float64) TraceConfig {
+	return trace.DefaultGeneratorConfig(scale)
+}
+
+// GenerateTrace builds a deterministic synthetic trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ReadTraceCSV loads a trace previously written with WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV serialises a trace as CSV with a metadata header.
+func WriteTraceCSV(t *Trace, w io.Writer) error { return t.WriteCSV(w) }
+
+// DefaultSimConfig returns the paper's simulation configuration
+// (ISP-friendly bitrate-split swarms, locality-first matching, the
+// (L−1)·q peer budget) at the given upload-to-bitrate ratio q/β.
+func DefaultSimConfig(uploadRatio float64) SimConfig {
+	return sim.DefaultConfig(uploadRatio)
+}
+
+// Simulate replays a trace under the configuration and returns the
+// delivered-traffic accounting.
+func Simulate(t *Trace, cfg SimConfig) (*SimResult, error) { return sim.Run(t, cfg) }
+
+// SimulateParallel is Simulate on a worker pool: swarms are processed
+// concurrently and merged deterministically. Per-swarm statistics are
+// bit-for-bit identical to Simulate; cross-swarm aggregates agree within
+// floating-point associativity.
+func SimulateParallel(t *Trace, cfg SimConfig, workers int) (*SimResult, error) {
+	return sim.RunParallel(t, cfg, workers)
+}
+
+// EvaluateEnergy prices a tally under the given energy parameters,
+// returning baseline (pure CDN) and hybrid energy plus the fractional
+// savings (paper Eq. 1).
+func EvaluateEnergy(t Tally, params EnergyParams) EnergyReport {
+	return sim.Evaluate(t, params)
+}
+
+// CarbonCredits computes the per-user carbon credit transfer distribution
+// of a simulation run (paper Fig. 6). The simulation must have been run
+// with user tracking enabled (the default).
+func CarbonCredits(res *SimResult, params EnergyParams) CarbonDistribution {
+	return carbon.Distribute(res.Users, params)
+}
+
+// ProvisioningReport quantifies the CDN capacity a deployment must
+// provision for peak load, with and without peer assistance.
+type ProvisioningReport = cdn.ProvisioningReport
+
+// CDNProvisioning computes the peak-provisioning report of a simulation
+// run: how much server capacity peer assistance saves at the busiest
+// time, the operator benefit the paper's introduction motivates.
+func CDNProvisioning(res *SimResult) (ProvisioningReport, error) {
+	return cdn.Provisioning(res)
+}

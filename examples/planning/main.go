@@ -1,0 +1,123 @@
+// Planning: use the closed form the way the paper suggests — "a
+// reasonable approximation that can potentially be used for network
+// planning purposes" (Section IV.B.2). For a given ISP topology and
+// energy model, answer three planning questions:
+//
+//  1. How popular must a content item be (what swarm capacity) before
+//     peer assistance starts paying off energy-wise?
+//  2. What upload bandwidth must the ISP provision (relative to the
+//     content bitrate) to reach a target saving?
+//  3. How do the answers change for a differently shaped metro network?
+//
+// Run with:
+//
+//	go run ./examples/planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"consumelocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Network planning with the closed-form savings model")
+	fmt.Println()
+
+	topologies := []struct {
+		name            string
+		exchanges, pops int
+	}{
+		{"london (345 ExP / 9 PoP)", 345, 9},
+		{"dense metro (1000 ExP / 20 PoP)", 1000, 20},
+		{"small city (60 ExP / 4 PoP)", 60, 4},
+	}
+
+	for _, tc := range topologies {
+		topo, err := consumelocal.NewTopology(tc.name, tc.exchanges, tc.pops)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tc.name)
+		for _, params := range consumelocal.BothEnergyModels() {
+			model, err := consumelocal.NewModel(params, topo.Probabilities())
+			if err != nil {
+				return err
+			}
+			c10 := capacityForSavings(model, 1.0, 0.10)
+			c20 := capacityForSavings(model, 1.0, 0.20)
+			rho := ratioForSavings(model, 50, 0.15)
+			fmt.Printf("  %-11s capacity for 10%% saving: %-9s for 20%%: %-9s  q/β for 15%% at c=50: %s\n",
+				params.Name+":", formatCapacity(c10), formatCapacity(c20), formatRatio(rho))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: denser edges need bigger swarms before peers localise;")
+	fmt.Println("the Valancius parameters reward offload more because its CDN path is costly.")
+	return nil
+}
+
+// capacityForSavings finds the smallest capacity c achieving the target
+// saving at the given q/β, by bisection over a log range. Returns -1 when
+// the target is unreachable.
+func capacityForSavings(model *consumelocal.Model, ratio, target float64) float64 {
+	lo, hi := 1e-3, 1e6
+	if model.Savings(hi, ratio) < target {
+		return -1
+	}
+	for i := 0; i < 80; i++ {
+		mid := sqrtProduct(lo, hi)
+		if model.Savings(mid, ratio) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// ratioForSavings finds the smallest q/β achieving the target saving at
+// capacity c. Returns -1 when even q/β = 1 falls short.
+func ratioForSavings(model *consumelocal.Model, c, target float64) float64 {
+	if model.Savings(c, 1) < target {
+		return -1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if model.Savings(c, mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// sqrtProduct returns the geometric mean of a and b (log-space midpoint).
+func sqrtProduct(a, b float64) float64 {
+	return a * math.Sqrt(b/a)
+}
+
+func formatCapacity(c float64) string {
+	if c < 0 {
+		return "unreachable"
+	}
+	return fmt.Sprintf("%.2f", c)
+}
+
+func formatRatio(r float64) string {
+	if r < 0 {
+		return "unreachable"
+	}
+	return fmt.Sprintf("%.2f", r)
+}

@@ -1,0 +1,58 @@
+// Quickstart: evaluate the closed-form model of "Consume Local" for one
+// content swarm under both published energy parameter sets.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"consumelocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	probs := consumelocal.DefaultTopology().Probabilities()
+
+	fmt.Println("Consume Local quickstart: energy savings of one content swarm")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "model", "c=0.1", "c=1", "c=10", "c=100")
+
+	const ratio = 1.0 // upload bandwidth equals the content bitrate
+	for _, params := range consumelocal.BothEnergyModels() {
+		model, err := consumelocal.NewModel(params, probs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", params.Name,
+			100*model.Savings(0.1, ratio),
+			100*model.Savings(1, ratio),
+			100*model.Savings(10, ratio),
+			100*model.Savings(100, ratio))
+	}
+
+	fmt.Println()
+	fmt.Println("Carbon credit transfer (Eq. 13):")
+	for _, params := range consumelocal.BothEnergyModels() {
+		model, err := consumelocal.NewModel(params, probs)
+		if err != nil {
+			return err
+		}
+		gStar, ok := model.CarbonNeutralOffload()
+		if !ok {
+			fmt.Printf("  %-12s users can never become carbon neutral\n", params.Name)
+			continue
+		}
+		fmt.Printf("  %-12s neutral at offload G*=%.2f, carbon positive by %.0f%% when G=1\n",
+			params.Name, gStar, 100*model.AsymptoticCCT())
+	}
+	return nil
+}

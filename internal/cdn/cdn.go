@@ -1,0 +1,102 @@
+// Package cdn analyses the CDN-side operational benefits of peer
+// assistance beyond energy: the paper's introduction motivates hybrid
+// CDNs by "decreasing its traffic costs, and costs of provisioning for
+// peak loads" (Section VI). This package quantifies both from a
+// simulation result:
+//
+//   - traffic offload: the share of bytes the CDN no longer serves;
+//   - peak provisioning: the reduction in the server capacity the CDN
+//     must provision for its busiest period.
+//
+// Peak analysis works at day granularity (the granularity the simulator
+// records per ISP): the provisioning proxy is the busiest day's average
+// server rate. Because peer assistance clips the popular-content peaks
+// hardest, the peak reduction typically exceeds the mean traffic
+// reduction — the effect the paper's operators care about.
+package cdn
+
+import (
+	"errors"
+
+	"consumelocal/internal/sim"
+)
+
+// ProvisioningReport quantifies the CDN capacity a deployment must
+// provision, with and without peer assistance.
+type ProvisioningReport struct {
+	// PeakBaselineBps is the busiest day's average delivery rate when all
+	// traffic is served by the CDN.
+	PeakBaselineBps float64
+	// PeakHybridBps is the busiest day's average server rate with peer
+	// assistance enabled (the peak day may differ from the baseline's).
+	PeakHybridBps float64
+	// PeakReduction is 1 − PeakHybridBps/PeakBaselineBps.
+	PeakReduction float64
+	// MeanReduction is the overall traffic offload, for comparison
+	// against the peak reduction.
+	MeanReduction float64
+}
+
+// ErrNoTraffic is returned when the result carries no delivered traffic.
+var ErrNoTraffic = errors.New("cdn: result has no traffic")
+
+// Provisioning computes the provisioning report of a simulation result.
+func Provisioning(res *sim.Result) (ProvisioningReport, error) {
+	if res.Total.TotalBits <= 0 {
+		return ProvisioningReport{}, ErrNoTraffic
+	}
+	const daySeconds = 24 * 3600.0
+
+	var peakBaseline, peakHybrid float64
+	for _, day := range res.DayTotals() {
+		if rate := day.TotalBits / daySeconds; rate > peakBaseline {
+			peakBaseline = rate
+		}
+		if rate := day.ServerBits / daySeconds; rate > peakHybrid {
+			peakHybrid = rate
+		}
+	}
+	if peakBaseline <= 0 {
+		return ProvisioningReport{}, ErrNoTraffic
+	}
+	return ProvisioningReport{
+		PeakBaselineBps: peakBaseline,
+		PeakHybridBps:   peakHybrid,
+		PeakReduction:   1 - peakHybrid/peakBaseline,
+		MeanReduction:   res.Total.Offload(),
+	}, nil
+}
+
+// PerISP computes one provisioning report per ISP. ISPs with no traffic
+// get a zero-valued report.
+func PerISP(res *sim.Result) []ProvisioningReport {
+	if len(res.Days) == 0 {
+		return nil
+	}
+	const daySeconds = 24 * 3600.0
+	isps := len(res.Days[0])
+	out := make([]ProvisioningReport, isps)
+
+	totals := res.ISPTotals()
+	for isp := 0; isp < isps; isp++ {
+		var peakBaseline, peakHybrid float64
+		for _, day := range res.Days {
+			if rate := day[isp].TotalBits / daySeconds; rate > peakBaseline {
+				peakBaseline = rate
+			}
+			if rate := day[isp].ServerBits / daySeconds; rate > peakHybrid {
+				peakHybrid = rate
+			}
+		}
+		if peakBaseline <= 0 {
+			continue
+		}
+		out[isp] = ProvisioningReport{
+			PeakBaselineBps: peakBaseline,
+			PeakHybridBps:   peakHybrid,
+			PeakReduction:   1 - peakHybrid/peakBaseline,
+			MeanReduction:   totals[isp].Offload(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package cdn
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"consumelocal/internal/sim"
+	"consumelocal/internal/trace"
+)
+
+func simulate(t *testing.T, sessions ...trace.Session) *sim.Result {
+	t.Helper()
+	tr := &trace.Trace{
+		Name:       "cdn-test",
+		Epoch:      time.Unix(0, 0).UTC(),
+		HorizonSec: 2 * 86400,
+		NumUsers:   100,
+		NumContent: 10,
+		NumISPs:    2,
+		Sessions:   sessions,
+	}
+	res, err := sim.Run(tr, sim.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func session(user uint32, isp uint8, start int64, dur int32) trace.Session {
+	return trace.Session{
+		UserID:      user,
+		ContentID:   0,
+		ISP:         isp,
+		Exchange:    5,
+		StartSec:    start,
+		DurationSec: dur,
+		Bitrate:     trace.BitrateSD,
+	}
+}
+
+func TestProvisioningNoTraffic(t *testing.T) {
+	res := &sim.Result{}
+	if _, err := Provisioning(res); !errors.Is(err, ErrNoTraffic) {
+		t.Errorf("expected ErrNoTraffic, got %v", err)
+	}
+}
+
+func TestProvisioningLoneViewer(t *testing.T) {
+	res := simulate(t, session(0, 0, 0, 3600))
+	rep, err := Provisioning(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without peers the server carries everything: no peak reduction.
+	if rep.PeakReduction != 0 {
+		t.Errorf("peak reduction = %v, want 0", rep.PeakReduction)
+	}
+	wantPeak := 1.5e6 * 3600 / 86400.0
+	if math.Abs(rep.PeakBaselineBps-wantPeak) > 1e-6 {
+		t.Errorf("peak baseline = %v, want %v", rep.PeakBaselineBps, wantPeak)
+	}
+	if rep.MeanReduction != 0 {
+		t.Errorf("mean reduction = %v, want 0", rep.MeanReduction)
+	}
+}
+
+func TestProvisioningPeakClippedHarderThanMean(t *testing.T) {
+	// Day 0: a busy swarm of three overlapping viewers (peers absorb 2/3
+	// of the demand). Day 1: one lone viewer (no sharing). The peak day's
+	// server load drops, the quiet day's does not, so the peak reduction
+	// must exceed the mean reduction... and the provisioned capacity is
+	// set by the new busiest day.
+	res := simulate(t,
+		session(0, 0, 0, 3600),
+		session(1, 0, 0, 3600),
+		session(2, 0, 0, 3600),
+		session(3, 0, 86400, 3600),
+	)
+	rep, err := Provisioning(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakReduction <= 0 {
+		t.Fatalf("peak reduction = %v, want positive", rep.PeakReduction)
+	}
+	if rep.PeakReduction <= rep.MeanReduction {
+		t.Errorf("peak reduction %v should exceed mean reduction %v",
+			rep.PeakReduction, rep.MeanReduction)
+	}
+	// Day 0 baseline: 3 sessions; hybrid day 0 server: 1 session's worth;
+	// day 1 server: 1 session's worth. Peak hybrid = 1 session rate.
+	wantBaseline := 3 * 1.5e6 * 3600 / 86400.0
+	wantHybrid := 1 * 1.5e6 * 3600 / 86400.0
+	if math.Abs(rep.PeakBaselineBps-wantBaseline) > 1 {
+		t.Errorf("peak baseline = %v, want %v", rep.PeakBaselineBps, wantBaseline)
+	}
+	if math.Abs(rep.PeakHybridBps-wantHybrid) > 1 {
+		t.Errorf("peak hybrid = %v, want %v", rep.PeakHybridBps, wantHybrid)
+	}
+}
+
+func TestPerISP(t *testing.T) {
+	res := simulate(t,
+		session(0, 0, 0, 3600),
+		session(1, 0, 0, 3600),
+		session(2, 1, 0, 3600), // lone viewer on ISP 1
+	)
+	reports := PerISP(res)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].PeakReduction <= 0 {
+		t.Errorf("ISP 0 should see a peak reduction, got %v", reports[0].PeakReduction)
+	}
+	if reports[1].PeakReduction != 0 {
+		t.Errorf("ISP 1 lone viewer should see none, got %v", reports[1].PeakReduction)
+	}
+}
+
+func TestPerISPEmpty(t *testing.T) {
+	if got := PerISP(&sim.Result{}); got != nil {
+		t.Errorf("empty result should yield nil, got %v", got)
+	}
+}
+
+func TestProvisioningOnGeneratedTrace(t *testing.T) {
+	cfg := trace.DefaultGeneratorConfig(0.001)
+	cfg.Days = 7
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.DefaultConfig(1)
+	simCfg.TrackUsers = false
+	res, err := sim.Run(tr, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Provisioning(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakReduction <= 0 || rep.PeakReduction >= 1 {
+		t.Errorf("peak reduction = %v, want within (0,1)", rep.PeakReduction)
+	}
+	if rep.PeakHybridBps >= rep.PeakBaselineBps {
+		t.Errorf("hybrid peak %v should be below baseline %v",
+			rep.PeakHybridBps, rep.PeakBaselineBps)
+	}
+}

@@ -1,0 +1,270 @@
+// Package chunksim is a chunk-level micro-simulator of one content swarm:
+// the managed-swarm mechanics the paper assumes away behind footnote 2
+// ("managed swarming similar to AntFarm or Akamai NetSession, where a
+// central server efficiently manages which peer is matched with which
+// other peer"), made explicit.
+//
+// Where the flow-level simulator (package sim) treats peer capacity as a
+// fluid, this simulator tracks *which chunks each viewer holds*: content
+// is split into Δτ-sized chunks, a viewer at playback position p holds
+// every chunk below p, and can therefore only upload to viewers behind it
+// in the stream. The swarm manager assigns, tick by tick, each viewer's
+// next chunk to the closest peer ahead of it with spare upload capacity,
+// falling back to the CDN server.
+//
+// The package exists for validation: the precedence constraint (only
+// peers ahead can serve) is the physical reason behind the paper's Eq. 2
+// bound ∆Tp ≤ (L−1)·q·∆τ — in a swarm of L staggered viewers, the viewer
+// furthest ahead has nobody to fetch from and must use the server. Tests
+// in this package and the flow-level comparisons verify that the fluid
+// matcher and the paper's closed form agree with true chunk mechanics.
+package chunksim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"consumelocal/internal/energy"
+	"consumelocal/internal/topology"
+	"consumelocal/internal/trace"
+)
+
+// Config parameterises a chunk-level swarm run.
+type Config struct {
+	// ChunkSec is the chunk duration Δτ (the paper uses 10 s).
+	ChunkSec int64
+	// UploadBps is each viewer's upload bandwidth q in bits/s.
+	UploadBps float64
+	// Topology maps exchanges onto PoPs for locality decisions. Defaults
+	// to topology.DefaultLondon().
+	Topology *topology.Tree
+}
+
+// DefaultConfig returns the paper's chunk configuration at the given
+// upload bandwidth.
+func DefaultConfig(uploadBps float64) Config {
+	return Config{
+		ChunkSec:  10,
+		UploadBps: uploadBps,
+		Topology:  topology.DefaultLondon(),
+	}
+}
+
+// Result is the delivered-traffic accounting of a chunk-level run.
+type Result struct {
+	// TotalBits is all bits delivered to viewers.
+	TotalBits float64
+	// ServerBits is the share delivered by the CDN server.
+	ServerBits float64
+	// LayerBits is the share delivered from peers, per topology layer.
+	LayerBits [energy.NumLayers]float64
+	// Chunks is the number of chunk deliveries performed.
+	Chunks int
+}
+
+// PeerBits returns the peer-delivered traffic.
+func (r Result) PeerBits() float64 {
+	var sum float64
+	for _, b := range r.LayerBits {
+		sum += b
+	}
+	return sum
+}
+
+// Offload returns the fraction of traffic delivered from peers.
+func (r Result) Offload() float64 {
+	if r.TotalBits <= 0 {
+		return 0
+	}
+	return r.PeerBits() / r.TotalBits
+}
+
+// viewer is the per-session state of the tick loop.
+type viewer struct {
+	session trace.Session
+	loc     topology.Location
+	// position is the number of chunks already delivered to this viewer:
+	// it holds chunks [0, position) of the content.
+	position int
+	// chunks is the total number of chunks this viewer will consume.
+	chunks int
+	// uploadBudget is the remaining upload capacity in the current tick,
+	// in bits.
+	uploadBudget float64
+	// remaining is the unmet share of this tick's chunk, in bits.
+	remaining float64
+}
+
+// Run replays one swarm's sessions at chunk granularity. All sessions are
+// assumed to belong to one swarm (same content item and bitrate class);
+// an error is returned otherwise.
+func Run(sessions []trace.Session, cfg Config) (Result, error) {
+	var res Result
+	if len(sessions) == 0 {
+		return res, nil
+	}
+	if cfg.ChunkSec <= 0 {
+		return res, errors.New("chunksim: chunk duration must be positive")
+	}
+	if cfg.UploadBps < 0 {
+		return res, errors.New("chunksim: upload bandwidth must be non-negative")
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = topology.DefaultLondon()
+	}
+	content, bitrate := sessions[0].ContentID, sessions[0].Bitrate
+	for _, s := range sessions {
+		if s.ContentID != content || s.Bitrate != bitrate {
+			return res, fmt.Errorf("chunksim: sessions span swarms (content %d/%d, bitrate %d/%d)",
+				content, s.ContentID, bitrate, s.Bitrate)
+		}
+		if err := s.Validate(); err != nil {
+			return res, fmt.Errorf("chunksim: %w", err)
+		}
+	}
+
+	chunkBits := bitrate.BitsPerSecond() * float64(cfg.ChunkSec)
+	uploadPerTick := cfg.UploadBps * float64(cfg.ChunkSec)
+
+	viewers := make([]*viewer, len(sessions))
+	var firstTick, lastTick int64
+	for i, s := range sessions {
+		start := s.StartSec / cfg.ChunkSec
+		chunks := int((int64(s.DurationSec) + cfg.ChunkSec - 1) / cfg.ChunkSec)
+		viewers[i] = &viewer{
+			session: s,
+			loc: topology.Location{
+				Exchange: int(s.Exchange),
+				PoP:      cfg.Topology.PoPOf(int(s.Exchange)),
+			},
+			chunks: chunks,
+		}
+		if i == 0 || start < firstTick {
+			firstTick = start
+		}
+		if end := start + int64(chunks); end > lastTick {
+			lastTick = end
+		}
+	}
+
+	// Tick loop. Active viewers are those whose playback window covers
+	// the tick and who still need chunks. Each tick runs three phases:
+	//
+	//  1. Locality-first matching: per layer (exchange, PoP, core), each
+	//     downloader pulls from the closest peers strictly ahead of it in
+	//     the stream, as a managed swarm would assign.
+	//  2. Server fetch + within-window relay (the paper's footnote 3):
+	//     unserved downloaders at the same playback position elect one
+	//     fetcher, which pulls the chunk from the server and relays it to
+	//     its position-mates, closest first.
+	//  3. Any remainder falls back to the server.
+	active := make([]*viewer, 0, len(viewers))
+	for tick := firstTick; tick < lastTick; tick++ {
+		active = active[:0]
+		for _, v := range viewers {
+			startTick := v.session.StartSec / cfg.ChunkSec
+			if tick >= startTick && v.position < v.chunks && tick-startTick >= int64(v.position) {
+				v.uploadBudget = uploadPerTick
+				v.remaining = chunkBits
+				active = append(active, v)
+				res.TotalBits += chunkBits
+				res.Chunks++
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		// Deterministic processing order: furthest ahead first (fewest
+		// potential suppliers), user ID as tiebreak.
+		sort.Slice(active, func(i, j int) bool {
+			if active[i].position != active[j].position {
+				return active[i].position > active[j].position
+			}
+			return active[i].session.UserID < active[j].session.UserID
+		})
+
+		// Phase 1: matching against peers strictly ahead. Downloaders are
+		// processed furthest-ahead first; each takes from its closest
+		// available suppliers. Candidate sets are nested (a downloader
+		// further behind can use every supplier a downloader ahead of it
+		// can, plus more), so by Hall's theorem this order maximises the
+		// total peer-served volume — the hybrid CDN's primary objective —
+		// while the inner layer loop keeps each downloader's own transfers
+		// as local as possible.
+		for _, v := range active {
+			if v.remaining <= 0 {
+				continue
+			}
+			for _, layer := range energy.Layers() {
+				if v.remaining <= 0 {
+					break
+				}
+				for _, supplier := range active {
+					if v.remaining <= 0 {
+						break
+					}
+					if supplier == v || supplier.position <= v.position || supplier.uploadBudget <= 0 {
+						continue
+					}
+					if cfg.Topology.Layer(v.loc, supplier.loc) != layer {
+						continue
+					}
+					take := math.Min(v.remaining, supplier.uploadBudget)
+					supplier.uploadBudget -= take
+					v.remaining -= take
+					res.LayerBits[layer.Index()] += take
+				}
+			}
+		}
+
+		// Phase 2: per position group, elect a fetcher that pulls from
+		// the server and relays within the window.
+		for i := 0; i < len(active); {
+			j := i
+			for j < len(active) && active[j].position == active[i].position {
+				j++
+			}
+			group := active[i:j]
+			i = j
+
+			var fetcher *viewer
+			for _, v := range group {
+				if v.remaining > 0 {
+					fetcher = v
+					break
+				}
+			}
+			if fetcher == nil {
+				continue
+			}
+			res.ServerBits += fetcher.remaining
+			fetcher.remaining = 0
+			for _, layer := range energy.Layers() {
+				for _, v := range group {
+					if v == fetcher || v.remaining <= 0 || fetcher.uploadBudget <= 0 {
+						continue
+					}
+					if cfg.Topology.Layer(v.loc, fetcher.loc) != layer {
+						continue
+					}
+					take := math.Min(v.remaining, fetcher.uploadBudget)
+					fetcher.uploadBudget -= take
+					v.remaining -= take
+					res.LayerBits[layer.Index()] += take
+				}
+			}
+		}
+
+		// Phase 3: server fallback for whatever is left, then advance.
+		for _, v := range active {
+			if v.remaining > 0 {
+				res.ServerBits += v.remaining
+				v.remaining = 0
+			}
+			v.position++
+		}
+	}
+	return res, nil
+}

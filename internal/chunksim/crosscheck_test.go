@@ -1,0 +1,166 @@
+package chunksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"consumelocal/internal/energy"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/trace"
+)
+
+// poissonSessions builds one M/M/∞ swarm's sessions, tick-aligned.
+func poissonSessions(seed int64, rate, meanDuration float64, horizon int64) []trace.Session {
+	rng := rand.New(rand.NewSource(seed))
+	var sessions []trace.Session
+	now := 0.0
+	for user := uint32(0); ; user++ {
+		now += rng.ExpFloat64() / rate
+		start := int64(now) / 10 * 10
+		if start >= horizon {
+			break
+		}
+		dur := int32(rng.ExpFloat64()*meanDuration/10) * 10
+		if dur < 10 {
+			dur = 10
+		}
+		if start+int64(dur) > horizon {
+			continue
+		}
+		sessions = append(sessions, trace.Session{
+			UserID:      user,
+			ContentID:   0,
+			ISP:         0,
+			Exchange:    uint16(rng.Intn(345)),
+			StartSec:    start,
+			DurationSec: dur,
+			Bitrate:     trace.BitrateSD,
+		})
+	}
+	return sessions
+}
+
+// runBoth replays the same sessions through the chunk-level and the
+// flow-level simulators and returns both outcomes.
+func runBoth(t *testing.T, sessions []trace.Session, uploadBps, flowRatio float64,
+	horizon int64) (Result, sim.Tally) {
+	t.Helper()
+	chunkRes, err := Run(sessions, DefaultConfig(uploadBps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxUser := uint32(0)
+	for _, s := range sessions {
+		if s.UserID > maxUser {
+			maxUser = s.UserID
+		}
+	}
+	tr := &trace.Trace{
+		Name:       "crosscheck",
+		Epoch:      time.Unix(0, 0).UTC(),
+		HorizonSec: horizon,
+		NumUsers:   int(maxUser) + 1,
+		NumContent: 1,
+		NumISPs:    1,
+		Sessions:   sessions,
+	}
+	simCfg := sim.DefaultConfig(flowRatio)
+	simCfg.TrackUsers = false
+	flowRes, err := sim.Run(tr, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunkRes, flowRes.Total
+}
+
+// savings prices a chunk result under the given parameters.
+func chunkSavings(res Result, params energy.Params) float64 {
+	return sim.Evaluate(sim.Tally{
+		TotalBits:  res.TotalBits,
+		ServerBits: res.ServerBits,
+		LayerBits:  res.LayerBits,
+	}, params).Savings
+}
+
+// TestChunkAgreesWithFlowSimulator is the deepest consistency check of
+// the reproduction, run inside the paper's q/β <= 1 envelope: the
+// chunk-level mechanics (which-chunk-who-holds, managed per-tick
+// assignment) and the flow-level simulator (fluid capacities,
+// locality-first matching, Eq. 2 budget) must agree on the traffic
+// offload when replaying the same swarm, and the fluid model may only be
+// modestly optimistic on energy (see TestChunkPrecedenceChainAtUnitRatio
+// for why a gap exists at all).
+func TestChunkAgreesWithFlowSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day chunk simulation")
+	}
+	const horizon = int64(15 * 86400)
+	for _, tc := range []struct {
+		name  string
+		rate  float64
+		ratio float64
+	}{
+		{"small swarm q=b", 0.0008, 1.0},
+		{"small swarm low upload", 0.0008, 0.4},
+		{"medium swarm low upload", 0.004, 0.4},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sessions := poissonSessions(11, tc.rate, 1500, horizon)
+			chunkRes, flowTally := runBoth(t, sessions, tc.ratio*1.5e6, tc.ratio, horizon)
+
+			if gap := math.Abs(chunkRes.Offload() - flowTally.Offload()); gap > 0.03 {
+				t.Errorf("offload gap %v: chunk %v vs flow %v",
+					gap, chunkRes.Offload(), flowTally.Offload())
+			}
+			for _, params := range energy.BothModels() {
+				cS := chunkSavings(chunkRes, params)
+				fS := sim.Evaluate(flowTally, params).Savings
+				if cS > fS+0.01 {
+					t.Errorf("%s: chunk savings %v should not exceed fluid %v", params.Name, cS, fS)
+				}
+				if fS-cS > 0.10 {
+					t.Errorf("%s: fluid optimism %v exceeds documented bound (chunk %v, fluid %v)",
+						params.Name, fS-cS, cS, fS)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkPrecedenceChainAtUnitRatio documents the fidelity finding the
+// chunk simulator exposes: at q = β every supplier's capacity is exactly
+// one viewer's demand, so the maximum-offload assignment is a forced
+// chain along stream positions — the swarm manager has no locality
+// freedom, and the locality mix degrades to the probability that
+// *adjacent* viewers in the chain happen to be co-located. The fluid
+// model (and the paper's Eq. 7, which assumes any peer can serve any
+// other) is therefore optimistic at q = β; the savings overstatement is
+// bounded and vanishes with upload headroom.
+func TestChunkPrecedenceChainAtUnitRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day chunk simulation")
+	}
+	const horizon = int64(15 * 86400)
+	sessions := poissonSessions(11, 0.004, 1500, horizon)
+	chunkRes, flowTally := runBoth(t, sessions, 1.5e6, 1.0, horizon)
+
+	// Offload itself still agrees: the chain achieves the same volume.
+	if gap := math.Abs(chunkRes.Offload() - flowTally.Offload()); gap > 0.03 {
+		t.Errorf("offload gap %v: chunk %v vs flow %v",
+			gap, chunkRes.Offload(), flowTally.Offload())
+	}
+	// The fluid model must be the optimistic side, and the gap bounded.
+	for _, params := range energy.BothModels() {
+		cS := chunkSavings(chunkRes, params)
+		fS := sim.Evaluate(flowTally, params).Savings
+		if cS > fS+0.01 {
+			t.Errorf("%s: chunk savings %v should not exceed fluid %v", params.Name, cS, fS)
+		}
+		if fS-cS > 0.10 {
+			t.Errorf("%s: fluid optimism %v exceeds documented bound", params.Name, fS-cS)
+		}
+	}
+}

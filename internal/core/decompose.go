@@ -1,0 +1,55 @@
+package core
+
+import (
+	"consumelocal/internal/mminf"
+)
+
+// SavingsTerms splits Eq. 12 into its two opposing components, making the
+// paper's fundamental trade-off explicit: offloading saves the expensive
+// server path, but peer traffic must still pay the edge twice plus a
+// network path whose length depends on how local the matching is.
+type SavingsTerms struct {
+	// OffloadGain is G·(ψs − ψm_p)/ψs: the gross saving of moving traffic
+	// from servers to peers, before any P2P network cost.
+	OffloadGain float64
+	// NetworkCost is the swarm-size-dependent P2P network term
+	// (q/β)·PUE·Γ(c)/(c·ψs) subtracted by Eq. 12.
+	NetworkCost float64
+	// Net is OffloadGain − NetworkCost = S(c).
+	Net float64
+}
+
+// Decompose evaluates both Eq. 12 terms at capacity c and ratio q/β.
+func (m *Model) Decompose(c, ratio float64) SavingsTerms {
+	if c <= 0 || ratio <= 0 {
+		return SavingsTerms{}
+	}
+	psiS := m.params.ServerPerBit()
+	g := m.Offload(c, ratio)
+	gain := g * (psiS - m.params.PeerModemPerBit()) / psiS
+	cost := ratio * m.params.PUE * m.PeerNetworkExpectation(c) / (c * psiS)
+	return SavingsTerms{
+		OffloadGain: gain,
+		NetworkCost: cost,
+		Net:         gain - cost,
+	}
+}
+
+// BreakEvenNetworkGamma returns the per-bit P2P network cost (nJ/bit,
+// before PUE) at which hybrid delivery would exactly break even with
+// server delivery for fully offloaded traffic:
+//
+//	ψs = ψm_p + PUE·γ*  ⇒  γ* = (ψs − ψm_p)/PUE.
+//
+// If the metro tree cannot match peers below γ*, peer assistance loses
+// energy no matter how large the swarm (the "savings can be negative"
+// caveat of Section III.A).
+func (m *Model) BreakEvenNetworkGamma() float64 {
+	return (m.params.ServerPerBit() - m.params.PeerModemPerBit()) / m.params.PUE
+}
+
+// SharingProbability returns p = 1 − e^(−c), the probability the swarm
+// can serve an arriving user at all (at least one peer online).
+func (m *Model) SharingProbability(c float64) float64 {
+	return mminf.OnlineProbability(c)
+}

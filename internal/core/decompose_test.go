@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/energy"
+)
+
+func TestDecomposeSumsToSavings(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		for _, c := range []float64{0.1, 1, 10, 100} {
+			for _, ratio := range []float64{0.4, 1.0} {
+				terms := m.Decompose(c, ratio)
+				if math.Abs(terms.Net-m.Savings(c, ratio)) > 1e-12 {
+					t.Errorf("%s c=%v: Net %v != Savings %v",
+						m.Params().Name, c, terms.Net, m.Savings(c, ratio))
+				}
+				if math.Abs(terms.OffloadGain-terms.NetworkCost-terms.Net) > 1e-12 {
+					t.Errorf("terms do not add up: %+v", terms)
+				}
+				if terms.OffloadGain < 0 || terms.NetworkCost < 0 {
+					t.Errorf("terms must be non-negative: %+v", terms)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeZeroCases(t *testing.T) {
+	m := valanciusModel(t)
+	if terms := m.Decompose(0, 1); terms != (SavingsTerms{}) {
+		t.Errorf("empty swarm terms = %+v, want zero", terms)
+	}
+	if terms := m.Decompose(5, 0); terms != (SavingsTerms{}) {
+		t.Errorf("zero ratio terms = %+v, want zero", terms)
+	}
+}
+
+func TestNetworkCostShareShrinksWithCapacity(t *testing.T) {
+	// As swarms grow, matching localises and the network cost per unit of
+	// gain falls — the "consume local" effect in one number.
+	m := baligaModel(t)
+	prev := math.Inf(1)
+	for _, c := range []float64{0.5, 2, 10, 50, 500} {
+		terms := m.Decompose(c, 1)
+		share := terms.NetworkCost / terms.OffloadGain
+		if share > prev+1e-12 {
+			t.Errorf("network-cost share not shrinking at c=%v: %v > %v", c, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestBreakEvenNetworkGamma(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		gamma := m.BreakEvenNetworkGamma()
+		p := m.Params()
+		// Definition check.
+		want := (p.ServerPerBit() - p.PeerModemPerBit()) / p.PUE
+		if math.Abs(gamma-want) > 1e-12 {
+			t.Errorf("%s: break-even γ = %v, want %v", p.Name, gamma, want)
+		}
+		// In both published models even core-level matching stays below
+		// break-even, so sharing is always per-bit profitable.
+		if p.CoreNetwork >= gamma {
+			t.Errorf("%s: core γ %v should be below break-even %v", p.Name, p.CoreNetwork, gamma)
+		}
+	}
+}
+
+func TestBreakEvenDetectsLosingConfigurations(t *testing.T) {
+	params := energy.Params{
+		Name:            "cheap-cdn",
+		Server:          200,
+		Modem:           100,
+		CDNNetwork:      50,
+		ExchangeNetwork: 100,
+		PoPNetwork:      180,
+		CoreNetwork:     245,
+		PUE:             1.2,
+		Loss:            1.07,
+	}
+	m := MustNew(params, london())
+	gamma := m.BreakEvenNetworkGamma()
+	if params.CoreNetwork <= gamma {
+		t.Fatalf("setup: expected core above break-even (γ*=%v)", gamma)
+	}
+	// With core matching above break-even, tiny swarms (which match at
+	// the core) must lose energy.
+	if s := m.Savings(0.2, 1); s >= 0 {
+		t.Errorf("tiny-swarm savings = %v, want negative for cheap-CDN params", s)
+	}
+}
+
+func TestSharingProbability(t *testing.T) {
+	m := valanciusModel(t)
+	if got := m.SharingProbability(0); got != 0 {
+		t.Errorf("p(0) = %v", got)
+	}
+	if got := m.SharingProbability(1); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("p(1) = %v", got)
+	}
+}

@@ -1,0 +1,236 @@
+// Package core implements the paper's primary contribution: the
+// closed-form analytical model of energy savings in peer-assisted CDNs
+// (Raman et al., "Consume Local: Towards Carbon Free Content Delivery",
+// ICDCS 2018, Section III), together with the carbon-credit transfer
+// scheme of Section V.
+//
+// The model links the end-to-end energy savings S of enabling peer
+// assistance to the capacity c of a content swarm (the average number of
+// concurrent users, M/M/∞), the ratio q/β between user upload bandwidth
+// and content bitrate, a set of per-bit energy parameters (Table IV) and
+// the localisation probabilities of the ISP metropolitan tree (Table III):
+//
+//	S(c) = G·(ψs − ψm_p)/ψs − (q/β)·PUE·Γ(c) / (c·ψs)        (Eq. 8/12)
+//
+// where G is the offloaded traffic fraction (Eq. 3) and Γ(c) is the
+// expected per-window network energy of peer transfers,
+//
+//	Γ(c) = γexp·f(pexp,c) + γpop·(f(ppop,c) − f(pexp,c))
+//	     + γcore·(f(pcore,c) − f(ppop,c)),
+//
+// the Poisson expectation of Eq. 7 with f as documented in package mminf.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"consumelocal/internal/energy"
+	"consumelocal/internal/mminf"
+	"consumelocal/internal/topology"
+)
+
+// Model is the closed-form savings model for one energy parameter set and
+// one ISP topology. The zero value is not usable; construct with New.
+type Model struct {
+	params energy.Params
+	probs  topology.Probabilities
+}
+
+// New builds a Model from validated energy parameters and localisation
+// probabilities.
+func New(params energy.Params, probs topology.Probabilities) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := probs.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Model{params: params, probs: probs}, nil
+}
+
+// MustNew is New for statically known-good inputs (the published parameter
+// sets); it panics on error and is intended for package-level defaults,
+// examples and tests.
+func MustNew(params energy.Params, probs topology.Probabilities) *Model {
+	m, err := New(params, probs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the energy parameter set the model was built with.
+func (m *Model) Params() energy.Params { return m.params }
+
+// Probabilities returns the topology localisation probabilities the model
+// was built with.
+func (m *Model) Probabilities() topology.Probabilities { return m.probs }
+
+// Offload returns G, the fraction of swarm traffic served by peers
+// (Eq. 3), for swarm capacity c and upload-to-bitrate ratio q/β.
+func (m *Model) Offload(c, ratio float64) float64 {
+	return mminf.OffloadFraction(c, ratio)
+}
+
+// PeerNetworkExpectation returns Γ(c): the Poisson expectation of
+// (L−1)⁺ · γp2p(L) over the swarm occupancy L, in nJ/bit. Multiplied by
+// PUE·q·Δτ it gives the expected per-window network energy of peer
+// transfers (Eq. 9–10).
+func (m *Model) PeerNetworkExpectation(c float64) float64 {
+	fExp := mustLayerExpectation(m.probs.Exchange, c)
+	fPoP := mustLayerExpectation(m.probs.PoP, c)
+	fCore := mustLayerExpectation(m.probs.Core, c)
+
+	return m.params.ExchangeNetwork*fExp +
+		m.params.PoPNetwork*(fPoP-fExp) +
+		m.params.CoreNetwork*(fCore-fPoP)
+}
+
+// mustLayerExpectation wraps mminf.LayerExpectation for inputs already
+// validated at model construction (p in [0,1]) and call time (c clamped).
+func mustLayerExpectation(p, c float64) float64 {
+	if c < 0 {
+		c = 0
+	}
+	v, err := mminf.LayerExpectation(p, c)
+	if err != nil {
+		panic(fmt.Sprintf("core: layer expectation: %v", err))
+	}
+	return v
+}
+
+// EffectivePeerNetworkPerBit returns the average per-bit network energy of
+// peer traffic (nJ/bit, before PUE) implied by swarm capacity c: Γ(c)
+// normalised by the expected volume of peer transfers E[(L−1)⁺]. As c
+// grows, more transfers localise at exchange points and this average
+// tends to γexp; for tiny swarms it approaches γcore.
+func (m *Model) EffectivePeerNetworkPerBit(c float64) float64 {
+	sharers := mminf.ExpectedSharers(c)
+	if sharers <= 0 {
+		return m.params.CoreNetwork
+	}
+	return m.PeerNetworkExpectation(c) / sharers
+}
+
+// Savings returns S(c), the end-to-end fractional energy savings of the
+// hybrid peer-assisted CDN over pure server delivery (Eq. 12). A negative
+// value means the hybrid system consumes more energy than the baseline.
+//
+// ratio is q/β. For c <= 0 (empty swarm) savings are 0: all traffic is
+// served by the CDN exactly as in the baseline.
+func (m *Model) Savings(c, ratio float64) float64 {
+	if c <= 0 || ratio <= 0 {
+		return 0
+	}
+	psiS := m.params.ServerPerBit()
+	psiMP := m.params.PeerModemPerBit()
+
+	g := m.Offload(c, ratio)
+	gross := g * (psiS - psiMP) / psiS
+	network := ratio * m.params.PUE * m.PeerNetworkExpectation(c) / (c * psiS)
+	return gross - network
+}
+
+// AsymptoticSavings returns the limit of S(c) as the swarm capacity grows
+// without bound: every bit is offloaded (G → q/β capped at 1) and every
+// peer pair is matched within an exchange point.
+func (m *Model) AsymptoticSavings(ratio float64) float64 {
+	if ratio <= 0 {
+		return 0
+	}
+	g := math.Min(ratio, 1)
+	psiS := m.params.ServerPerBit()
+	return g * (psiS - m.params.PeerModemPerBit() - m.params.PUE*m.params.ExchangeNetwork) / psiS
+}
+
+// CDNSavings returns the CDN-side energy savings, normalised by the CDN's
+// cost with peer assistance disabled (the "CDN" curve of Fig. 5). The CDN
+// serves only the (1−G) remainder, so its normalised saving equals the
+// offloaded fraction G.
+func (m *Model) CDNSavings(c, ratio float64) float64 {
+	return m.Offload(c, ratio)
+}
+
+// UserSavings returns the user-side energy savings, normalised by the
+// users' cost with peer assistance disabled (the "User" curve of Fig. 5).
+// Users pay l·γm per downloaded bit regardless of source and additionally
+// l·γm per uploaded bit, so sharing fraction G costs them −G.
+func (m *Model) UserSavings(c, ratio float64) float64 {
+	return -m.Offload(c, ratio)
+}
+
+// SavingsBreakdown bundles the four curves of Fig. 5 at one capacity.
+type SavingsBreakdown struct {
+	// Capacity is the swarm capacity c the breakdown was evaluated at.
+	Capacity float64
+	// EndToEnd is the whole-system savings S(c) (Eq. 12).
+	EndToEnd float64
+	// CDN is the CDN-side savings normalised by CDN-only costs (= G).
+	CDN float64
+	// User is the user-side savings normalised by user-only costs (= −G).
+	User float64
+	// CCTransfer is the users' net normalised carbon balance after the
+	// CDN's savings are transferred to them as credits (Eq. 13).
+	CCTransfer float64
+}
+
+// Breakdown evaluates all Fig. 5 curves at capacity c and ratio q/β.
+func (m *Model) Breakdown(c, ratio float64) SavingsBreakdown {
+	g := m.Offload(c, ratio)
+	return SavingsBreakdown{
+		Capacity:   c,
+		EndToEnd:   m.Savings(c, ratio),
+		CDN:        g,
+		User:       -g,
+		CCTransfer: m.CarbonCreditTransfer(g),
+	}
+}
+
+// CarbonCreditTransfer returns the users' normalised net carbon balance
+// after carbon credit transfer for an offload fraction G (Eq. 13):
+//
+//	CCT = (PUE·γs·G − l·γm·(1+G)) / (l·γm·(1+G))
+//
+// CCT = −1 when nothing is shared (G = 0): users bear their full streaming
+// footprint. CCT > 0 means users are carbon positive: the transferred CDN
+// savings more than offset their own consumption.
+func (m *Model) CarbonCreditTransfer(g float64) float64 {
+	userCost := m.params.UserPerBit() * (1 + g)
+	credit := m.params.ServerCreditPerBit() * g
+	return (credit - userCost) / userCost
+}
+
+// CarbonCreditTransferAtCapacity evaluates Eq. 13 at the offload fraction
+// implied by swarm capacity c and ratio q/β.
+func (m *Model) CarbonCreditTransferAtCapacity(c, ratio float64) float64 {
+	return m.CarbonCreditTransfer(m.Offload(c, ratio))
+}
+
+// CarbonNeutralOffload returns G*, the offload fraction at which users
+// become exactly carbon neutral under credit transfer (CCT = 0). Solving
+// Eq. 13 for CCT = 0 gives
+//
+//	G* = l·γm / (PUE·γs − l·γm).
+//
+// The second return value is false when no finite positive G achieves
+// neutrality (the server credit per bit does not exceed the user cost per
+// bit, or G* would exceed 1).
+func (m *Model) CarbonNeutralOffload() (float64, bool) {
+	denom := m.params.ServerCreditPerBit() - m.params.UserPerBit()
+	if denom <= 0 {
+		return 0, false
+	}
+	g := m.params.UserPerBit() / denom
+	if g > 1 {
+		return g, false
+	}
+	return g, true
+}
+
+// AsymptoticCCT returns the carbon positivity users reach in the limiting
+// case G = 1 (Section V: +18% for Valancius et al., +58% for Baliga et
+// al.).
+func (m *Model) AsymptoticCCT() float64 {
+	return m.CarbonCreditTransfer(1)
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/energy"
+	"consumelocal/internal/mminf"
+	"consumelocal/internal/topology"
+)
+
+func london() topology.Probabilities {
+	return topology.DefaultLondon().Probabilities()
+}
+
+func valanciusModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(energy.Valancius(), london())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func baligaModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(energy.Baliga(), london())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := energy.Valancius()
+	bad.PUE = 0.1
+	if _, err := New(bad, london()); err == nil {
+		t.Error("invalid energy params should be rejected")
+	}
+	badProbs := london()
+	badProbs.Core = 0.4
+	if _, err := New(energy.Valancius(), badProbs); err == nil {
+		t.Error("invalid probabilities should be rejected")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid input")
+		}
+	}()
+	bad := energy.Valancius()
+	bad.Loss = 0
+	MustNew(bad, london())
+}
+
+func TestAccessors(t *testing.T) {
+	m := valanciusModel(t)
+	if m.Params().Name != "valancius" {
+		t.Errorf("Params().Name = %q", m.Params().Name)
+	}
+	if m.Probabilities().PoP != london().PoP {
+		t.Errorf("Probabilities() not preserved")
+	}
+}
+
+func TestOffloadDelegates(t *testing.T) {
+	m := valanciusModel(t)
+	if got, want := m.Offload(1, 1), mminf.OffloadFraction(1, 1); got != want {
+		t.Errorf("Offload = %v, want %v", got, want)
+	}
+}
+
+func TestSavingsZeroForEmptySwarm(t *testing.T) {
+	m := valanciusModel(t)
+	if got := m.Savings(0, 1); got != 0 {
+		t.Errorf("S(0) = %v, want 0", got)
+	}
+	if got := m.Savings(-1, 1); got != 0 {
+		t.Errorf("S(-1) = %v, want 0", got)
+	}
+	if got := m.Savings(10, 0); got != 0 {
+		t.Errorf("S(c, ratio=0) = %v, want 0", got)
+	}
+}
+
+func TestSavingsIncreaseWithCapacity(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		prev := math.Inf(-1)
+		for _, c := range []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 50, 200} {
+			s := m.Savings(c, 1)
+			if s < prev {
+				t.Errorf("%s: S(%v) = %v < previous %v", m.Params().Name, c, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSavingsIncreaseWithUploadRatio(t *testing.T) {
+	m := baligaModel(t)
+	prev := math.Inf(-1)
+	for _, r := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		s := m.Savings(20, r)
+		if s < prev {
+			t.Errorf("S(ratio=%v) = %v < previous %v", r, s, prev)
+		}
+		prev = s
+	}
+}
+
+// The headline result of the paper: for popular content (large swarms) and
+// q/β = 1, savings land in the 35–48% band for Valancius et al. and the
+// 24–29% band for Baliga et al. (Section IV.B.2).
+func TestSavingsMatchPaperHeadlineBands(t *testing.T) {
+	// A swarm of a highly popular item: ~100K monthly views, ~30 min
+	// sessions => capacity in the tens.
+	const capacity = 70.0
+
+	sv := valanciusModel(t).Savings(capacity, 1)
+	if sv < 0.35 || sv > 0.50 {
+		t.Errorf("valancius popular-item savings = %v, want within [0.35, 0.50]", sv)
+	}
+	sb := baligaModel(t).Savings(capacity, 1)
+	if sb < 0.22 || sb > 0.31 {
+		t.Errorf("baliga popular-item savings = %v, want within [0.22, 0.31]", sb)
+	}
+	// The Valancius parameters must show larger savings than Baliga:
+	// its CDN network path is far more expensive per bit.
+	if sv <= sb {
+		t.Errorf("valancius savings (%v) should exceed baliga (%v)", sv, sb)
+	}
+}
+
+// At q/β = 0.4 the paper reports savings above 10% in both models for
+// popular items.
+func TestSavingsAtLowUploadBandwidth(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		if got := m.Savings(70, 0.4); got <= 0.10 {
+			t.Errorf("%s: S(70, 0.4) = %v, want > 0.10", m.Params().Name, got)
+		}
+	}
+}
+
+// Unpopular items (capacity well below 1) must save less than 10%.
+func TestSavingsSmallForNicheContent(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		if got := m.Savings(0.05, 1); got >= 0.10 {
+			t.Errorf("%s: niche-content savings = %v, want < 0.10", m.Params().Name, got)
+		}
+	}
+}
+
+func TestAsymptoticSavings(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		limit := m.AsymptoticSavings(1)
+		// S(c) must approach the asymptote from below.
+		s := m.Savings(1e5, 1)
+		if math.Abs(s-limit) > 0.01 {
+			t.Errorf("%s: S(1e5) = %v, asymptote %v", m.Params().Name, s, limit)
+		}
+		if s > limit+1e-9 {
+			t.Errorf("%s: savings exceeded asymptote", m.Params().Name)
+		}
+	}
+	if got := valanciusModel(t).AsymptoticSavings(0); got != 0 {
+		t.Errorf("AsymptoticSavings(0) = %v, want 0", got)
+	}
+}
+
+func TestPeerNetworkExpectationBounds(t *testing.T) {
+	m := valanciusModel(t)
+	p := m.Params()
+	for _, c := range []float64{0.1, 1, 10, 100} {
+		sharers := mminf.ExpectedSharers(c)
+		gamma := m.PeerNetworkExpectation(c)
+		// Bounded between all-exchange and all-core pricing.
+		if gamma < p.ExchangeNetwork*sharers-1e-9 {
+			t.Errorf("Γ(%v) = %v below exchange-only bound %v", c, gamma, p.ExchangeNetwork*sharers)
+		}
+		if gamma > p.CoreNetwork*sharers+1e-9 {
+			t.Errorf("Γ(%v) = %v above core-only bound %v", c, gamma, p.CoreNetwork*sharers)
+		}
+	}
+}
+
+func TestEffectivePeerNetworkPerBit(t *testing.T) {
+	m := valanciusModel(t)
+	p := m.Params()
+	// Tiny swarms: the rare pairs that form are matched anywhere in the
+	// metro area, so the effective γ is near core pricing.
+	small := m.EffectivePeerNetworkPerBit(0.01)
+	if small < p.PoPNetwork {
+		t.Errorf("effective γ at c=0.01 = %v, want >= %v", small, p.PoPNetwork)
+	}
+	// Huge swarms: everyone finds an exchange-local peer.
+	big := m.EffectivePeerNetworkPerBit(1e5)
+	if math.Abs(big-p.ExchangeNetwork) > 1 {
+		t.Errorf("effective γ at c=1e5 = %v, want ~%v", big, p.ExchangeNetwork)
+	}
+	// Monotone decreasing in capacity.
+	prev := math.Inf(1)
+	for _, c := range []float64{0.01, 0.1, 1, 10, 100, 1000} {
+		g := m.EffectivePeerNetworkPerBit(c)
+		if g > prev+1e-9 {
+			t.Errorf("effective γ not decreasing at c=%v: %v > %v", c, g, prev)
+		}
+		prev = g
+	}
+	// Empty swarm sentinel.
+	if got := m.EffectivePeerNetworkPerBit(0); got != p.CoreNetwork {
+		t.Errorf("effective γ at c=0 = %v, want %v", got, p.CoreNetwork)
+	}
+}
+
+func TestCDNAndUserSavingsAreOffloadFraction(t *testing.T) {
+	m := baligaModel(t)
+	for _, c := range []float64{0.5, 5, 50} {
+		g := m.Offload(c, 0.8)
+		if got := m.CDNSavings(c, 0.8); got != g {
+			t.Errorf("CDNSavings(%v) = %v, want %v", c, got, g)
+		}
+		if got := m.UserSavings(c, 0.8); got != -g {
+			t.Errorf("UserSavings(%v) = %v, want %v", c, got, -g)
+		}
+	}
+}
+
+func TestBreakdownConsistent(t *testing.T) {
+	m := valanciusModel(t)
+	b := m.Breakdown(10, 1)
+	if b.Capacity != 10 {
+		t.Errorf("Capacity = %v", b.Capacity)
+	}
+	if b.CDN != -b.User {
+		t.Errorf("CDN (%v) and User (%v) must be mirror images", b.CDN, b.User)
+	}
+	if b.EndToEnd != m.Savings(10, 1) {
+		t.Errorf("EndToEnd inconsistent with Savings")
+	}
+	if b.CCTransfer != m.CarbonCreditTransferAtCapacity(10, 1) {
+		t.Errorf("CCTransfer inconsistent")
+	}
+}
+
+func TestCarbonCreditTransferNoSharing(t *testing.T) {
+	// When nothing is shared, users bear their full footprint: CCT = -1.
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		if got := m.CarbonCreditTransfer(0); got != -1 {
+			t.Errorf("%s: CCT(0) = %v, want -1", m.Params().Name, got)
+		}
+	}
+}
+
+// Section V: in the asymptotic case G = 1 users are carbon positive by 18%
+// (Valancius) and 58% (Baliga).
+func TestAsymptoticCCTMatchesPaper(t *testing.T) {
+	if got := valanciusModel(t).AsymptoticCCT(); math.Abs(got-0.18) > 0.01 {
+		t.Errorf("valancius asymptotic CCT = %v, want ~0.18", got)
+	}
+	if got := baligaModel(t).AsymptoticCCT(); math.Abs(got-0.58) > 0.01 {
+		t.Errorf("baliga asymptotic CCT = %v, want ~0.58", got)
+	}
+}
+
+func TestCarbonNeutralOffload(t *testing.T) {
+	for _, m := range []*Model{valanciusModel(t), baligaModel(t)} {
+		g, ok := m.CarbonNeutralOffload()
+		if !ok {
+			t.Fatalf("%s: expected a feasible neutral point", m.Params().Name)
+		}
+		if g <= 0 || g >= 1 {
+			t.Errorf("%s: G* = %v, want within (0,1)", m.Params().Name, g)
+		}
+		// At G* the CCT must be exactly zero.
+		if got := m.CarbonCreditTransfer(g); math.Abs(got) > 1e-9 {
+			t.Errorf("%s: CCT(G*) = %v, want 0", m.Params().Name, got)
+		}
+	}
+	// Baliga's more expensive servers mean users break even earlier.
+	gv, _ := valanciusModel(t).CarbonNeutralOffload()
+	gb, _ := baligaModel(t).CarbonNeutralOffload()
+	if gb >= gv {
+		t.Errorf("baliga G* (%v) should be below valancius G* (%v)", gb, gv)
+	}
+}
+
+func TestCarbonNeutralInfeasibleForWeakServers(t *testing.T) {
+	// If the server credit per bit cannot exceed the user cost per bit,
+	// neutrality is unreachable.
+	params := energy.Valancius()
+	params.Server = 10 // credit 12 nJ/bit << user 107 nJ/bit
+	m := MustNew(params, london())
+	if _, ok := m.CarbonNeutralOffload(); ok {
+		t.Error("neutral point should be infeasible for weak servers")
+	}
+}
+
+func TestCCTMonotoneInOffload(t *testing.T) {
+	m := baligaModel(t)
+	prev := math.Inf(-1)
+	for _, g := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		got := m.CarbonCreditTransfer(g)
+		if got < prev {
+			t.Errorf("CCT not monotone at G=%v: %v < %v", g, got, prev)
+		}
+		prev = got
+	}
+}
+
+// The closed form S(c) must agree with a direct Monte-Carlo evaluation of
+// the same quantities over the Poisson occupancy distribution. This is an
+// independent numerical check of Eq. 12's algebra.
+func TestSavingsAgainstDirectExpectation(t *testing.T) {
+	m := valanciusModel(t)
+	probs := london()
+	p := m.Params()
+	const ratio = 0.7
+
+	for _, c := range []float64{0.2, 1, 5, 30} {
+		// Direct computation over the occupancy pmf.
+		var offBits, gammaSum float64
+		for l := 2; l < 600; l++ {
+			pmf := mminf.OccupancyPMF(l, c)
+			sharers := float64(l - 1)
+			offBits += sharers * pmf
+			pe := probs.MatchProbability(energy.LayerExchange, l)
+			pp := probs.MatchProbability(energy.LayerPoP, l)
+			gamma := p.ExchangeNetwork*pe + p.PoPNetwork*(pp-pe) + p.CoreNetwork*(1-pp)
+			gammaSum += sharers * gamma * pmf
+		}
+		psiS := p.ServerPerBit()
+		direct := ratio*offBits/c*(psiS-p.PeerModemPerBit())/psiS -
+			ratio*p.PUE*gammaSum/(c*psiS)
+
+		got := m.Savings(c, ratio)
+		if math.Abs(got-direct) > 1e-6 {
+			t.Errorf("c=%v: closed form %v != direct expectation %v", c, got, direct)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"consumelocal/internal/energy"
+)
+
+// quickCfg returns a deterministic quick.Check configuration.
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 150,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// clampInputs maps arbitrary float pairs onto the model's domain.
+func clampInputs(rawC, rawRatio float64) (c, ratio float64) {
+	c = math.Abs(math.Mod(rawC, 1e4))
+	ratio = math.Abs(math.Mod(rawRatio, 1))
+	if ratio == 0 {
+		ratio = 0.5
+	}
+	return c, ratio
+}
+
+// Property: savings are bounded by the asymptote and never below the
+// "all traffic at core pricing" floor.
+func TestPropertySavingsBounded(t *testing.T) {
+	for _, params := range energy.BothModels() {
+		m := MustNew(params, london())
+		f := func(rawC, rawRatio float64) bool {
+			c, ratio := clampInputs(rawC, rawRatio)
+			s := m.Savings(c, ratio)
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+			upper := m.AsymptoticSavings(ratio)
+			// Floor: even if every shared bit crossed the core, the loss
+			// is bounded by the core-layer per-bit delta.
+			psiS := params.ServerPerBit()
+			floor := -math.Min(ratio, 1) * (params.PeerModemPerBit() + params.PUE*params.CoreNetwork) / psiS
+			return s <= upper+1e-9 && s >= floor-1e-9
+		}
+		if err := quick.Check(f, quickCfg(1)); err != nil {
+			t.Errorf("%s: %v", params.Name, err)
+		}
+	}
+}
+
+// Property: savings are monotone in capacity for fixed ratio.
+func TestPropertySavingsMonotoneInCapacity(t *testing.T) {
+	m := MustNew(energy.Valancius(), london())
+	f := func(rawA, rawB, rawRatio float64) bool {
+		a, ratio := clampInputs(rawA, rawRatio)
+		b, _ := clampInputs(rawB, rawRatio)
+		if a > b {
+			a, b = b, a
+		}
+		return m.Savings(a, ratio) <= m.Savings(b, ratio)+1e-9
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: savings are monotone in the upload ratio for fixed capacity.
+func TestPropertySavingsMonotoneInRatio(t *testing.T) {
+	m := MustNew(energy.Baliga(), london())
+	f := func(rawC, rawA, rawB float64) bool {
+		c, a := clampInputs(rawC, rawA)
+		_, b := clampInputs(rawC, rawB)
+		if a > b {
+			a, b = b, a
+		}
+		return m.Savings(c, a) <= m.Savings(c, b)+1e-9
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CCT stays within [-1, AsymptoticCCT] for any offload in [0,1].
+func TestPropertyCCTBounded(t *testing.T) {
+	for _, params := range energy.BothModels() {
+		m := MustNew(params, london())
+		limit := m.AsymptoticCCT()
+		f := func(rawG float64) bool {
+			g := math.Abs(math.Mod(rawG, 1))
+			cct := m.CarbonCreditTransfer(g)
+			return cct >= -1-1e-12 && cct <= limit+1e-12
+		}
+		if err := quick.Check(f, quickCfg(4)); err != nil {
+			t.Errorf("%s: %v", params.Name, err)
+		}
+	}
+}
+
+// Property: the breakdown is internally consistent for arbitrary inputs.
+func TestPropertyBreakdownConsistent(t *testing.T) {
+	m := MustNew(energy.Valancius(), london())
+	f := func(rawC, rawRatio float64) bool {
+		c, ratio := clampInputs(rawC, rawRatio)
+		b := m.Breakdown(c, ratio)
+		if b.CDN != -b.User {
+			return false
+		}
+		if math.Abs(b.EndToEnd-m.Savings(c, ratio)) > 1e-12 {
+			return false
+		}
+		terms := m.Decompose(c, ratio)
+		return math.Abs(terms.Net-b.EndToEnd) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the offload fraction equals the expected-sharers form and is
+// in [0, 1].
+func TestPropertyOffloadForm(t *testing.T) {
+	m := MustNew(energy.Baliga(), london())
+	f := func(rawC, rawRatio float64) bool {
+		c, ratio := clampInputs(rawC, rawRatio)
+		g := m.Offload(c, ratio)
+		if g < 0 || g > 1 {
+			return false
+		}
+		if c == 0 {
+			return g == 0
+		}
+		want := math.Min(1, ratio*(c+math.Expm1(-c))/c)
+		return math.Abs(g-want) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg(6)); err != nil {
+		t.Error(err)
+	}
+}

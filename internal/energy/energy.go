@@ -1,0 +1,219 @@
+// Package energy models the per-bit energy consumption of content
+// delivery, implementing the two parameterisations used by the paper
+// (Table IV): Valancius et al., "Greening the Internet with Nano Data
+// Centers" (CoNEXT 2009) and Baliga et al., "Green Cloud Computing"
+// (Proc. IEEE 2011).
+//
+// All per-bit figures are expressed in nanojoules per bit (nJ/bit), as in
+// the paper. Two per-bit cost functions are derived from the parameters:
+//
+//	ψs = PUE·(γs + γcdn) + l·γm          (server delivery, paper Eq. 4)
+//	ψp = 2·l·γm + PUE·γp2p(layer)        (peer delivery, paper Eq. 5–6)
+//
+// where γp2p depends on the topology layer within which the two peers are
+// matched (exchange point, point of presence, or core router).
+package energy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Layer identifies the lowest layer of the ISP metropolitan tree that
+// contains both endpoints of a peer-to-peer transfer (see Fig. 1 of the
+// paper). Values are ordered from most local to least local.
+type Layer int
+
+const (
+	// LayerExchange means both peers sit under the same exchange point
+	// (the most local, cheapest path).
+	LayerExchange Layer = iota + 1
+	// LayerPoP means the peers share a point of presence but not an
+	// exchange point.
+	LayerPoP
+	// LayerCore means the path between the peers traverses the ISP core
+	// router.
+	LayerCore
+)
+
+// NumLayers is the number of distinct P2P localisation layers.
+const NumLayers = 3
+
+// String returns a human-readable layer name.
+func (l Layer) String() string {
+	switch l {
+	case LayerExchange:
+		return "exchange"
+	case LayerPoP:
+		return "pop"
+	case LayerCore:
+		return "core"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Index returns the zero-based index of the layer, suitable for addressing
+// fixed-size [NumLayers] arrays. It returns -1 for invalid layers.
+func (l Layer) Index() int {
+	if l < LayerExchange || l > LayerCore {
+		return -1
+	}
+	return int(l) - 1
+}
+
+// Layers lists all valid layers from most local to least local.
+func Layers() [NumLayers]Layer {
+	return [NumLayers]Layer{LayerExchange, LayerPoP, LayerCore}
+}
+
+// Params is one complete set of per-bit energy parameters (one column of
+// the paper's Table IV) plus the shared efficiency factors.
+type Params struct {
+	// Name identifies the parameter set in reports, e.g. "valancius".
+	Name string
+
+	// Server is γs, the per-bit consumption of the CDN content server.
+	Server float64
+	// Modem is γm, the per-bit consumption of the end-user modem or other
+	// unshared customer-premises equipment.
+	Modem float64
+	// CDNNetwork is γcdn, the per-bit consumption of the network path
+	// between a user and a CDN node.
+	CDNNetwork float64
+	// ExchangeNetwork is γexp, the per-bit consumption of a P2P path
+	// localised within one exchange point.
+	ExchangeNetwork float64
+	// PoPNetwork is γpop, the per-bit consumption of a P2P path localised
+	// within one point of presence.
+	PoPNetwork float64
+	// CoreNetwork is γcore, the per-bit consumption of a P2P path crossing
+	// the ISP core.
+	CoreNetwork float64
+
+	// PUE is the power usage efficiency factor applied to shared network
+	// and server equipment to account for redundancy and cooling.
+	PUE float64
+	// Loss is l, the energy loss factor for end-user equipment.
+	Loss float64
+}
+
+// Valancius returns the Valancius et al. parameter column of Table IV.
+// Network parameters follow the paper's h × 150 nJ/bit hop model:
+// γcdn = 7 hops, γcore = 6, γpop = 4, γexp = 2.
+func Valancius() Params {
+	return Params{
+		Name:            "valancius",
+		Server:          211.1,
+		Modem:           100.0,
+		CDNNetwork:      1050.0,
+		ExchangeNetwork: 300.0,
+		PoPNetwork:      600.0,
+		CoreNetwork:     900.0,
+		PUE:             1.2,
+		Loss:            1.07,
+	}
+}
+
+// Baliga returns the Baliga et al. parameter column of Table IV. Network
+// parameters are sums of the consumption of the individual networking
+// nodes between the endpoints. PUE and Loss are taken from Valancius et
+// al. for consistency, as in the paper.
+func Baliga() Params {
+	return Params{
+		Name:            "baliga",
+		Server:          281.3,
+		Modem:           100.0,
+		CDNNetwork:      142.5,
+		ExchangeNetwork: 144.86,
+		PoPNetwork:      197.48,
+		CoreNetwork:     245.74,
+		PUE:             1.2,
+		Loss:            1.07,
+	}
+}
+
+// BothModels returns the two published parameter sets in the order the
+// paper reports them (Valancius, then Baliga). Experiments iterate over
+// this slice to produce the two rows/panels of each figure.
+func BothModels() []Params {
+	return []Params{Valancius(), Baliga()}
+}
+
+// Validate checks that all parameters are physically meaningful: strictly
+// positive efficiency factors and non-negative per-bit consumptions with
+// monotone layer costs γexp <= γpop <= γcore.
+func (p Params) Validate() error {
+	switch {
+	case p.PUE < 1:
+		return errors.New("energy: PUE must be >= 1")
+	case p.Loss < 1:
+		return errors.New("energy: loss factor must be >= 1")
+	case p.Server < 0, p.Modem < 0, p.CDNNetwork < 0,
+		p.ExchangeNetwork < 0, p.PoPNetwork < 0, p.CoreNetwork < 0:
+		return errors.New("energy: per-bit consumptions must be non-negative")
+	case p.ExchangeNetwork > p.PoPNetwork || p.PoPNetwork > p.CoreNetwork:
+		return errors.New("energy: layer costs must satisfy exchange <= pop <= core")
+	}
+	return nil
+}
+
+// Network returns the per-bit network consumption γ for a P2P transfer
+// localised at the given layer.
+func (p Params) Network(l Layer) float64 {
+	switch l {
+	case LayerExchange:
+		return p.ExchangeNetwork
+	case LayerPoP:
+		return p.PoPNetwork
+	default:
+		return p.CoreNetwork
+	}
+}
+
+// ServerPerBit returns ψs (paper Eq. 4): the total per-bit energy of
+// serving a user from a CDN server, including the data-centre and network
+// PUE overhead and the user's own modem.
+func (p Params) ServerPerBit() float64 {
+	return p.PUE*(p.Server+p.CDNNetwork) + p.Loss*p.Modem
+}
+
+// PeerModemPerBit returns ψm_p = 2·l·γm (paper Eq. 6): the swarm-size
+// independent part of peer delivery. The modem term is counted twice
+// because a shared bit is simultaneously uploaded by one user and
+// downloaded by another.
+func (p Params) PeerModemPerBit() float64 {
+	return 2 * p.Loss * p.Modem
+}
+
+// PeerNetworkPerBit returns ψr_p = PUE·γp2p for a transfer localised at
+// the given layer (the swarm-size dependent part of paper Eq. 6).
+func (p Params) PeerNetworkPerBit(l Layer) float64 {
+	return p.PUE * p.Network(l)
+}
+
+// PeerPerBit returns the full per-bit cost ψp of a peer transfer localised
+// at the given layer (paper Eq. 5–6).
+func (p Params) PeerPerBit(l Layer) float64 {
+	return p.PeerModemPerBit() + p.PeerNetworkPerBit(l)
+}
+
+// ServerCreditPerBit returns the per-bit carbon credit the CDN can pass to
+// users for each bit offloaded to peers: PUE·γs (Section V, Eq. 13).
+func (p Params) ServerCreditPerBit() float64 {
+	return p.PUE * p.Server
+}
+
+// UserPerBit returns l·γm, the per-bit consumption attributed to a user's
+// own premises equipment for one direction of transfer.
+func (p Params) UserPerBit() float64 {
+	return p.Loss * p.Modem
+}
+
+// Joules converts a volume in bytes at a per-bit cost in nJ/bit into
+// joules.
+func Joules(bytes float64, perBitNanojoules float64) float64 {
+	const bitsPerByte = 8
+	const nanojoulesPerJoule = 1e9
+	return bytes * bitsPerByte * perBitNanojoules / nanojoulesPerJoule
+}

@@ -1,0 +1,210 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestLayerString(t *testing.T) {
+	tests := []struct {
+		layer Layer
+		want  string
+	}{
+		{LayerExchange, "exchange"},
+		{LayerPoP, "pop"},
+		{LayerCore, "core"},
+		{Layer(0), "Layer(0)"},
+		{Layer(9), "Layer(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.layer.String(); got != tt.want {
+			t.Errorf("Layer(%d).String() = %q, want %q", int(tt.layer), got, tt.want)
+		}
+	}
+}
+
+func TestLayerIndex(t *testing.T) {
+	if got := LayerExchange.Index(); got != 0 {
+		t.Errorf("exchange index = %d, want 0", got)
+	}
+	if got := LayerPoP.Index(); got != 1 {
+		t.Errorf("pop index = %d, want 1", got)
+	}
+	if got := LayerCore.Index(); got != 2 {
+		t.Errorf("core index = %d, want 2", got)
+	}
+	if got := Layer(0).Index(); got != -1 {
+		t.Errorf("invalid layer index = %d, want -1", got)
+	}
+	if got := Layer(4).Index(); got != -1 {
+		t.Errorf("invalid layer index = %d, want -1", got)
+	}
+}
+
+func TestLayersOrder(t *testing.T) {
+	ls := Layers()
+	if ls[0] != LayerExchange || ls[1] != LayerPoP || ls[2] != LayerCore {
+		t.Errorf("Layers() = %v, want exchange,pop,core", ls)
+	}
+}
+
+func TestValanciusTableIV(t *testing.T) {
+	p := Valancius()
+	// The hop model: γcdn = 7×150, γcore = 6×150, γpop = 4×150, γexp = 2×150.
+	if p.CDNNetwork != 7*150.0 {
+		t.Errorf("γcdn = %v, want 1050", p.CDNNetwork)
+	}
+	if p.CoreNetwork != 6*150.0 {
+		t.Errorf("γcore = %v, want 900", p.CoreNetwork)
+	}
+	if p.PoPNetwork != 4*150.0 {
+		t.Errorf("γpop = %v, want 600", p.PoPNetwork)
+	}
+	if p.ExchangeNetwork != 2*150.0 {
+		t.Errorf("γexp = %v, want 300", p.ExchangeNetwork)
+	}
+	if p.Server != 211.1 || p.Modem != 100.0 {
+		t.Errorf("server/modem = %v/%v, want 211.1/100", p.Server, p.Modem)
+	}
+	if p.PUE != 1.2 || p.Loss != 1.07 {
+		t.Errorf("PUE/Loss = %v/%v, want 1.2/1.07", p.PUE, p.Loss)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("published parameters must validate: %v", err)
+	}
+}
+
+func TestBaligaTableIV(t *testing.T) {
+	p := Baliga()
+	if p.Server != 281.3 || p.CDNNetwork != 142.5 {
+		t.Errorf("server/cdn = %v/%v, want 281.3/142.5", p.Server, p.CDNNetwork)
+	}
+	if p.ExchangeNetwork != 144.86 || p.PoPNetwork != 197.48 || p.CoreNetwork != 245.74 {
+		t.Errorf("layer params = %v/%v/%v", p.ExchangeNetwork, p.PoPNetwork, p.CoreNetwork)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("published parameters must validate: %v", err)
+	}
+}
+
+func TestBothModels(t *testing.T) {
+	models := BothModels()
+	if len(models) != 2 {
+		t.Fatalf("BothModels returned %d sets, want 2", len(models))
+	}
+	if models[0].Name != "valancius" || models[1].Name != "baliga" {
+		t.Errorf("model order = %q,%q; want valancius,baliga", models[0].Name, models[1].Name)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := Valancius()
+
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"pue below one", func(p *Params) { p.PUE = 0.5 }},
+		{"loss below one", func(p *Params) { p.Loss = 0.9 }},
+		{"negative server", func(p *Params) { p.Server = -1 }},
+		{"negative modem", func(p *Params) { p.Modem = -1 }},
+		{"negative cdn net", func(p *Params) { p.CDNNetwork = -1 }},
+		{"negative exchange", func(p *Params) { p.ExchangeNetwork = -1 }},
+		{"layer inversion exp>pop", func(p *Params) { p.ExchangeNetwork = p.PoPNetwork + 1 }},
+		{"layer inversion pop>core", func(p *Params) { p.PoPNetwork = p.CoreNetwork + 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestNetworkPerLayer(t *testing.T) {
+	p := Valancius()
+	if got := p.Network(LayerExchange); got != 300 {
+		t.Errorf("Network(exchange) = %v, want 300", got)
+	}
+	if got := p.Network(LayerPoP); got != 600 {
+		t.Errorf("Network(pop) = %v, want 600", got)
+	}
+	if got := p.Network(LayerCore); got != 900 {
+		t.Errorf("Network(core) = %v, want 900", got)
+	}
+}
+
+func TestServerPerBit(t *testing.T) {
+	// ψs = PUE(γs + γcdn) + lγm, spelled out for both published models.
+	v := Valancius()
+	want := 1.2*(211.1+1050.0) + 1.07*100.0
+	if got := v.ServerPerBit(); !almostEqual(got, want, 1e-9) {
+		t.Errorf("valancius ψs = %v, want %v", got, want)
+	}
+	b := Baliga()
+	want = 1.2*(281.3+142.5) + 1.07*100.0
+	if got := b.ServerPerBit(); !almostEqual(got, want, 1e-9) {
+		t.Errorf("baliga ψs = %v, want %v", got, want)
+	}
+}
+
+func TestPeerModemPerBit(t *testing.T) {
+	// ψm_p = 2lγm: modem energy is paid on both sides of a peer transfer.
+	p := Valancius()
+	if got := p.PeerModemPerBit(); !almostEqual(got, 214, 1e-9) {
+		t.Errorf("ψm_p = %v, want 214", got)
+	}
+}
+
+func TestPeerPerBitComposition(t *testing.T) {
+	p := Baliga()
+	for _, l := range Layers() {
+		want := p.PeerModemPerBit() + p.PUE*p.Network(l)
+		if got := p.PeerPerBit(l); !almostEqual(got, want, 1e-9) {
+			t.Errorf("ψp(%v) = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestPeerDeliveryCheaperThanServerWhenLocal(t *testing.T) {
+	// The whole premise of the paper: a peer transfer localised at an
+	// exchange point must be cheaper per bit than server delivery, in both
+	// published models.
+	for _, p := range BothModels() {
+		if p.PeerPerBit(LayerExchange) >= p.ServerPerBit() {
+			t.Errorf("%s: exchange-local peer delivery (%v) should beat server delivery (%v)",
+				p.Name, p.PeerPerBit(LayerExchange), p.ServerPerBit())
+		}
+	}
+}
+
+func TestServerCreditPerBit(t *testing.T) {
+	p := Valancius()
+	if got := p.ServerCreditPerBit(); !almostEqual(got, 1.2*211.1, 1e-9) {
+		t.Errorf("credit per bit = %v, want %v", got, 1.2*211.1)
+	}
+}
+
+func TestUserPerBit(t *testing.T) {
+	p := Baliga()
+	if got := p.UserPerBit(); !almostEqual(got, 107, 1e-9) {
+		t.Errorf("user per bit = %v, want 107", got)
+	}
+}
+
+func TestJoules(t *testing.T) {
+	// 1 GB at 1 nJ/bit = 8e9 bits × 1e-9 J = 8 J.
+	if got := Joules(1e9, 1); !almostEqual(got, 8, 1e-9) {
+		t.Errorf("Joules(1GB, 1 nJ/bit) = %v, want 8", got)
+	}
+	if got := Joules(0, 100); got != 0 {
+		t.Errorf("Joules(0) = %v, want 0", got)
+	}
+}

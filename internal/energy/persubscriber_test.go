@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultSubscriberModel(t *testing.T) {
+	m := DefaultSubscriberModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	if m.WattsPerSubscriber() != 10 {
+		t.Errorf("watts per subscriber = %v, want 10", m.WattsPerSubscriber())
+	}
+}
+
+func TestSubscriberModelValidate(t *testing.T) {
+	m := SubscriberModel{AccessWatts: -1}
+	if err := m.Validate(); err == nil {
+		t.Error("negative wattage should be rejected")
+	}
+}
+
+func TestSubscriberEnergyJoules(t *testing.T) {
+	m := DefaultSubscriberModel()
+	// 100 subscribers for one hour at 10 W = 3.6 MJ.
+	if got := m.EnergyJoules(100, 3600); got != 3.6e6 {
+		t.Errorf("EnergyJoules = %v, want 3.6e6", got)
+	}
+	if got := m.EnergyJoules(0, 3600); got != 0 {
+		t.Errorf("zero subscribers should cost 0, got %v", got)
+	}
+	if got := m.EnergyJoules(10, -1); got != 0 {
+		t.Errorf("negative period should cost 0, got %v", got)
+	}
+}
+
+func TestMarginalUploadIsFree(t *testing.T) {
+	// The Nano Data Centers position: an online user's modem uploads for
+	// free under per-subscriber accounting.
+	m := DefaultSubscriberModel()
+	if got := m.MarginalUploadJoules(1e12); got != 0 {
+		t.Errorf("marginal upload = %v, want 0", got)
+	}
+}
+
+func TestAmortizedPerBit(t *testing.T) {
+	m := DefaultSubscriberModel()
+	if _, err := m.AmortizedPerBit(0); err == nil {
+		t.Error("zero volume should error")
+	}
+	// 10 W for a month = 25.92 MJ. At 100 GB/month = 8e11 bits that is
+	// 32400 nJ/bit — dwarfing every Table IV per-bit figure, the reason
+	// the accounting choice matters.
+	got, err := m.AmortizedPerBit(100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * 30 * 24 * 3600.0 / (100e9 * 8) * 1e9
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("amortized per bit = %v, want %v", got, want)
+	}
+	if got < Valancius().ServerPerBit() {
+		t.Errorf("light-user amortized cost (%v nJ/bit) should dwarf per-bit figures", got)
+	}
+
+	// Heavy users dilute the fixed draw: 10 TB/month drops two orders of
+	// magnitude.
+	heavy, err := m.AmortizedPerBit(10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy >= got/50 {
+		t.Errorf("heavy-user amortized cost %v should be ~100x below light-user %v", heavy, got)
+	}
+}

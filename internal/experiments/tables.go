@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"consumelocal/internal/topology"
+	"consumelocal/internal/trace"
+)
+
+// Table1 regenerates the paper's Table I: dataset description for two
+// month-long traces (the paper uses Sep 2013 and Jul 2014; we generate two
+// independent synthetic months with slightly different populations, as the
+// real service grew between the two samples).
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+
+	gcSep := cfg.generatorConfig("sep-2013", cfg.Seed)
+	gcJul := cfg.generatorConfig("jul-2014", cfg.Seed+1)
+	// The service grew ~9% in users and ~3% in sessions between samples.
+	gcJul.NumUsers = int(float64(gcJul.NumUsers) * 1.09)
+	gcJul.TargetSessions = int(float64(gcJul.TargetSessions) * 1.03)
+
+	table := &Table{
+		Title:   "Table I: Description of the dataset",
+		Columns: []string{"metric", gcSep.Name, gcJul.Name},
+	}
+
+	summaries := make([]trace.Summary, 0, 2)
+	for _, gc := range []trace.GeneratorConfig{gcSep, gcJul} {
+		tr, err := trace.Generate(gc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1: %w", err)
+		}
+		summaries = append(summaries, tr.Summarize())
+	}
+
+	table.Rows = [][]string{
+		{"Number of Users", formatCount(summaries[0].Users), formatCount(summaries[1].Users)},
+		{"Number of IP addresses", formatCount(summaries[0].IPAddresses), formatCount(summaries[1].IPAddresses)},
+		{"Number of Sessions", formatCount(summaries[0].Sessions), formatCount(summaries[1].Sessions)},
+		{"Users per IP", fmt.Sprintf("%.2f", summaries[0].UsersPerIP()), fmt.Sprintf("%.2f", summaries[1].UsersPerIP())},
+		{"Mean session (s)", fmt.Sprintf("%.0f", summaries[0].MeanSessionSec), fmt.Sprintf("%.0f", summaries[1].MeanSessionSec)},
+	}
+	return table, nil
+}
+
+// Table3 regenerates the paper's Table III: the number of nodes and the
+// localisation probability at each layer of the ISP metropolitan tree.
+func Table3() *Table {
+	topo := topology.DefaultLondon()
+	probs := topo.Probabilities()
+	return &Table{
+		Title:   "Table III: Probability of localising peers within a given layer",
+		Columns: []string{"layer", "count", "localisation probability"},
+		Rows: [][]string{
+			{"Exchange Point", formatCount(topo.Exchanges()), formatPercent(probs.Exchange)},
+			{"Point of Presence", formatCount(topo.PoPs()), formatPercent(probs.PoP)},
+			{"Core Router", "1", formatPercent(probs.Core)},
+		},
+	}
+}
+
+// Table4 regenerates the paper's Table IV: the per-bit energy parameters
+// of the Valancius et al. and Baliga et al. models.
+func Table4(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	table := &Table{
+		Title:   "Table IV: Energy parameters (nJ/bit)",
+		Columns: []string{"variable"},
+	}
+	for _, p := range cfg.Models {
+		table.Columns = append(table.Columns, p.Name)
+	}
+
+	rows := []struct {
+		label string
+		value func(pIdx int) string
+	}{
+		{"Content Server (γs)", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].Server) }},
+		{"End User Modem (γm)", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].Modem) }},
+		{"Traditional CDN Network (γcdn)", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].CDNNetwork) }},
+		{"P2P Network within ExP (γexp)", func(i int) string { return fmt.Sprintf("%.2f", cfg.Models[i].ExchangeNetwork) }},
+		{"P2P Network within PoP (γpop)", func(i int) string { return fmt.Sprintf("%.2f", cfg.Models[i].PoPNetwork) }},
+		{"P2P Network within Core (γcore)", func(i int) string { return fmt.Sprintf("%.2f", cfg.Models[i].CoreNetwork) }},
+		{"Power Efficiency (PUE)", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].PUE) }},
+		{"End-user energy loss (l)", func(i int) string { return fmt.Sprintf("%.2f", cfg.Models[i].Loss) }},
+		{"ψs = PUE(γs+γcdn)+lγm", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].ServerPerBit()) }},
+		{"ψm_p = 2lγm", func(i int) string { return fmt.Sprintf("%.1f", cfg.Models[i].PeerModemPerBit()) }},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for i := range cfg.Models {
+			row = append(row, r.value(i))
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table
+}

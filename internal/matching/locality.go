@@ -1,0 +1,272 @@
+package matching
+
+import (
+	"sort"
+
+	"consumelocal/internal/energy"
+)
+
+// LocalityFirst is the paper's managed-swarm matching policy: demand is
+// satisfied from the closest available peers, layer by layer. The zero
+// value is ready to use.
+type LocalityFirst struct{}
+
+var _ Policy = LocalityFirst{}
+
+// Name implements Policy.
+func (LocalityFirst) Name() string { return "locality-first" }
+
+// Match implements Policy. The algorithm runs three passes:
+//
+//  1. Exchange pass: within every exchange point hosting at least two
+//     peers, local demand is matched against local capacity.
+//  2. PoP pass: per PoP, remaining demand is matched against remaining
+//     capacity of *other* exchange points under the same PoP.
+//  3. Core pass: remaining demand is matched across PoPs.
+//
+// Cross-group passes use a largest-remaining-first greedy that achieves
+// the maximum feasible flow under the no-self-serving constraint. Finally
+// the paper's (L−1)·q budget is applied, trimming least-local traffic
+// first.
+func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+	totalDemand, err := validate(peers, demands, caps)
+	if err != nil {
+		return Allocation{}, err
+	}
+	n := len(peers)
+	alloc := serverOnly(n, totalDemand)
+	if n < 2 || budget == 0 {
+		return alloc, nil
+	}
+
+	// Residual demand/capacity per peer, consumed pass by pass.
+	residDemand := append([]float64(nil), demands...)
+	residCap := append([]float64(nil), caps...)
+
+	// Pass 1: within exchange points.
+	byExchange := groupIndices(peers, func(p Peer) int { return p.Exchange })
+	for _, members := range byExchange {
+		if len(members) < 2 {
+			continue
+		}
+		flow := matchWithin(members, residDemand, residCap)
+		record(&alloc, energy.LayerExchange, flow, members, residDemand, residCap, demands, caps)
+	}
+
+	// Pass 2: across exchanges within each PoP.
+	byPoP := groupIndices(peers, func(p Peer) int { return p.PoP })
+	for _, members := range byPoP {
+		groups := subGroups(members, peers, func(p Peer) int { return p.Exchange })
+		flows := crossMatch(groups, residDemand, residCap)
+		record(&alloc, energy.LayerPoP, flows, members, residDemand, residCap, demands, caps)
+	}
+
+	// Pass 3: across PoPs through the core.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	groups := subGroups(all, peers, func(p Peer) int { return p.PoP })
+	flows := crossMatch(groups, residDemand, residCap)
+	record(&alloc, energy.LayerCore, flows, all, residDemand, residCap, demands, caps)
+
+	applyBudget(&alloc, budget)
+	return alloc, nil
+}
+
+// groupIndices buckets peer indices by a key function, returning groups in
+// deterministic (ascending key) order.
+func groupIndices(peers []Peer, key func(Peer) int) [][]int {
+	byKey := make(map[int][]int)
+	for i, p := range peers {
+		k := key(p)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// subGroups partitions the given member indices by a key function.
+func subGroups(members []int, peers []Peer, key func(Peer) int) [][]int {
+	byKey := make(map[int][]int)
+	for _, i := range members {
+		k := key(peers[i])
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// matchWithin matches demand against capacity inside one group where every
+// member can serve every other. With at least two members the feasible
+// flow is min(total demand, total capacity): a cyclic assignment routes
+// around self-serving. It mutates the residual vectors and returns the
+// flow.
+func matchWithin(members []int, residDemand, residCap []float64) float64 {
+	var sumD, sumU float64
+	for _, i := range members {
+		sumD += residDemand[i]
+		sumU += residCap[i]
+	}
+	flow := sumD
+	if sumU < flow {
+		flow = sumU
+	}
+	if flow <= 0 {
+		return 0
+	}
+	drainProportional(members, residDemand, sumD, flow)
+	drainProportional(members, residCap, sumU, flow)
+	return flow
+}
+
+// crossMatch matches residual demand of each group against residual
+// capacity of the *other* groups, using a largest-remaining-first greedy
+// that achieves the maximum total flow under the no-same-group constraint.
+// It mutates the residual vectors and returns the total flow.
+func crossMatch(groups [][]int, residDemand, residCap []float64) float64 {
+	k := len(groups)
+	if k < 2 {
+		return 0
+	}
+	demand := make([]float64, k)
+	capacity := make([]float64, k)
+	for g, members := range groups {
+		for _, i := range members {
+			demand[g] += residDemand[i]
+			capacity[g] += residCap[i]
+		}
+	}
+
+	// served[g] / used[g] accumulate how much of group g's demand was
+	// served and capacity consumed in this pass.
+	served := make([]float64, k)
+	used := make([]float64, k)
+	var total float64
+	const eps = 1e-9
+	for {
+		gd := argmax(demand)
+		if gd < 0 || demand[gd] <= eps {
+			break
+		}
+		gu := argmaxExcept(capacity, gd)
+		if gu < 0 || capacity[gu] <= eps {
+			break
+		}
+		x := demand[gd]
+		if capacity[gu] < x {
+			x = capacity[gu]
+		}
+		demand[gd] -= x
+		capacity[gu] -= x
+		served[gd] += x
+		used[gu] += x
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+
+	// Fold the per-group outcomes back into the per-peer residuals.
+	for g, members := range groups {
+		if served[g] > 0 {
+			var sumD float64
+			for _, i := range members {
+				sumD += residDemand[i]
+			}
+			drainProportional(members, residDemand, sumD, served[g])
+		}
+		if used[g] > 0 {
+			var sumU float64
+			for _, i := range members {
+				sumU += residCap[i]
+			}
+			drainProportional(members, residCap, sumU, used[g])
+		}
+	}
+	return total
+}
+
+// drainProportional subtracts amount from the members' entries of vec,
+// proportionally to their current values (which sum to sum).
+func drainProportional(members []int, vec []float64, sum, amount float64) {
+	if sum <= 0 {
+		return
+	}
+	scale := amount / sum
+	if scale > 1 {
+		scale = 1
+	}
+	for _, i := range members {
+		vec[i] -= vec[i] * scale
+		if vec[i] < 0 {
+			vec[i] = 0
+		}
+	}
+}
+
+// record books flow at a layer and attributes it to the members' upload
+// and peer-download tallies, proportionally to what each member
+// contributed in this pass (the difference between original and residual,
+// minus previously recorded amounts).
+func record(alloc *Allocation, layer energy.Layer, flow float64, members []int,
+	residDemand, residCap, demands, caps []float64) {
+	if flow <= 0 {
+		return
+	}
+	alloc.LayerBits[layer.Index()] += flow
+	alloc.ServerBits -= flow
+
+	// True up each member's tallies to its cumulative consumed capacity
+	// (caps[i] − residCap[i]) and met demand (demands[i] − residDemand[i]).
+	for _, i := range members {
+		if upSoFar := caps[i] - residCap[i]; upSoFar > alloc.UploadedBits[i] {
+			alloc.UploadedBits[i] = upSoFar
+		}
+		if downSoFar := demands[i] - residDemand[i]; downSoFar > alloc.PeerReceivedBits[i] {
+			alloc.PeerReceivedBits[i] = downSoFar
+		}
+	}
+}
+
+// argmax returns the index of the largest entry, or -1 for empty input.
+func argmax(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// argmaxExcept returns the index of the largest entry other than skip, or
+// -1 when no other entry exists.
+func argmaxExcept(xs []float64, skip int) int {
+	best := -1
+	for i, x := range xs {
+		if i == skip {
+			continue
+		}
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

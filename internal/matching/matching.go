@@ -1,0 +1,149 @@
+// Package matching implements peer-matching policies for one swarm
+// activity interval: given the set of concurrently active peers, their
+// download demand and upload capacity, decide how many bits flow between
+// peers and — crucially for the energy model — at which layer of the ISP
+// metropolitan tree each peer-to-peer bit travels.
+//
+// Two policies are provided:
+//
+//   - LocalityFirst: the paper's managed-swarm policy. Demand is matched
+//     against capacity as locally as possible: first within exchange
+//     points, then across exchanges within a PoP, finally across PoPs
+//     through the core. This mirrors a central swarm manager (AntFarm,
+//     Akamai NetSession) matching each user with the closest peers.
+//   - Random: an ablation baseline that matches peers uniformly at
+//     random, pricing bits at the layer distribution implied by random
+//     pairings. The difference between the two policies isolates how much
+//     of the energy saving comes from *consuming local* rather than from
+//     offloading alone.
+//
+// The paper's analytical cap on per-window peer traffic, (L−1)·q·Δτ
+// (Eq. 2: one peer's worth of upload capacity is effectively spent
+// fetching novel chunks from the server), is enforced through the budget
+// argument. Trimming removes the least-local traffic first, preserving
+// the locality preference under the cap.
+package matching
+
+import (
+	"errors"
+
+	"consumelocal/internal/energy"
+)
+
+// Peer is one active swarm member's matching endpoint.
+type Peer struct {
+	// User is the peer's user ID (for per-user accounting).
+	User uint32
+	// Exchange is the exchange point the peer attaches to.
+	Exchange int
+	// PoP is the point of presence aggregating the peer's exchange.
+	PoP int
+}
+
+// Allocation is the outcome of matching one activity interval.
+type Allocation struct {
+	// LayerBits holds the peer-to-peer traffic per topology layer,
+	// indexed by energy.Layer.Index().
+	LayerBits [energy.NumLayers]float64
+	// UploadedBits is each peer's contribution to the peer traffic,
+	// parallel to the peers slice passed to Match.
+	UploadedBits []float64
+	// PeerReceivedBits is the share of each peer's demand served from
+	// peers, parallel to the peers slice.
+	PeerReceivedBits []float64
+	// ServerBits is the demand remainder served by CDN servers.
+	ServerBits float64
+}
+
+// PeerBits returns the total traffic served from peers across all layers.
+func (a Allocation) PeerBits() float64 {
+	var sum float64
+	for _, b := range a.LayerBits {
+		sum += b
+	}
+	return sum
+}
+
+// Policy matches demand to upload capacity within one activity interval.
+//
+// peers, demands and caps are parallel: demands[i] is the number of bits
+// peer i must download during the interval, caps[i] the bits it can
+// upload. budget caps the total peer-to-peer traffic (the paper's
+// (L−1)·q·Δτ bound); a negative budget means unbounded.
+type Policy interface {
+	// Match computes an allocation. Implementations must conserve
+	// traffic: sum(PeerReceivedBits) + ServerBits == sum(demands), and
+	// sum(UploadedBits) == sum(LayerBits) == sum(PeerReceivedBits).
+	Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// errMismatchedInputs is returned when the parallel slices disagree.
+var errMismatchedInputs = errors.New("matching: peers, demands and caps must have equal length")
+
+// validate checks the common preconditions and returns the total demand.
+func validate(peers []Peer, demands, caps []float64) (totalDemand float64, err error) {
+	if len(peers) != len(demands) || len(peers) != len(caps) {
+		return 0, errMismatchedInputs
+	}
+	for i := range demands {
+		if demands[i] < 0 || caps[i] < 0 {
+			return 0, errors.New("matching: demands and capacities must be non-negative")
+		}
+		totalDemand += demands[i]
+	}
+	return totalDemand, nil
+}
+
+// serverOnly builds the no-sharing allocation.
+func serverOnly(n int, totalDemand float64) Allocation {
+	return Allocation{
+		UploadedBits:     make([]float64, n),
+		PeerReceivedBits: make([]float64, n),
+		ServerBits:       totalDemand,
+	}
+}
+
+// trimOrder is the order in which layers lose traffic when the budget
+// binds: least local first.
+var trimOrder = [energy.NumLayers]energy.Layer{
+	energy.LayerCore, energy.LayerPoP, energy.LayerExchange,
+}
+
+// applyBudget scales an allocation down to the budget, removing
+// least-local traffic first and shrinking the per-peer vectors
+// proportionally to the overall reduction.
+func applyBudget(a *Allocation, budget float64) {
+	if budget < 0 {
+		return
+	}
+	total := a.PeerBits()
+	if total <= budget {
+		return
+	}
+	excess := total - budget
+	for _, layer := range trimOrder {
+		idx := layer.Index()
+		cut := a.LayerBits[idx]
+		if cut > excess {
+			cut = excess
+		}
+		a.LayerBits[idx] -= cut
+		excess -= cut
+		if excess <= 0 {
+			break
+		}
+	}
+	kept := a.PeerBits()
+	scale := 0.0
+	if total > 0 {
+		scale = kept / total
+	}
+	for i := range a.UploadedBits {
+		moved := a.PeerReceivedBits[i] * (1 - scale)
+		a.UploadedBits[i] *= scale
+		a.PeerReceivedBits[i] -= moved
+		a.ServerBits += moved
+	}
+}

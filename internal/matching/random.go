@@ -1,0 +1,95 @@
+package matching
+
+import (
+	"consumelocal/internal/energy"
+)
+
+// Random is the locality-oblivious ablation baseline: the same volume of
+// traffic is offloaded to peers as a locality-aware matcher would achieve
+// globally, but uploader–downloader pairs are formed uniformly at random,
+// so peer bits are priced at the layer distribution of random pairs. The
+// zero value is ready to use.
+//
+// Comparing Random against LocalityFirst isolates the contribution of
+// *consuming local* (shorter P2P paths) from the contribution of
+// offloading per se (fewer server bits).
+type Random struct{}
+
+var _ Policy = Random{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Match implements Policy. The total peer flow is min(total demand, total
+// capacity) — achievable for n >= 2 via cyclic assignments — and is
+// distributed over layers according to the exact probability that a
+// uniformly random ordered pair of distinct peers shares an exchange
+// point or a PoP.
+func (Random) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+	totalDemand, err := validate(peers, demands, caps)
+	if err != nil {
+		return Allocation{}, err
+	}
+	n := len(peers)
+	alloc := serverOnly(n, totalDemand)
+	if n < 2 || budget == 0 {
+		return alloc, nil
+	}
+
+	var totalCap float64
+	for _, c := range caps {
+		totalCap += c
+	}
+	flow := totalDemand
+	if totalCap < flow {
+		flow = totalCap
+	}
+	if flow <= 0 {
+		return alloc, nil
+	}
+
+	pExchange, pPoP := pairLocalisation(peers)
+	alloc.LayerBits[energy.LayerExchange.Index()] = flow * pExchange
+	alloc.LayerBits[energy.LayerPoP.Index()] = flow * (pPoP - pExchange)
+	alloc.LayerBits[energy.LayerCore.Index()] = flow * (1 - pPoP)
+	alloc.ServerBits = totalDemand - flow
+
+	// Uploads consume capacity proportionally; downloads are met
+	// proportionally to demand.
+	for i := range peers {
+		if totalCap > 0 {
+			alloc.UploadedBits[i] = caps[i] / totalCap * flow
+		}
+		if totalDemand > 0 {
+			alloc.PeerReceivedBits[i] = demands[i] / totalDemand * flow
+		}
+	}
+
+	applyBudget(&alloc, budget)
+	return alloc, nil
+}
+
+// pairLocalisation returns the probability that a uniformly random ordered
+// pair of distinct peers shares an exchange point, and the probability it
+// shares a PoP (which includes the same-exchange case).
+func pairLocalisation(peers []Peer) (sameExchange, samePoP float64) {
+	n := len(peers)
+	if n < 2 {
+		return 0, 0
+	}
+	exchangeCounts := make(map[int]int)
+	popCounts := make(map[int]int)
+	for _, p := range peers {
+		exchangeCounts[p.Exchange]++
+		popCounts[p.PoP]++
+	}
+	pairs := float64(n) * float64(n-1)
+	var exPairs, popPairs float64
+	for _, k := range exchangeCounts {
+		exPairs += float64(k) * float64(k-1)
+	}
+	for _, k := range popCounts {
+		popPairs += float64(k) * float64(k-1)
+	}
+	return exPairs / pairs, popPairs / pairs
+}

@@ -1,0 +1,160 @@
+// Package mminf implements the M/M/∞ queueing mathematics that underpins
+// the paper's swarm model (Section III.B–III.C of Raman et al., "Consume
+// Local: Towards Carbon Free Content Delivery", ICDCS 2018).
+//
+// A content swarm is modelled as an M/M/∞ system: users arrive in Poisson
+// fashion at rate r, stay for an average session duration u, and are served
+// instantly by fellow swarm members. By Little's law the average number of
+// concurrent users — the swarm's *capacity* — is c = u·r, and the
+// instantaneous occupancy L is Poisson distributed with mean c.
+//
+// The package provides:
+//   - the occupancy distribution and the probability of a non-empty swarm,
+//   - the expected number of uploading peers E[(L−1)⁺],
+//   - the traffic offload fraction G(c, q/β) (paper Eq. 3),
+//   - the layer-localisation expectation f(p, c) used to price P2P network
+//     hops (paper Eq. 10–11, re-derived; see below).
+//
+// Re-derivation note for f(p, c): the printed Eq. 11 is typographically
+// corrupted in the accessible manuscript (its p<1 branch is discontinuous
+// against the printed p=1 branch). We therefore implement the quantity the
+// derivation actually requires,
+//
+//	f(p, c) = E[(L−1)⁺ · (1 − (1−p)^(L−1))],  L ~ Poisson(c),
+//
+// i.e. the expected number of uploading peers weighted by the probability
+// that a given downloader finds at least one peer within a topology layer
+// where each peer independently falls in the layer with probability p.
+// Closed form (derived via the Poisson generating function):
+//
+//	f(p, c) = c − 1 − c·e^(−cp) + (e^(−cp) − p·e^(−c)) / (1 − p),  p < 1
+//	f(1, c) = c − 1 + e^(−c)
+//
+// The p<1 branch converges to the p=1 branch as p→1 (verified by tests) and
+// reproduces the paper's printed p=1 expression exactly.
+package mminf
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInvalidCapacity is returned when a negative or non-finite swarm
+// capacity is supplied.
+var ErrInvalidCapacity = errors.New("mminf: capacity must be finite and non-negative")
+
+// Capacity returns the swarm capacity c = u·r given the mean session
+// duration u (seconds) and mean arrival rate r (sessions per second),
+// following Little's law for the M/M/∞ queue.
+func Capacity(meanSessionSeconds, arrivalRatePerSecond float64) float64 {
+	if meanSessionSeconds <= 0 || arrivalRatePerSecond <= 0 {
+		return 0
+	}
+	return meanSessionSeconds * arrivalRatePerSecond
+}
+
+// OnlineProbability returns p = P(L >= 1) = 1 − e^(−c), the probability
+// that a swarm of capacity c has at least one user online.
+func OnlineProbability(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	// -math.Expm1(-c) = 1 - e^{-c} with full precision for small c.
+	return -math.Expm1(-c)
+}
+
+// OccupancyPMF returns P(L = k) for L ~ Poisson(c). It computes in log
+// space to stay finite for large c and k.
+func OccupancyPMF(k int, c float64) float64 {
+	if k < 0 || c < 0 {
+		return 0
+	}
+	if c == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(c) - c - lg)
+}
+
+// ExpectedSharers returns E[(L−1)⁺] = c − 1 + e^(−c) for L ~ Poisson(c):
+// the expected number of peers able to upload to somebody else in the
+// swarm. This is the swarm-size term of the paper's Eq. 3.
+func ExpectedSharers(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	// c - 1 + e^{-c} = c + expm1(-c) - underflow-free for small c.
+	v := c + math.Expm1(-c)
+	if v < 0 { // guard tiny negative rounding for c ~ 1e-16
+		return 0
+	}
+	return v
+}
+
+// OffloadFraction returns G, the fraction of swarm traffic that can be
+// served by peers rather than CDN servers (paper Eq. 3):
+//
+//	G = (q/β) · (c + e^(−c) − 1) / c
+//
+// uploadToBitrateRatio is q/β, the ratio between per-user upload bandwidth
+// and the content bitrate. The result is clamped to [0, 1]: offload can
+// never exceed total demand regardless of the upload capacity available.
+// For c <= 0 the function returns 0 (an empty swarm offloads nothing).
+func OffloadFraction(c, uploadToBitrateRatio float64) float64 {
+	if c <= 0 || uploadToBitrateRatio <= 0 {
+		return 0
+	}
+	g := uploadToBitrateRatio * ExpectedSharers(c) / c
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// LayerExpectation returns f(p, c) = E[(L−1)⁺ · (1 − (1−p)^(L−1))] for
+// L ~ Poisson(c): the expected uploading-peer count weighted by the
+// probability that a downloader can be matched within a topology layer
+// whose per-peer localisation probability is p.
+//
+// Errors: p outside [0, 1] or invalid c.
+func LayerExpectation(p, c float64) (float64, error) {
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		return 0, ErrInvalidCapacity
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, errors.New("mminf: localisation probability must be in [0,1]")
+	}
+	if c == 0 || p == 0 {
+		return 0, nil
+	}
+	if closeToOne(p) {
+		return ExpectedSharers(c), nil
+	}
+	ecp := math.Exp(-c * p)
+	ec := math.Exp(-c)
+	v := c - 1 - c*ecp + (ecp-p*ec)/(1-p)
+	if v < 0 { // tiny negative rounding near c -> 0
+		return 0, nil
+	}
+	return v, nil
+}
+
+// closeToOne reports whether the p<1 closed form would be numerically
+// unstable; beyond this threshold we use the exact p=1 limit instead.
+func closeToOne(p float64) bool {
+	return 1-p < 1e-9
+}
+
+// MeanOccupancyConditionedNonEmpty returns E[L | L >= 1] = c / (1−e^(−c)),
+// the average number of users seen in a swarm during the periods when the
+// swarm is active. This is the quantity an observer of a trace measures
+// when averaging only over busy windows.
+func MeanOccupancyConditionedNonEmpty(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return c / OnlineProbability(c)
+}

@@ -1,0 +1,329 @@
+package mminf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestCapacityLittlesLaw(t *testing.T) {
+	tests := []struct {
+		name     string
+		duration float64
+		rate     float64
+		want     float64
+	}{
+		{name: "unit", duration: 1, rate: 1, want: 1},
+		{name: "half hour show", duration: 1800, rate: 0.0385, want: 69.3},
+		{name: "zero duration", duration: 0, rate: 5, want: 0},
+		{name: "negative rate", duration: 100, rate: -1, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Capacity(tt.duration, tt.rate); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("Capacity = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOnlineProbability(t *testing.T) {
+	tests := []struct {
+		c    float64
+		want float64
+	}{
+		{0, 0},
+		{-1, 0},
+		{1, 1 - math.Exp(-1)},
+		{10, 1 - math.Exp(-10)},
+	}
+	for _, tt := range tests {
+		if got := OnlineProbability(tt.c); !almostEqual(got, tt.want, 1e-15) {
+			t.Errorf("OnlineProbability(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestOccupancyPMFSumsToOne(t *testing.T) {
+	for _, c := range []float64{0.1, 1, 5, 50} {
+		var sum float64
+		for k := 0; k < 400; k++ {
+			sum += OccupancyPMF(k, c)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("PMF(c=%v) sums to %v, want 1", c, sum)
+		}
+	}
+}
+
+func TestOccupancyPMFEdgeCases(t *testing.T) {
+	if got := OccupancyPMF(0, 0); got != 1 {
+		t.Errorf("PMF(0;0) = %v, want 1", got)
+	}
+	if got := OccupancyPMF(3, 0); got != 0 {
+		t.Errorf("PMF(3;0) = %v, want 0", got)
+	}
+	if got := OccupancyPMF(-1, 2); got != 0 {
+		t.Errorf("PMF(-1;2) = %v, want 0", got)
+	}
+	if got := OccupancyPMF(2, -1); got != 0 {
+		t.Errorf("PMF(2;-1) = %v, want 0", got)
+	}
+}
+
+func TestOccupancyPMFLargeCapacityIsFinite(t *testing.T) {
+	got := OccupancyPMF(10000, 10000)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("PMF(10000;10000) = %v, want a finite positive value", got)
+	}
+}
+
+func TestExpectedSharers(t *testing.T) {
+	tests := []struct {
+		c    float64
+		want float64
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, math.Exp(-1)}, // 1 - 1 + e^-1
+		{10, 9 + math.Exp(-10)},
+	}
+	for _, tt := range tests {
+		if got := ExpectedSharers(tt.c); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("ExpectedSharers(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+// ExpectedSharers must agree with the direct Poisson sum E[(L-1)+].
+func TestExpectedSharersMatchesDirectSum(t *testing.T) {
+	for _, c := range []float64{0.25, 1, 4, 20} {
+		var sum float64
+		for k := 2; k < 300; k++ {
+			sum += float64(k-1) * OccupancyPMF(k, c)
+		}
+		got := ExpectedSharers(c)
+		if !almostEqual(got, sum, 1e-9) {
+			t.Errorf("c=%v: closed form %v != direct sum %v", c, got, sum)
+		}
+	}
+}
+
+func TestOffloadFraction(t *testing.T) {
+	// Paper footnote 3: at c = 1, G = 0.37 q/β.
+	got := OffloadFraction(1, 1)
+	if !almostEqual(got, math.Exp(-1), 1e-12) {
+		t.Errorf("G(1, 1) = %v, want e^-1 = 0.3679", got)
+	}
+	if got := OffloadFraction(1, 0.5); !almostEqual(got, 0.5*math.Exp(-1), 1e-12) {
+		t.Errorf("G(1, 0.5) = %v", got)
+	}
+	if got := OffloadFraction(0, 1); got != 0 {
+		t.Errorf("G(0, 1) = %v, want 0", got)
+	}
+	if got := OffloadFraction(5, 0); got != 0 {
+		t.Errorf("G(5, 0) = %v, want 0", got)
+	}
+}
+
+func TestOffloadFractionClampedToOne(t *testing.T) {
+	// Enormous upload capacity cannot offload more than all the traffic.
+	if got := OffloadFraction(100, 10); got != 1 {
+		t.Errorf("G(100, 10) = %v, want clamp at 1", got)
+	}
+}
+
+func TestOffloadFractionMonotoneInCapacity(t *testing.T) {
+	prev := 0.0
+	for _, c := range []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 100, 1000} {
+		g := OffloadFraction(c, 0.8)
+		if g < prev {
+			t.Errorf("G should be monotone in c: G(%v) = %v < previous %v", c, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestOffloadFractionAsymptote(t *testing.T) {
+	// As c grows, G -> q/β.
+	if got := OffloadFraction(1e6, 0.8); !almostEqual(got, 0.8, 1e-5) {
+		t.Errorf("G(1e6, 0.8) = %v, want ~0.8", got)
+	}
+}
+
+func TestLayerExpectationValidation(t *testing.T) {
+	if _, err := LayerExpectation(0.5, -1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	if _, err := LayerExpectation(0.5, math.NaN()); err == nil {
+		t.Error("NaN capacity should error")
+	}
+	if _, err := LayerExpectation(-0.1, 1); err == nil {
+		t.Error("negative probability should error")
+	}
+	if _, err := LayerExpectation(1.1, 1); err == nil {
+		t.Error("probability above 1 should error")
+	}
+}
+
+func TestLayerExpectationAtPOne(t *testing.T) {
+	// f(1, c) must equal the paper's printed p=1 branch c - 1 + e^-c.
+	for _, c := range []float64{0.1, 1, 5, 42} {
+		got, err := LayerExpectation(1, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c - 1 + math.Exp(-c)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("f(1,%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestLayerExpectationContinuousAtPOne(t *testing.T) {
+	// The closed form for p<1 must converge to the p=1 branch.
+	for _, c := range []float64{0.5, 3, 17} {
+		limit, err := LayerExpectation(1, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near, err := LayerExpectation(1-1e-7, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(limit, near, 1e-5) {
+			t.Errorf("c=%v: f(p->1) = %v, f(1) = %v", c, near, limit)
+		}
+	}
+}
+
+func TestLayerExpectationZeroCases(t *testing.T) {
+	got, err := LayerExpectation(0.5, 0)
+	if err != nil || got != 0 {
+		t.Errorf("f(0.5, 0) = %v, %v; want 0, nil", got, err)
+	}
+	got, err = LayerExpectation(0, 10)
+	if err != nil || got != 0 {
+		t.Errorf("f(0, 10) = %v, %v; want 0, nil", got, err)
+	}
+}
+
+// The closed form of LayerExpectation must match the direct Poisson sum
+// E[(L-1)+ (1-(1-p)^{L-1})] across the whole parameter plane used by the
+// experiments.
+func TestLayerExpectationMatchesDirectSum(t *testing.T) {
+	probs := []float64{1.0 / 345, 1.0 / 9, 0.3, 0.9, 1}
+	caps := []float64{0.01, 0.2, 1, 3, 10, 60}
+	for _, p := range probs {
+		for _, c := range caps {
+			var sum float64
+			for k := 2; k < 500; k++ {
+				sum += float64(k-1) * (1 - math.Pow(1-p, float64(k-1))) * OccupancyPMF(k, c)
+			}
+			got, err := LayerExpectation(p, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, sum, 1e-8*(1+sum)) {
+				t.Errorf("f(%v,%v) = %v, direct sum %v", p, c, got, sum)
+			}
+		}
+	}
+}
+
+func TestLayerExpectationMonotoneInP(t *testing.T) {
+	// A higher localisation probability can only increase the expectation.
+	for _, c := range []float64{0.5, 2, 25} {
+		prev := -1.0
+		for _, p := range []float64{0.001, 0.01, 0.1, 0.5, 0.9, 1} {
+			got, err := LayerExpectation(p, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < prev-1e-12 {
+				t.Errorf("f not monotone in p at c=%v: f(%v)=%v < %v", c, p, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestLayerExpectationBoundedBySharers(t *testing.T) {
+	// f(p,c) <= E[(L-1)+] always, with equality at p=1.
+	f := func(rawP, rawC float64) bool {
+		p := math.Abs(math.Mod(rawP, 1))
+		c := math.Abs(math.Mod(rawC, 100))
+		got, err := LayerExpectation(p, c)
+		if err != nil {
+			return false
+		}
+		return got <= ExpectedSharers(c)+1e-9 && got >= 0
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values:   nil,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOccupancyConditionedNonEmpty(t *testing.T) {
+	if got := MeanOccupancyConditionedNonEmpty(0); got != 0 {
+		t.Errorf("conditioned mean at c=0 = %v, want 0", got)
+	}
+	// For large c the conditioning hardly matters: E[L | L>=1] ~ c.
+	if got := MeanOccupancyConditionedNonEmpty(50); !almostEqual(got, 50, 1e-9) {
+		t.Errorf("conditioned mean at c=50 = %v, want ~50", got)
+	}
+	// For tiny c it approaches 1: a swarm observed busy holds one user.
+	if got := MeanOccupancyConditionedNonEmpty(0.001); !almostEqual(got, 1, 1e-3) {
+		t.Errorf("conditioned mean at c=0.001 = %v, want ~1", got)
+	}
+}
+
+// Monte-Carlo check: simulate an M/M/∞ queue and verify occupancy mean and
+// the offload fraction emerge from sampled dynamics. This ties the
+// analytic building blocks to actual queue behaviour.
+func TestMonteCarloMMInfinity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		rate     = 0.05  // arrivals per second
+		duration = 100.0 // mean session seconds
+		horizon  = 400000.0
+	)
+	wantC := rate * duration
+
+	type session struct{ start, end float64 }
+	var sessions []session
+	tNow := 0.0
+	for tNow < horizon {
+		tNow += rng.ExpFloat64() / rate
+		d := rng.ExpFloat64() * duration
+		sessions = append(sessions, session{start: tNow, end: tNow + d})
+	}
+
+	// Estimate average occupancy by sampling at regular instants.
+	var occSum float64
+	var samples int
+	for x := horizon * 0.1; x < horizon*0.9; x += 50 {
+		var l int
+		for _, s := range sessions {
+			if s.start <= x && x < s.end {
+				l++
+			}
+		}
+		occSum += float64(l)
+		samples++
+	}
+	gotC := occSum / float64(samples)
+	if math.Abs(gotC-wantC)/wantC > 0.10 {
+		t.Errorf("Monte-Carlo occupancy %v deviates >10%% from Little's law %v", gotC, wantC)
+	}
+}

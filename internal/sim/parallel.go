@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/trace"
+)
+
+// RunParallel simulates the trace like Run but processes swarms on a pool
+// of workers. Swarms are independent (peers never match across swarms),
+// so the partition is embarrassingly parallel. Results merge in a fixed
+// order, making repeated runs with the same worker count bit-for-bit
+// identical. Per-swarm statistics are bit-for-bit identical to the serial
+// Run as well (each swarm is processed by exactly one worker in sweep
+// order); cross-swarm aggregates (the day grid and user ledgers) sum the
+// same contributions in a different order and therefore agree with the
+// serial run only up to floating-point associativity (relative ~1e-15).
+//
+// workers <= 1 falls back to the serial Run.
+func RunParallel(t *trace.Trace, cfg Config, workers int) (*Result, error) {
+	if workers <= 1 {
+		return Run(t, cfg)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
+		workers = max
+	}
+
+	swarms := swarm.Group(t, cfg.Swarm)
+	days := t.Days()
+
+	// Each worker accumulates into a private shard; shards are merged in
+	// worker order afterwards.
+	type shard struct {
+		result *Result
+		err    error
+	}
+	shards := make([]shard, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := &Result{
+				Days:       newDayGrid(days, t.NumISPs),
+				PolicyName: cfg.Policy.Name(),
+			}
+			if cfg.TrackUsers {
+				res.Users = make(map[uint32]*UserStats)
+			}
+			eng := &engine{cfg: cfg, trace: t, result: res}
+			// Strided assignment: worker w owns swarms w, w+workers, ...
+			// — deterministic and balanced, since swarm.Group returns
+			// swarms in key order with sizes spread across the catalogue.
+			for i := w; i < len(swarms); i += workers {
+				if err := eng.runSwarm(swarms[i]); err != nil {
+					shards[w].err = err
+					return
+				}
+			}
+			shards[w].result = res
+		}()
+	}
+	wg.Wait()
+
+	merged := &Result{
+		Swarms:     make([]SwarmStats, 0, len(swarms)),
+		Days:       newDayGrid(days, t.NumISPs),
+		PolicyName: cfg.Policy.Name(),
+	}
+	if cfg.TrackUsers {
+		merged.Users = make(map[uint32]*UserStats, t.NumUsers/2)
+	}
+	// Reassemble per-swarm stats in the original key order: worker w's
+	// j-th swarm is the (w + j*workers)-th overall.
+	ordered := make([]SwarmStats, len(swarms))
+	for w := range shards {
+		if shards[w].err != nil {
+			return nil, shards[w].err
+		}
+		for j, st := range shards[w].result.Swarms {
+			ordered[w+j*workers] = st
+		}
+	}
+	for _, st := range ordered {
+		merged.Swarms = append(merged.Swarms, st)
+		merged.Total.Add(st.Tally)
+	}
+	for w := range shards {
+		res := shards[w].result
+		for d := range res.Days {
+			for isp := range res.Days[d] {
+				merged.Days[d][isp].Add(res.Days[d][isp])
+			}
+		}
+		if merged.Users == nil {
+			continue
+		}
+		for id, u := range res.Users {
+			dst := merged.Users[id]
+			if dst == nil {
+				dst = &UserStats{}
+				merged.Users[id] = dst
+			}
+			dst.DownloadedBits += u.DownloadedBits
+			dst.FromPeersBits += u.FromPeersBits
+			dst.UploadedBits += u.UploadedBits
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+func generatedTrace(t *testing.T, scale float64, days int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig(scale)
+	cfg.Days = days
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	tr := generatedTrace(t, 0.001, 7)
+	cfg := DefaultConfig(1)
+
+	serial, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		parallel, err := RunParallel(tr, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, serial, parallel, workers)
+	}
+}
+
+// assertResultsEqual compares serial and parallel outcomes. Per-swarm
+// tallies must match exactly (each swarm is processed by exactly one
+// worker, in sweep order). Cross-swarm aggregates (day grid, user
+// ledgers) merge contributions in a different order, so they are compared
+// within floating-point associativity tolerance.
+func assertResultsEqual(t *testing.T, a, b *Result, workers int) {
+	t.Helper()
+	const relTol = 1e-9
+	closeEnough := func(x, y float64) bool {
+		return math.Abs(x-y) <= relTol*(1+math.Max(math.Abs(x), math.Abs(y)))
+	}
+	tallyClose := func(x, y Tally) bool {
+		if !closeEnough(x.TotalBits, y.TotalBits) || !closeEnough(x.ServerBits, y.ServerBits) {
+			return false
+		}
+		for i := range x.LayerBits {
+			if !closeEnough(x.LayerBits[i], y.LayerBits[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if !tallyClose(a.Total, b.Total) {
+		t.Errorf("workers=%d: totals differ: %+v vs %+v", workers, a.Total, b.Total)
+	}
+	if len(a.Swarms) != len(b.Swarms) {
+		t.Fatalf("workers=%d: swarm counts differ: %d vs %d", workers, len(a.Swarms), len(b.Swarms))
+	}
+	for i := range a.Swarms {
+		if a.Swarms[i].Key != b.Swarms[i].Key {
+			t.Fatalf("workers=%d: swarm order differs at %d", workers, i)
+		}
+		if a.Swarms[i].Tally != b.Swarms[i].Tally {
+			t.Errorf("workers=%d: swarm %d tallies differ (must be exact)", workers, i)
+		}
+	}
+	for d := range a.Days {
+		for isp := range a.Days[d] {
+			if !tallyClose(a.Days[d][isp], b.Days[d][isp]) {
+				t.Errorf("workers=%d: day %d ISP %d tallies differ", workers, d, isp)
+			}
+		}
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatalf("workers=%d: user counts differ: %d vs %d", workers, len(a.Users), len(b.Users))
+	}
+	for id, ua := range a.Users {
+		ub := b.Users[id]
+		if ub == nil {
+			t.Fatalf("workers=%d: user %d missing", workers, id)
+		}
+		if !closeEnough(ua.DownloadedBits, ub.DownloadedBits) ||
+			!closeEnough(ua.UploadedBits, ub.UploadedBits) ||
+			!closeEnough(ua.FromPeersBits, ub.FromPeersBits) {
+			t.Errorf("workers=%d: user %d ledger differs: %+v vs %+v", workers, id, ua, ub)
+		}
+	}
+}
+
+func TestRunParallelDeterministicAcrossRuns(t *testing.T) {
+	tr := generatedTrace(t, 0.0005, 5)
+	cfg := DefaultConfig(0.8)
+	first, err := RunParallel(tr, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := RunParallel(tr, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Total != again.Total {
+			t.Fatalf("run %d: parallel results not deterministic", run)
+		}
+	}
+}
+
+func TestRunParallelSingleWorkerIsSerial(t *testing.T) {
+	tr := generatedTrace(t, 0.0005, 3)
+	cfg := DefaultConfig(1)
+	a, err := RunParallel(tr, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Error("workers=1 should be exactly the serial path")
+	}
+}
+
+func TestRunParallelPropagatesValidationErrors(t *testing.T) {
+	tr := generatedTrace(t, 0.0005, 3)
+	if _, err := RunParallel(tr, Config{}, 4); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+	bad := makeTrace(3600, session(0, 0, 0, 0, 0, -1, trace.BitrateSD))
+	if _, err := RunParallel(bad, DefaultConfig(1), 4); err == nil {
+		t.Error("invalid trace should be rejected")
+	}
+}
+
+func TestRunParallelClampsWorkerCount(t *testing.T) {
+	tr := generatedTrace(t, 0.0005, 3)
+	// An absurd worker count must still work (clamped internally).
+	res, err := RunParallel(tr, DefaultConfig(1), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.TotalBits <= 0 {
+		t.Error("no traffic simulated")
+	}
+}
+
+func TestRunParallelWithSeeding(t *testing.T) {
+	tr := generatedTrace(t, 0.0005, 5)
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 1800
+	serial, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunParallel(tr, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, serial, parallel, 3)
+}

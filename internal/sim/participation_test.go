@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+func TestParticipationDefaultIsFull(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.ParticipationRate != 0 {
+		t.Fatalf("default participation should be unset, got %v", cfg.ParticipationRate)
+	}
+	for _, u := range []uint32{0, 1, 999999} {
+		if !cfg.participates(u) {
+			t.Errorf("user %d should participate under full participation", u)
+		}
+	}
+	cfg.ParticipationRate = 1
+	if !cfg.participates(42) {
+		t.Error("rate 1 should mean everyone participates")
+	}
+}
+
+func TestParticipationValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.ParticipationRate = -0.1
+	tr := makeTrace(3600, session(0, 0, 0, 0, 0, 60, trace.BitrateSD))
+	if _, err := Run(tr, cfg); err == nil {
+		t.Error("negative participation rate should be rejected")
+	}
+}
+
+func TestParticipationDeterministicAndProportional(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.ParticipationRate = 0.3
+	var count int
+	const n = 100000
+	for u := uint32(0); u < n; u++ {
+		a := cfg.participates(u)
+		if a != cfg.participates(u) {
+			t.Fatalf("participation not deterministic for user %d", u)
+		}
+		if a {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.29 || frac > 0.31 {
+		t.Errorf("participating fraction = %v, want ~0.30", frac)
+	}
+}
+
+func TestParticipationReducesOffload(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig(0.001)
+	gen.Days = 5
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := 1.0
+	for _, rate := range []float64{1.0, 0.6, 0.3, 0.1} {
+		cfg := DefaultConfig(1)
+		cfg.ParticipationRate = rate
+		cfg.TrackUsers = false
+		res, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Total.Offload()
+		if got > prev+1e-9 {
+			t.Errorf("offload should fall with participation: rate %v gives %v > previous %v",
+				rate, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestNonParticipantsStillDownloadFromPeers(t *testing.T) {
+	// Two overlapping viewers; only user 1 participates. User 0 must
+	// still receive peer bits (from user 1) while uploading nothing.
+	tr := makeTrace(3600,
+		session(0, 0, 0, 7, 0, 600, trace.BitrateSD),
+		session(1, 0, 0, 7, 0, 600, trace.BitrateSD),
+	)
+	cfg := DefaultConfig(1)
+	// Pick a rate that splits exactly these two users; probe the hash.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		probe := cfg
+		probe.ParticipationRate = mid
+		p0, p1 := probe.participates(0), probe.participates(1)
+		if p0 != p1 {
+			cfg.ParticipationRate = mid
+			break
+		}
+		if !p0 && !p1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	p0, p1 := cfg.participates(0), cfg.participates(1)
+	if p0 == p1 {
+		t.Skip("hash split not found at this population; covered statistically elsewhere")
+	}
+
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	participant, freeRider := uint32(0), uint32(1)
+	if p1 {
+		participant, freeRider = 1, 0
+	}
+	if res.Users[freeRider].UploadedBits != 0 {
+		t.Errorf("free rider uploaded %v bits", res.Users[freeRider].UploadedBits)
+	}
+	if res.Users[freeRider].FromPeersBits <= 0 {
+		t.Error("free rider should still download from the participating peer")
+	}
+	if res.Users[participant].UploadedBits <= 0 {
+		t.Error("participant should upload")
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+func TestQuantizeAlignedSessionsUnchanged(t *testing.T) {
+	// Sessions already on 10 s ticks: quantized run equals exact run.
+	mk := func() *trace.Trace {
+		return makeTrace(3600,
+			session(0, 0, 0, 7, 0, 600, trace.BitrateSD),
+			session(1, 0, 0, 7, 300, 600, trace.BitrateSD),
+		)
+	}
+	exact, err := Run(mk(), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.QuantizeTickSec = 10
+	quantized, err := Run(mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Total != quantized.Total {
+		t.Errorf("aligned sessions must be unaffected: %+v vs %+v", exact.Total, quantized.Total)
+	}
+}
+
+func TestQuantizeSnapsOutward(t *testing.T) {
+	// A session [3, 17) on 10 s ticks becomes [0, 20): the user counts as
+	// active — and downloads full buffers — for both windows, as in the
+	// paper's simulator.
+	tr := makeTrace(3600, session(0, 0, 0, 7, 3, 14, trace.BitrateSD))
+	cfg := DefaultConfig(1)
+	cfg.QuantizeTickSec = 10
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := 1.5e6 * 20 // two full windows
+	if math.Abs(res.Total.TotalBits-wantBits) > eps {
+		t.Errorf("quantized total = %v, want %v", res.Total.TotalBits, wantBits)
+	}
+}
+
+func TestQuantizeCreatesWindowOverlap(t *testing.T) {
+	// Sessions [0, 9) and [9, 18) never overlap exactly, but in 10 s
+	// windows both are active in window [0, 10) — the quantized run
+	// shares where the exact run cannot. This is the footnote-3 effect:
+	// within Δτ even a capacity-1 swarm finds sharing opportunities.
+	mk := func() *trace.Trace {
+		return makeTrace(3600,
+			session(0, 0, 0, 7, 0, 9, trace.BitrateSD),
+			session(1, 0, 0, 7, 9, 9, trace.BitrateSD),
+		)
+	}
+	exact, err := Run(mk(), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Total.PeerBits() != 0 {
+		t.Fatalf("exact run should not share: %v", exact.Total.PeerBits())
+	}
+	cfg := DefaultConfig(1)
+	cfg.QuantizeTickSec = 10
+	quantized, err := Run(mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quantized.Total.PeerBits() <= 0 {
+		t.Error("quantized run should find the within-window sharing opportunity")
+	}
+}
+
+func TestQuantizeInflatesBoundedByOneTickPerEdge(t *testing.T) {
+	// On a generated trace, quantization inflates useful traffic by at
+	// most bitrate × 2 ticks per session.
+	gen := trace.DefaultGeneratorConfig(0.0005)
+	gen.Days = 3
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(tr, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.QuantizeTickSec = 10
+	quantized, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quantized.Total.TotalBits < exact.Total.TotalBits {
+		t.Error("quantization must not reduce accounted traffic")
+	}
+	maxInflation := float64(len(tr.Sessions)) * 2 * 10 * 3000e3 // 2 ticks at HD rate
+	if quantized.Total.TotalBits-exact.Total.TotalBits > maxInflation {
+		t.Errorf("inflation %v exceeds bound %v",
+			quantized.Total.TotalBits-exact.Total.TotalBits, maxInflation)
+	}
+}
+
+func TestQuantizedAgreesWithExactOnAggregate(t *testing.T) {
+	// The two modes must agree closely on aggregate offload: Δτ = 10 s is
+	// small against mean session durations (~28 min).
+	gen := trace.DefaultGeneratorConfig(0.001)
+	gen.Days = 5
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(tr, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.QuantizeTickSec = 10
+	quantized, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Total.Offload()-quantized.Total.Offload()) > 0.01 {
+		t.Errorf("offload differs between modes: exact %v vs Δτ=10s %v",
+			exact.Total.Offload(), quantized.Total.Offload())
+	}
+}

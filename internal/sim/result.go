@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"consumelocal/internal/energy"
+)
+
+// ISPTotals aggregates the run per ISP across all days.
+func (r *Result) ISPTotals() []Tally {
+	if len(r.Days) == 0 {
+		return nil
+	}
+	out := make([]Tally, len(r.Days[0]))
+	for _, day := range r.Days {
+		for isp, t := range day {
+			out[isp].Add(t)
+		}
+	}
+	return out
+}
+
+// DayTotals aggregates the run per day across all ISPs.
+func (r *Result) DayTotals() []Tally {
+	out := make([]Tally, len(r.Days))
+	for d, day := range r.Days {
+		for _, t := range day {
+			out[d].Add(t)
+		}
+	}
+	return out
+}
+
+// SwarmSavings evaluates every swarm's empirical energy savings under the
+// given parameters, returning per-swarm (capacity, savings, traffic)
+// triples in the same order as Swarms. Swarms with no traffic are skipped.
+type SwarmSaving struct {
+	// Capacity is the swarm's empirical capacity.
+	Capacity float64
+	// Savings is the fractional energy saving of the swarm's delivery.
+	Savings float64
+	// TotalBits is the swarm's useful traffic, for weighting aggregates.
+	TotalBits float64
+}
+
+// SwarmSavings prices every swarm under params.
+func (r *Result) SwarmSavings(params energy.Params) []SwarmSaving {
+	out := make([]SwarmSaving, 0, len(r.Swarms))
+	for _, sw := range r.Swarms {
+		if sw.Tally.TotalBits <= 0 {
+			continue
+		}
+		report := Evaluate(sw.Tally, params)
+		out = append(out, SwarmSaving{
+			Capacity:  sw.Capacity,
+			Savings:   report.Savings,
+			TotalBits: sw.Tally.TotalBits,
+		})
+	}
+	return out
+}
+
+// UserEnergy is one user's energy ledger priced under a parameter set, the
+// input to the carbon credit transfer analysis.
+type UserEnergy struct {
+	// ConsumptionJoules is the user's premises energy: l·γm per bit for
+	// everything downloaded plus everything uploaded (paper Section V).
+	ConsumptionJoules float64
+	// CreditJoules is the CDN-side energy saved thanks to this user's
+	// uploads, PUE·γs per uploaded bit, transferred as carbon credit.
+	CreditJoules float64
+}
+
+// NetNormalized returns the user's net carbon balance normalised by its
+// own consumption — the per-user CCT of paper Eq. 13. It returns -1 for a
+// user who uploaded nothing (fully carbon negative).
+func (u UserEnergy) NetNormalized() float64 {
+	if u.ConsumptionJoules <= 0 {
+		return -1
+	}
+	return (u.CreditJoules - u.ConsumptionJoules) / u.ConsumptionJoules
+}
+
+// PriceUser evaluates one user ledger under the given parameters.
+func PriceUser(stats UserStats, p energy.Params) UserEnergy {
+	const bitsToJoules = 1e-9
+	consumption := p.UserPerBit() * (stats.DownloadedBits + stats.UploadedBits) * bitsToJoules
+	credit := p.ServerCreditPerBit() * stats.UploadedBits * bitsToJoules
+	return UserEnergy{ConsumptionJoules: consumption, CreditJoules: credit}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+func TestSeedingDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.SeedRetentionSec != 0 {
+		t.Errorf("paper model must not seed by default, got %d", cfg.SeedRetentionSec)
+	}
+}
+
+func TestSeederServesLaterViewer(t *testing.T) {
+	// Viewer A watches [0, 600); viewer B watches [700, 1300): no overlap,
+	// so the paper model shares nothing. With 200 s of seed retention, A
+	// still shares nothing (gap is 100 s... retention covers [600, 800)),
+	// so B's first 100 s are served by A's seeding window.
+	mk := func() *trace.Trace {
+		return makeTrace(3600,
+			session(0, 0, 0, 7, 0, 600, trace.BitrateSD),
+			session(1, 0, 0, 7, 700, 600, trace.BitrateSD),
+		)
+	}
+
+	base, err := Run(mk(), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total.PeerBits() != 0 {
+		t.Fatalf("non-overlapping sessions must not share in the paper model: %v",
+			base.Total.PeerBits())
+	}
+
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 200
+	seeded, err := Run(mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A seeds during [600, 800); B watches from 700: 100 s of B's demand
+	// can come from A's seeding window.
+	wantPeer := 1.5e6 * 100.0
+	if math.Abs(seeded.Total.PeerBits()-wantPeer) > eps*wantPeer {
+		t.Errorf("seeded peer bits = %v, want %v", seeded.Total.PeerBits(), wantPeer)
+	}
+	// Total useful traffic is unchanged: seeders demand nothing.
+	if math.Abs(seeded.Total.TotalBits-base.Total.TotalBits) > eps {
+		t.Errorf("seeding changed total traffic: %v vs %v",
+			seeded.Total.TotalBits, base.Total.TotalBits)
+	}
+}
+
+func TestSeedingIncreasesOffloadOnRealWorkload(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig(0.001)
+	gen.Days = 5
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := Run(tr, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 3600
+	seeded, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Total.Offload() <= base.Total.Offload() {
+		t.Errorf("seed retention should raise offload: %v vs %v",
+			seeded.Total.Offload(), base.Total.Offload())
+	}
+	if math.Abs(seeded.Total.TotalBits-base.Total.TotalBits) > base.Total.TotalBits*1e-9 {
+		t.Errorf("seeding must not change useful traffic")
+	}
+}
+
+func TestSeedingUploadsAccountedToUsers(t *testing.T) {
+	tr := makeTrace(3600,
+		session(0, 0, 0, 7, 0, 600, trace.BitrateSD),
+		session(1, 0, 0, 7, 700, 600, trace.BitrateSD),
+	)
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 200
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 uploaded during its seeding window; user 1 received.
+	u0 := res.Users[0]
+	u1 := res.Users[1]
+	if u0.UploadedBits <= 0 {
+		t.Error("seeder's uploads not accounted")
+	}
+	if u1.FromPeersBits <= 0 {
+		t.Error("receiver's peer downloads not accounted")
+	}
+	if u0.FromPeersBits != 0 {
+		t.Errorf("user 0 watched alone, cannot have peer downloads: %v", u0.FromPeersBits)
+	}
+}
+
+func TestSeedingClippedAtHorizon(t *testing.T) {
+	// A session ending at the horizon: seeding must not run past it (and
+	// must not produce an invalid zero-length member).
+	tr := makeTrace(1000,
+		session(0, 0, 0, 7, 0, 1000, trace.BitrateSD),
+	)
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 500
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.TotalBits != 1.5e6*1000 {
+		t.Errorf("total bits = %v", res.Total.TotalBits)
+	}
+}
+
+func TestSeedingDayGridStillConserves(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig(0.0005)
+	gen.Days = 3
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.SeedRetentionSec = 1800
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dayTotal Tally
+	for _, d := range res.DayTotals() {
+		dayTotal.Add(d)
+	}
+	if math.Abs(dayTotal.TotalBits-res.Total.TotalBits) > res.Total.TotalBits*1e-9 {
+		t.Errorf("day grid %v != total %v with seeding", dayTotal.TotalBits, res.Total.TotalBits)
+	}
+	if math.Abs(res.Total.TotalBits-res.Total.ServerBits-res.Total.PeerBits()) > 1 {
+		t.Errorf("tally not conserved with seeding")
+	}
+}

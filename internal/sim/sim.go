@@ -1,0 +1,545 @@
+// Package sim implements the trace-driven simulator of the paper
+// (Section IV.A): it replays a session trace, forms content swarms,
+// matches concurrently active peers with a pluggable policy, and accounts
+// delivered bits by source (CDN server vs peer) and by topology layer.
+//
+// Where the paper steps through fixed Δτ = 10 s windows, this simulator
+// sweeps each swarm's piecewise-constant activity intervals (see package
+// swarm): within an interval the active set — and therefore the matching —
+// is constant, so processing the interval in one step is exact and far
+// cheaper than ticking. The paper's per-window peer-capacity bound
+// ∆Tp ≤ (L−1)·q·∆τ (Eq. 2) translates directly to the interval: the
+// (L−1)/L share of the active set's total upload capacity.
+//
+// Energy is not computed during simulation; the simulator records traffic
+// tallies that are priced afterwards under any energy parameter set (see
+// Evaluate), keeping a single simulation reusable across energy models.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"consumelocal/internal/matching"
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/topology"
+	"consumelocal/internal/trace"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Policy matches peers within activity intervals. Defaults to
+	// matching.LocalityFirst.
+	Policy matching.Policy
+	// Swarm controls swarm formation (ISP restriction, bitrate split).
+	// Defaults to the paper's configuration.
+	Swarm swarm.Options
+	// Topology is the ISP metropolitan tree used to map session exchange
+	// points onto PoPs. Defaults to topology.DefaultLondon().
+	Topology *topology.Tree
+	// UploadRatio is q/β: each session's upload bandwidth as a fraction of
+	// its own streaming bitrate. Ignored when UploadBps > 0.
+	UploadRatio float64
+	// UploadBps, when positive, gives every user the same absolute upload
+	// bandwidth in bits/s regardless of bitrate.
+	UploadBps float64
+	// DisablePaperBudget lifts the paper's (L−1)·q per-window cap on peer
+	// traffic (Eq. 2). The default (false) applies the cap.
+	DisablePaperBudget bool
+	// TrackUsers enables per-user byte accounting (needed for the carbon
+	// credit analysis, Fig. 6) at the cost of extra memory.
+	TrackUsers bool
+	// SeedRetentionSec extends every session with a post-playback seeding
+	// window: for this many seconds after a user finishes watching, its
+	// upload capacity stays available to the swarm while it demands
+	// nothing. This models the cache-and-seed schemes the paper lists as
+	// future work (AntFarm-style managed seeding, Wi-Stitch edge caches).
+	// Zero (the default) reproduces the paper's watch-while-share model.
+	SeedRetentionSec int64
+	// QuantizeTickSec reproduces the paper's fixed time stepping exactly:
+	// session boundaries are snapped outward to multiples of Δτ (the
+	// paper uses Δτ = 10 s), so a user present for any part of a window
+	// counts as active — and downloading a full window buffer — for the
+	// whole window, as in the paper's simulator. Zero (the default) keeps
+	// exact session boundaries, which is equivalent in the limit Δτ → 0.
+	QuantizeTickSec int64
+	// ParticipationRate is the fraction of users who contribute upload
+	// capacity. The paper's conclusion notes that as little as 30% of
+	// Akamai NetSession users participate by uploading; non-participants
+	// here still download from peers but never upload (their q is 0).
+	// Participation is assigned per user by a deterministic hash, so the
+	// same users participate across runs and configurations. Zero or
+	// values >= 1 mean full participation (the paper's assumption).
+	ParticipationRate float64
+	// UploadTiers, when non-empty, draws each user's absolute upload
+	// bandwidth from a weighted access-technology mix (e.g. ADSL / FTTC /
+	// FTTP) instead of the uniform UploadRatio/UploadBps. Assignment is
+	// per user by deterministic hash. Overrides UploadRatio and UploadBps.
+	UploadTiers []UploadTier
+}
+
+// UploadTier is one access technology class in a heterogeneous upload
+// bandwidth mix.
+type UploadTier struct {
+	// Name labels the tier in reports (e.g. "adsl").
+	Name string
+	// Bps is the tier's upload bandwidth in bits per second.
+	Bps float64
+	// Weight is the tier's share of the user population.
+	Weight float64
+}
+
+// UKBroadbandTiers returns an upload mix shaped like the UK fixed
+// broadband market around the paper's study period: a large ADSL base
+// (~1 Mb/s up), a growing FTTC share (~8 Mb/s up) and an FTTP minority
+// (~30 Mb/s up). The mean (~4.3 Mb/s) matches the Ofcom average upload
+// speed the paper quotes in Section IV.B.1.
+func UKBroadbandTiers() []UploadTier {
+	return []UploadTier{
+		{Name: "adsl", Bps: 1.0e6, Weight: 0.62},
+		{Name: "fttc", Bps: 8.0e6, Weight: 0.35},
+		{Name: "fttp", Bps: 30.0e6, Weight: 0.03},
+	}
+}
+
+// DefaultConfig returns the paper's simulation configuration with the
+// given q/β ratio.
+func DefaultConfig(uploadRatio float64) Config {
+	return Config{
+		Policy:      matching.LocalityFirst{},
+		Swarm:       swarm.DefaultOptions(),
+		Topology:    topology.DefaultLondon(),
+		UploadRatio: uploadRatio,
+		TrackUsers:  true,
+	}
+}
+
+// withDefaults fills zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = matching.LocalityFirst{}
+	}
+	if c.Topology == nil {
+		c.Topology = topology.DefaultLondon()
+	}
+	return c
+}
+
+// validate rejects configurations the simulator cannot run.
+func (c Config) validate() error {
+	if c.UploadBps < 0 {
+		return errors.New("sim: upload bandwidth must be non-negative")
+	}
+	if c.UploadBps == 0 && c.UploadRatio <= 0 && len(c.UploadTiers) == 0 {
+		return errors.New("sim: need a positive upload ratio, absolute bandwidth, or upload tiers")
+	}
+	if c.ParticipationRate < 0 {
+		return errors.New("sim: participation rate must be non-negative")
+	}
+	var tierWeight float64
+	for _, tier := range c.UploadTiers {
+		if tier.Bps < 0 || tier.Weight < 0 {
+			return errors.New("sim: upload tiers must have non-negative bandwidth and weight")
+		}
+		tierWeight += tier.Weight
+	}
+	if len(c.UploadTiers) > 0 && tierWeight <= 0 {
+		return errors.New("sim: upload tiers need positive total weight")
+	}
+	return nil
+}
+
+// tierOf assigns a user to an upload tier by deterministic hash,
+// proportionally to tier weights. It returns -1 when no tiers are
+// configured.
+func (c Config) tierOf(user uint32) int {
+	if len(c.UploadTiers) == 0 {
+		return -1
+	}
+	var total float64
+	for _, t := range c.UploadTiers {
+		total += t.Weight
+	}
+	// Reuse the participation hash family with a different stream salt.
+	z := user ^ 0x51ed2701
+	z += 0x9e3779b9
+	z ^= z >> 16
+	z *= 0x85ebca6b
+	z ^= z >> 13
+	z *= 0xc2b2ae35
+	z ^= z >> 16
+	x := float64(z) / float64(1<<32) * total
+	var cum float64
+	for i, t := range c.UploadTiers {
+		cum += t.Weight
+		if x < cum {
+			return i
+		}
+	}
+	return len(c.UploadTiers) - 1
+}
+
+// participates reports whether a user contributes upload capacity under
+// the configured participation rate, by stateless hash: stable across
+// runs, independent of session order.
+func (c Config) participates(user uint32) bool {
+	if c.ParticipationRate <= 0 || c.ParticipationRate >= 1 {
+		return true
+	}
+	// SplitMix32-style finaliser onto [0, 1).
+	z := user + 0x9e3779b9
+	z ^= z >> 16
+	z *= 0x85ebca6b
+	z ^= z >> 13
+	z *= 0xc2b2ae35
+	z ^= z >> 16
+	return float64(z)/float64(1<<32) < c.ParticipationRate
+}
+
+// SwarmStats is the per-swarm outcome of a run.
+type SwarmStats struct {
+	// Key identifies the swarm.
+	Key swarm.Key `json:"key"`
+	// Capacity is the swarm's empirical capacity (average concurrent
+	// users over the trace horizon).
+	Capacity float64 `json:"capacity"`
+	// Sessions is the number of member sessions.
+	Sessions int `json:"sessions"`
+	// Tally is the swarm's delivered-traffic accounting.
+	Tally Tally `json:"tally"`
+}
+
+// UserStats is the per-user byte ledger used by the carbon credit
+// analysis.
+type UserStats struct {
+	// DownloadedBits is everything the user watched.
+	DownloadedBits float64 `json:"downloaded_bits"`
+	// FromPeersBits is the share of DownloadedBits served by peers.
+	FromPeersBits float64 `json:"from_peers_bits"`
+	// UploadedBits is what the user contributed to other peers.
+	UploadedBits float64 `json:"uploaded_bits"`
+}
+
+// Result is the complete outcome of one simulation run.
+type Result struct {
+	// Swarms holds per-swarm statistics in deterministic key order.
+	Swarms []SwarmStats `json:"swarms"`
+	// Days holds per-day, per-ISP tallies: Days[d][isp]. The ISP index of
+	// ISP-unrestricted swarms is each downloading session's own ISP.
+	Days [][]Tally `json:"days"`
+	// Users maps user ID to its byte ledger; nil unless Config.TrackUsers.
+	Users map[uint32]*UserStats `json:"users,omitempty"`
+	// Total aggregates the whole run.
+	Total Tally `json:"total"`
+	// PolicyName records the matching policy used.
+	PolicyName string `json:"policy"`
+}
+
+// Run simulates the trace under the configuration.
+func Run(t *trace.Trace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	swarms := swarm.Group(t, cfg.Swarm)
+	days := t.Days()
+
+	res := &Result{
+		Swarms:     make([]SwarmStats, 0, len(swarms)),
+		Days:       newDayGrid(days, t.NumISPs),
+		PolicyName: cfg.Policy.Name(),
+	}
+	if cfg.TrackUsers {
+		res.Users = make(map[uint32]*UserStats)
+	}
+
+	eng := &engine{cfg: cfg, trace: t, result: res}
+	for _, sw := range swarms {
+		if err := eng.runSwarm(sw); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// newDayGrid allocates the [day][isp] tally grid.
+func newDayGrid(days, isps int) [][]Tally {
+	grid := make([][]Tally, days)
+	for d := range grid {
+		grid[d] = make([]Tally, isps)
+	}
+	return grid
+}
+
+// engine carries the per-run state through swarm processing.
+type engine struct {
+	cfg    Config
+	trace  *trace.Trace
+	result *Result
+
+	// scratch buffers reused across intervals to avoid churn.
+	peers   []matching.Peer
+	demands []float64
+	caps    []float64
+}
+
+// runSwarm sweeps one swarm and accumulates its intervals.
+func (e *engine) runSwarm(sw *swarm.Swarm) error {
+	stats := SwarmStats{
+		Key:      sw.Key,
+		Capacity: sw.Capacity(e.trace.HorizonSec),
+		Sessions: len(sw.Sessions),
+	}
+
+	sweepSwarm, seeding := e.augment(sw)
+	for _, iv := range sweepSwarm.Sweep() {
+		if err := e.runInterval(sweepSwarm, seeding, iv, &stats); err != nil {
+			return err
+		}
+	}
+
+	e.result.Swarms = append(e.result.Swarms, stats)
+	e.result.Total.Add(stats.Tally)
+	return nil
+}
+
+// augment prepares the swarm the engine actually sweeps: session
+// boundaries are optionally snapped to Δτ ticks (QuantizeTickSec) and
+// post-playback seeding members are appended (SeedRetentionSec). The
+// returned bool slice marks, per member of the returned swarm, whether it
+// is a demand-free seeder; it is nil when no seeders were added.
+func (e *engine) augment(sw *swarm.Swarm) (*swarm.Swarm, []bool) {
+	sw = e.quantize(sw)
+	if e.cfg.SeedRetentionSec <= 0 {
+		return sw, nil
+	}
+	members := make([]trace.Session, 0, 2*len(sw.Sessions))
+	seeding := make([]bool, 0, 2*len(sw.Sessions))
+	for _, s := range sw.Sessions {
+		members = append(members, s)
+		seeding = append(seeding, false)
+
+		seeder := s
+		seeder.StartSec = s.EndSec()
+		retention := e.cfg.SeedRetentionSec
+		if seeder.StartSec+retention > e.trace.HorizonSec {
+			retention = e.trace.HorizonSec - seeder.StartSec
+		}
+		if retention <= 0 {
+			continue
+		}
+		seeder.DurationSec = int32(retention)
+		members = append(members, seeder)
+		seeding = append(seeding, true)
+	}
+	return &swarm.Swarm{Key: sw.Key, Sessions: members}, seeding
+}
+
+// quantize snaps session boundaries outward to QuantizeTickSec ticks,
+// reproducing the paper's per-window occupancy counting. Sessions already
+// aligned to ticks are returned unchanged (same backing array).
+func (e *engine) quantize(sw *swarm.Swarm) *swarm.Swarm {
+	tick := e.cfg.QuantizeTickSec
+	if tick <= 0 {
+		return sw
+	}
+	aligned := true
+	for _, s := range sw.Sessions {
+		if s.StartSec%tick != 0 || s.EndSec()%tick != 0 {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		return sw
+	}
+	members := make([]trace.Session, len(sw.Sessions))
+	for i, s := range sw.Sessions {
+		start := s.StartSec / tick * tick
+		end := (s.EndSec() + tick - 1) / tick * tick
+		s.StartSec = start
+		s.DurationSec = int32(end - start)
+		members[i] = s
+	}
+	return &swarm.Swarm{Key: sw.Key, Sessions: members}
+}
+
+// runInterval matches one activity interval and books the outcome.
+func (e *engine) runInterval(sw *swarm.Swarm, seeding []bool, iv swarm.Interval, stats *SwarmStats) error {
+	n := len(iv.Active)
+	w := iv.Seconds()
+	e.resize(n)
+
+	var budget float64 = -1
+	var sumCaps float64
+	for slot, idx := range iv.Active {
+		s := sw.Sessions[idx]
+		e.peers[slot] = e.peerOf(s, sw.Key)
+		if seeding != nil && seeding[idx] {
+			e.demands[slot] = 0
+		} else {
+			e.demands[slot] = s.Bitrate.BitsPerSecond() * w
+		}
+		cap := e.uploadBps(s) * w
+		e.caps[slot] = cap
+		sumCaps += cap
+	}
+	if !e.cfg.DisablePaperBudget && n > 0 {
+		// Eq. 2: one peer's share of the swarm's upload capacity is spent
+		// pulling novel chunks from the server, leaving the (L−1)/L share
+		// for sharing — exactly (L−1)·q for uniform per-peer capacity q,
+		// and its natural generalisation when capacities differ (e.g.
+		// partial upload participation).
+		budget = sumCaps * float64(n-1) / float64(n)
+	}
+
+	alloc, err := e.cfg.Policy.Match(e.peers[:n], e.demands[:n], e.caps[:n], budget)
+	if err != nil {
+		return fmt.Errorf("sim: match swarm %+v interval [%d,%d): %w", sw.Key, iv.From, iv.To, err)
+	}
+
+	e.book(sw, iv, alloc, stats)
+	return nil
+}
+
+// peerOf maps a session onto a matching endpoint. Exchange identifiers are
+// namespaced per ISP: when a swarm spans ISPs (ablation mode), peers from
+// different ISPs can never share an exchange or PoP — their traffic meets
+// at the core, modelling inter-ISP exchange through the metro core /
+// peering fabric.
+func (e *engine) peerOf(s trace.Session, key swarm.Key) matching.Peer {
+	exchange := int(s.Exchange)
+	pop := e.cfg.Topology.PoPOf(exchange)
+	if key.ISP == swarm.AnyISP {
+		stride := e.cfg.Topology.Exchanges()
+		popStride := e.cfg.Topology.PoPs()
+		exchange += int(s.ISP) * stride
+		pop += int(s.ISP) * popStride
+	}
+	return matching.Peer{User: s.UserID, Exchange: exchange, PoP: pop}
+}
+
+// uploadBps returns a session's upload bandwidth in bits/s, zero for
+// users who do not participate in uploading.
+func (e *engine) uploadBps(s trace.Session) float64 {
+	if !e.cfg.participates(s.UserID) {
+		return 0
+	}
+	if tier := e.cfg.tierOf(s.UserID); tier >= 0 {
+		return e.cfg.UploadTiers[tier].Bps
+	}
+	if e.cfg.UploadBps > 0 {
+		return e.cfg.UploadBps
+	}
+	return e.cfg.UploadRatio * s.Bitrate.BitsPerSecond()
+}
+
+// book accumulates an interval allocation into the swarm stats, the
+// per-day/per-ISP grid and the per-user ledgers.
+func (e *engine) book(sw *swarm.Swarm, iv swarm.Interval, alloc matching.Allocation, stats *SwarmStats) {
+	var ivTally Tally
+	ivTally.ServerBits = alloc.ServerBits
+	ivTally.LayerBits = alloc.LayerBits
+	ivTally.TotalBits = alloc.ServerBits
+	for _, b := range alloc.LayerBits {
+		ivTally.TotalBits += b
+	}
+	stats.Tally.Add(ivTally)
+
+	peerTotal := ivTally.PeerBits()
+	for slot, idx := range iv.Active {
+		s := sw.Sessions[idx]
+		demand := e.demands[slot]
+		received := alloc.PeerReceivedBits[slot]
+		server := demand - received
+		if server < 0 {
+			server = 0
+		}
+
+		// Per-day / per-ISP attribution at downloader granularity. Peer
+		// bits are split across layers proportionally to the interval's
+		// overall layer mix.
+		var perUser Tally
+		perUser.TotalBits = demand
+		perUser.ServerBits = server
+		if peerTotal > 0 {
+			frac := received / peerTotal
+			for l := range alloc.LayerBits {
+				perUser.LayerBits[l] = alloc.LayerBits[l] * frac
+			}
+		}
+		e.bookDays(iv, int(s.ISP), perUser)
+
+		if e.result.Users != nil {
+			u := e.result.Users[s.UserID]
+			if u == nil {
+				u = &UserStats{}
+				e.result.Users[s.UserID] = u
+			}
+			u.DownloadedBits += demand
+			u.FromPeersBits += received
+			u.UploadedBits += alloc.UploadedBits[slot]
+		}
+	}
+}
+
+// bookDays splits a tally across the days an interval overlaps,
+// proportionally to the overlap.
+func (e *engine) bookDays(iv swarm.Interval, isp int, t Tally) {
+	const daySec = 24 * 3600
+	total := iv.Seconds()
+	if total <= 0 {
+		return
+	}
+	grid := e.result.Days
+	for day := int(iv.From / daySec); day <= int((iv.To-1)/daySec); day++ {
+		if day < 0 || day >= len(grid) {
+			continue
+		}
+		dayStart := int64(day) * daySec
+		dayEnd := dayStart + daySec
+		overlap := minInt64(iv.To, dayEnd) - maxInt64(iv.From, dayStart)
+		if overlap <= 0 {
+			continue
+		}
+		frac := float64(overlap) / total
+		scaled := Tally{
+			TotalBits:  t.TotalBits * frac,
+			ServerBits: t.ServerBits * frac,
+		}
+		for l := range t.LayerBits {
+			scaled.LayerBits[l] = t.LayerBits[l] * frac
+		}
+		grid[day][isp].Add(scaled)
+	}
+}
+
+// resize grows the scratch buffers to hold n entries.
+func (e *engine) resize(n int) {
+	if cap(e.peers) < n {
+		e.peers = make([]matching.Peer, n)
+		e.demands = make([]float64, n)
+		e.caps = make([]float64, n)
+	}
+	e.peers = e.peers[:n]
+	e.demands = e.demands[:n]
+	e.caps = e.caps[:n]
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"consumelocal/internal/energy"
+)
+
+// Tally accumulates traffic volumes, in bits, split by how they were
+// delivered. It is the unit of aggregation for swarms, days, ISPs and the
+// whole system; energy is evaluated from a Tally under any parameter set.
+type Tally struct {
+	// TotalBits is the useful traffic (all bits watched by users).
+	TotalBits float64 `json:"total_bits"`
+	// ServerBits is the share of TotalBits served by CDN servers.
+	ServerBits float64 `json:"server_bits"`
+	// LayerBits is the share served from peers, per topology layer
+	// (indexed by energy.Layer.Index()).
+	LayerBits [energy.NumLayers]float64 `json:"layer_bits"`
+}
+
+// PeerBits returns the total traffic served from peers.
+func (t Tally) PeerBits() float64 {
+	var sum float64
+	for _, b := range t.LayerBits {
+		sum += b
+	}
+	return sum
+}
+
+// Offload returns the empirical traffic offload fraction G of the tally.
+func (t Tally) Offload() float64 {
+	if t.TotalBits <= 0 {
+		return 0
+	}
+	return t.PeerBits() / t.TotalBits
+}
+
+// Add merges another tally into t.
+func (t *Tally) Add(other Tally) {
+	t.TotalBits += other.TotalBits
+	t.ServerBits += other.ServerBits
+	for i := range t.LayerBits {
+		t.LayerBits[i] += other.LayerBits[i]
+	}
+}
+
+// EnergyReport is the energy evaluation of a Tally under one parameter
+// set.
+type EnergyReport struct {
+	// Model names the parameter set used.
+	Model string
+	// BaselineJoules is the energy of serving all traffic from CDN
+	// servers (no peer assistance).
+	BaselineJoules float64
+	// HybridJoules is the energy of the hybrid delivery recorded in the
+	// tally.
+	HybridJoules float64
+	// Savings is the fractional saving 1 − Hybrid/Baseline (paper Eq. 1).
+	Savings float64
+}
+
+// Evaluate prices a tally under the given energy parameters. Server bits
+// cost ψs; peer bits cost the double modem term plus the PUE-weighted
+// network term of the layer they were matched at (paper Eq. 4–6).
+func Evaluate(t Tally, p energy.Params) EnergyReport {
+	const bitsToJoules = 1e-9 // per-bit figures are nJ/bit
+
+	baseline := p.ServerPerBit() * t.TotalBits * bitsToJoules
+
+	hybrid := p.ServerPerBit() * t.ServerBits * bitsToJoules
+	hybrid += p.PeerModemPerBit() * t.PeerBits() * bitsToJoules
+	for _, layer := range energy.Layers() {
+		hybrid += p.PeerNetworkPerBit(layer) * t.LayerBits[layer.Index()] * bitsToJoules
+	}
+
+	savings := 0.0
+	if baseline > 0 {
+		savings = 1 - hybrid/baseline
+	}
+	return EnergyReport{
+		Model:          p.Name,
+		BaselineJoules: baseline,
+		HybridJoules:   hybrid,
+		Savings:        savings,
+	}
+}

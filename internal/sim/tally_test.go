@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/energy"
+)
+
+func TestTallyPeerBitsAndOffload(t *testing.T) {
+	tally := Tally{
+		TotalBits:  1000,
+		ServerBits: 400,
+		LayerBits:  [energy.NumLayers]float64{300, 200, 100},
+	}
+	if got := tally.PeerBits(); got != 600 {
+		t.Errorf("PeerBits = %v, want 600", got)
+	}
+	if got := tally.Offload(); got != 0.6 {
+		t.Errorf("Offload = %v, want 0.6", got)
+	}
+	if got := (Tally{}).Offload(); got != 0 {
+		t.Errorf("empty Offload = %v, want 0", got)
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{TotalBits: 10, ServerBits: 5, LayerBits: [energy.NumLayers]float64{1, 2, 2}}
+	b := Tally{TotalBits: 20, ServerBits: 10, LayerBits: [energy.NumLayers]float64{4, 3, 3}}
+	a.Add(b)
+	if a.TotalBits != 30 || a.ServerBits != 15 {
+		t.Errorf("Add result = %+v", a)
+	}
+	if a.LayerBits != [energy.NumLayers]float64{5, 5, 5} {
+		t.Errorf("layer bits = %v", a.LayerBits)
+	}
+}
+
+func TestEvaluateServerOnlyHasNoSavings(t *testing.T) {
+	tally := Tally{TotalBits: 1e9, ServerBits: 1e9}
+	for _, p := range energy.BothModels() {
+		rep := Evaluate(tally, p)
+		if math.Abs(rep.Savings) > 1e-12 {
+			t.Errorf("%s: server-only savings = %v, want 0", p.Name, rep.Savings)
+		}
+		if rep.BaselineJoules != rep.HybridJoules {
+			t.Errorf("%s: baseline %v != hybrid %v", p.Name, rep.BaselineJoules, rep.HybridJoules)
+		}
+		if rep.Model != p.Name {
+			t.Errorf("model label = %q", rep.Model)
+		}
+	}
+}
+
+func TestEvaluateExchangeLocalSharingSaves(t *testing.T) {
+	// All traffic shared at exchange points: maximal saving.
+	tally := Tally{TotalBits: 1e9}
+	tally.LayerBits[energy.LayerExchange.Index()] = 1e9
+	for _, p := range energy.BothModels() {
+		rep := Evaluate(tally, p)
+		want := 1 - (p.PeerModemPerBit()+p.PUE*p.ExchangeNetwork)/p.ServerPerBit()
+		if math.Abs(rep.Savings-want) > 1e-12 {
+			t.Errorf("%s: savings = %v, want %v", p.Name, rep.Savings, want)
+		}
+		if rep.Savings <= 0 {
+			t.Errorf("%s: exchange-local sharing should save energy", p.Name)
+		}
+	}
+}
+
+func TestEvaluateCoreSharingSavesLessThanLocal(t *testing.T) {
+	// In both published models even core-level sharing beats server
+	// delivery per bit, but by far less than exchange-local sharing —
+	// the gradient that makes "consume local" matter.
+	core := Tally{TotalBits: 1e9}
+	core.LayerBits[energy.LayerCore.Index()] = 1e9
+	local := Tally{TotalBits: 1e9}
+	local.LayerBits[energy.LayerExchange.Index()] = 1e9
+	for _, p := range energy.BothModels() {
+		coreRep := Evaluate(core, p)
+		localRep := Evaluate(local, p)
+		if coreRep.Savings <= 0 {
+			t.Errorf("%s: core sharing savings = %v, want positive", p.Name, coreRep.Savings)
+		}
+		if coreRep.Savings >= localRep.Savings {
+			t.Errorf("%s: core savings %v should be below local savings %v",
+				p.Name, coreRep.Savings, localRep.Savings)
+		}
+	}
+}
+
+func TestEvaluateSharingCanLoseWithCheapCDN(t *testing.T) {
+	// The paper notes savings can be negative (Section III.A). Construct a
+	// parameter set with a cheap CDN path and an expensive edge: sharing
+	// through the core then costs more than server delivery.
+	p := energy.Params{
+		Name:            "cheap-cdn",
+		Server:          200,
+		Modem:           100,
+		CDNNetwork:      50,
+		ExchangeNetwork: 100,
+		PoPNetwork:      180,
+		CoreNetwork:     245,
+		PUE:             1.2,
+		Loss:            1.07,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("constructed params invalid: %v", err)
+	}
+	tally := Tally{TotalBits: 1e9}
+	tally.LayerBits[energy.LayerCore.Index()] = 1e9
+	if rep := Evaluate(tally, p); rep.Savings >= 0 {
+		t.Errorf("core sharing against a cheap CDN should lose energy, got savings %v", rep.Savings)
+	}
+}
+
+func TestEvaluateEmptyTally(t *testing.T) {
+	rep := Evaluate(Tally{}, energy.Valancius())
+	if rep.Savings != 0 || rep.BaselineJoules != 0 || rep.HybridJoules != 0 {
+		t.Errorf("empty tally report = %+v", rep)
+	}
+}
+
+func TestEvaluateJoulesScale(t *testing.T) {
+	// 1e9 bits at ψs nJ/bit = ψs joules.
+	p := energy.Valancius()
+	rep := Evaluate(Tally{TotalBits: 1e9, ServerBits: 1e9}, p)
+	if math.Abs(rep.BaselineJoules-p.ServerPerBit()) > 1e-9 {
+		t.Errorf("baseline = %v J, want %v J", rep.BaselineJoules, p.ServerPerBit())
+	}
+}
+
+func TestPriceUser(t *testing.T) {
+	p := energy.Valancius()
+	stats := UserStats{DownloadedBits: 8e9, FromPeersBits: 4e9, UploadedBits: 2e9}
+	ue := PriceUser(stats, p)
+	wantConsumption := p.UserPerBit() * (8e9 + 2e9) * 1e-9
+	wantCredit := p.ServerCreditPerBit() * 2e9 * 1e-9
+	if math.Abs(ue.ConsumptionJoules-wantConsumption) > 1e-9 {
+		t.Errorf("consumption = %v, want %v", ue.ConsumptionJoules, wantConsumption)
+	}
+	if math.Abs(ue.CreditJoules-wantCredit) > 1e-9 {
+		t.Errorf("credit = %v, want %v", ue.CreditJoules, wantCredit)
+	}
+}
+
+func TestNetNormalized(t *testing.T) {
+	if got := (UserEnergy{ConsumptionJoules: 10, CreditJoules: 15}).NetNormalized(); got != 0.5 {
+		t.Errorf("NetNormalized = %v, want 0.5", got)
+	}
+	if got := (UserEnergy{ConsumptionJoules: 10, CreditJoules: 0}).NetNormalized(); got != -1 {
+		t.Errorf("no-credit NetNormalized = %v, want -1", got)
+	}
+	if got := (UserEnergy{}).NetNormalized(); got != -1 {
+		t.Errorf("zero-consumption NetNormalized = %v, want -1", got)
+	}
+}
+
+func TestNonSharingUserIsFullyCarbonNegative(t *testing.T) {
+	stats := UserStats{DownloadedBits: 1e9}
+	for _, p := range energy.BothModels() {
+		if got := PriceUser(stats, p).NetNormalized(); got != -1 {
+			t.Errorf("%s: non-sharing user CCT = %v, want -1", p.Name, got)
+		}
+	}
+}

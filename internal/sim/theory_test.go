@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"consumelocal/internal/core"
+	"consumelocal/internal/energy"
+	"consumelocal/internal/topology"
+	"consumelocal/internal/trace"
+)
+
+// poissonSwarmTrace builds a single-swarm trace with Poisson arrivals at
+// rate r and exponential session durations with mean u, exactly the M/M/∞
+// dynamics behind the closed form. Users are placed uniformly over the
+// ISP's exchange points.
+func poissonSwarmTrace(t *testing.T, seed int64, rate, meanDuration float64, horizon int64) *trace.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo := topology.DefaultLondon()
+
+	var sessions []trace.Session
+	now := 0.0
+	user := uint32(0)
+	for {
+		now += rng.ExpFloat64() / rate
+		start := int64(now)
+		if start >= horizon {
+			break
+		}
+		dur := int32(rng.ExpFloat64() * meanDuration)
+		if dur < 1 {
+			dur = 1
+		}
+		if start+int64(dur) > horizon {
+			dur = int32(horizon - start)
+			if dur < 1 {
+				continue
+			}
+		}
+		sessions = append(sessions, trace.Session{
+			UserID:      user,
+			ContentID:   0,
+			ISP:         0,
+			Exchange:    uint16(rng.Intn(topo.Exchanges())),
+			StartSec:    start,
+			DurationSec: dur,
+			Bitrate:     trace.BitrateSD,
+		})
+		user++
+	}
+	return &trace.Trace{
+		Name:       "poisson",
+		Epoch:      time.Unix(0, 0).UTC(),
+		HorizonSec: horizon,
+		NumUsers:   int(user) + 1,
+		NumContent: 1,
+		NumISPs:    1,
+		Sessions:   sessions,
+	}
+}
+
+// TestTheoryMatchesSimulation is the reproduction of the paper's own
+// validation (Fig. 2): the closed-form savings S(c) must agree with the
+// trace-driven simulation across capacities, q/β ratios and both energy
+// models. The simulation is an independent code path (event sweep, greedy
+// matching, byte accounting), so agreement here validates Eq. 12 end to
+// end.
+func TestTheoryMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration simulation")
+	}
+	probs := topology.DefaultLondon().Probabilities()
+
+	cases := []struct {
+		name         string
+		rate         float64 // arrivals per second
+		meanDuration float64 // seconds
+		ratio        float64
+		tolerance    float64 // absolute savings tolerance
+	}{
+		{"tiny swarm", 0.0004, 1000, 1.0, 0.02},
+		{"unit capacity", 0.001, 1000, 1.0, 0.03},
+		{"medium swarm", 0.005, 1500, 1.0, 0.03},
+		{"large swarm", 0.03, 1800, 1.0, 0.03},
+		{"large swarm low upload", 0.03, 1800, 0.4, 0.03},
+		{"medium swarm mid upload", 0.005, 1500, 0.6, 0.03},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const horizon = 40 * 86400 // long horizon for tight statistics
+			tr := poissonSwarmTrace(t, 42, tc.rate, tc.meanDuration, horizon)
+
+			cfg := DefaultConfig(tc.ratio)
+			cfg.TrackUsers = false
+			res, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Swarms) != 1 {
+				t.Fatalf("expected a single swarm, got %d", len(res.Swarms))
+			}
+			cEmp := res.Swarms[0].Capacity
+
+			for _, params := range energy.BothModels() {
+				model := core.MustNew(params, probs)
+				theo := model.Savings(cEmp, tc.ratio)
+				simRep := Evaluate(res.Swarms[0].Tally, params)
+				if math.Abs(simRep.Savings-theo) > tc.tolerance {
+					t.Errorf("%s: sim savings %.4f vs theory %.4f at c=%.3f (|Δ| > %.3f)",
+						params.Name, simRep.Savings, theo, cEmp, tc.tolerance)
+				}
+			}
+		})
+	}
+}
+
+// TestTheoryMatchesSimulationOffload checks the traffic component alone:
+// the empirical offload fraction must match Eq. 3.
+func TestTheoryMatchesSimulationOffload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed statistical test")
+	}
+	const horizon = 40 * 86400
+	for _, tc := range []struct {
+		rate, meanDuration, ratio float64
+	}{
+		{0.001, 1000, 1.0},
+		{0.005, 1500, 0.8},
+		{0.03, 1800, 0.4},
+	} {
+		tr := poissonSwarmTrace(t, 7, tc.rate, tc.meanDuration, horizon)
+		cfg := DefaultConfig(tc.ratio)
+		cfg.TrackUsers = false
+		res, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cEmp := res.Swarms[0].Capacity
+		theoG := core.MustNew(energy.Valancius(), topology.DefaultLondon().Probabilities()).
+			Offload(cEmp, tc.ratio)
+		simG := res.Total.Offload()
+		if math.Abs(simG-theoG) > 0.02 {
+			t.Errorf("rate=%v: sim offload %.4f vs theory %.4f (c=%.3f)",
+				tc.rate, simG, theoG, cEmp)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+func TestUKBroadbandTiersMeanMatchesOfcom(t *testing.T) {
+	// The paper quotes ~4.3 Mb/s average UK upload speed (Section IV.B.1).
+	tiers := UKBroadbandTiers()
+	var mean, weight float64
+	for _, tier := range tiers {
+		mean += tier.Bps * tier.Weight
+		weight += tier.Weight
+	}
+	mean /= weight
+	if mean < 3.8e6 || mean > 4.8e6 {
+		t.Errorf("tier mix mean = %v bps, want ~4.3 Mb/s", mean)
+	}
+}
+
+func TestUploadTiersValidation(t *testing.T) {
+	tr := makeTrace(3600, session(0, 0, 0, 0, 0, 60, trace.BitrateSD))
+
+	cfg := DefaultConfig(0)
+	cfg.UploadRatio = 0
+	cfg.UploadTiers = UKBroadbandTiers()
+	if _, err := Run(tr, cfg); err != nil {
+		t.Errorf("tiers alone should satisfy the bandwidth requirement: %v", err)
+	}
+
+	cfg.UploadTiers = []UploadTier{{Name: "bad", Bps: -1, Weight: 1}}
+	if _, err := Run(tr, cfg); err == nil {
+		t.Error("negative tier bandwidth should be rejected")
+	}
+	cfg.UploadTiers = []UploadTier{{Name: "zero", Bps: 1e6, Weight: 0}}
+	if _, err := Run(tr, cfg); err == nil {
+		t.Error("zero total tier weight should be rejected")
+	}
+}
+
+func TestTierAssignmentDeterministicAndProportional(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.UploadTiers = UKBroadbandTiers()
+	counts := make([]int, len(cfg.UploadTiers))
+	const n = 100000
+	for u := uint32(0); u < n; u++ {
+		tier := cfg.tierOf(u)
+		if tier != cfg.tierOf(u) {
+			t.Fatalf("tier assignment not deterministic for %d", u)
+		}
+		counts[tier]++
+	}
+	for i, tier := range cfg.UploadTiers {
+		got := float64(counts[i]) / n
+		if math.Abs(got-tier.Weight) > 0.01 {
+			t.Errorf("tier %s share = %v, want %v", tier.Name, got, tier.Weight)
+		}
+	}
+}
+
+func TestTierOfWithoutTiers(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if got := cfg.tierOf(7); got != -1 {
+		t.Errorf("tierOf without tiers = %d, want -1", got)
+	}
+}
+
+func TestTiersOverrideRatio(t *testing.T) {
+	// Two co-located viewers; a single 750 kb/s tier must behave exactly
+	// like UploadBps = 750e3 regardless of the configured ratio.
+	mk := func() *trace.Trace {
+		return makeTrace(3600,
+			session(0, 0, 0, 7, 0, 600, trace.BitrateSD),
+			session(1, 0, 0, 7, 0, 600, trace.BitrateSD),
+		)
+	}
+	tierCfg := DefaultConfig(1)
+	tierCfg.UploadTiers = []UploadTier{{Name: "only", Bps: 750e3, Weight: 1}}
+	tierRes, err := Run(mk(), tierCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpsCfg := DefaultConfig(0)
+	bpsCfg.UploadBps = 750e3
+	bpsRes, err := Run(mk(), bpsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tierRes.Total != bpsRes.Total {
+		t.Errorf("single tier should equal absolute bandwidth: %+v vs %+v",
+			tierRes.Total, bpsRes.Total)
+	}
+}
+
+func TestHeterogeneousUploadsOnWorkload(t *testing.T) {
+	// The UK mix's mean upload (~4.3 Mb/s) is far above the SD bitrate,
+	// so tiered uploads should offload at least as much as q/β = 1 for
+	// most swarms — heterogeneity concentrates capacity in few peers but
+	// the (L−1)/L budget still binds.
+	gen := trace.DefaultGeneratorConfig(0.001)
+	gen.Days = 5
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Run(tr, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(0)
+	cfg.UploadTiers = UKBroadbandTiers()
+	tiered, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.Total.Offload() < uniform.Total.Offload()-0.02 {
+		t.Errorf("UK-mix offload %v unexpectedly below q/β=1 offload %v",
+			tiered.Total.Offload(), uniform.Total.Offload())
+	}
+	if tiered.Total.Offload() <= 0 {
+		t.Error("tiered run shared nothing")
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram accumulates samples into fixed-width bins over [Lo, Hi).
+// Samples outside the range are counted in Under/Over. The zero value is
+// not usable; construct with NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, errors.New("stats: histogram range must satisfy hi > lo")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(n),
+		counts: make([]int, n),
+	}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case math.IsNaN(x):
+		// NaN samples are counted in the total but in no bin; they would
+		// otherwise silently distort bin probabilities.
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard float rounding at the upper edge
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of samples added, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Under returns the number of samples below the histogram range.
+func (h *Histogram) Under() int { return h.under }
+
+// Over returns the number of samples at or above the upper bound.
+func (h *Histogram) Over() int { return h.over }
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Points renders the histogram as density points (bin center, fraction of
+// total samples in bin). Out-of-range samples reduce the in-range mass.
+func (h *Histogram) Points() []Point {
+	if h.total == 0 {
+		return nil
+	}
+	out := make([]Point, len(h.counts))
+	for i, c := range h.counts {
+		out[i] = Point{X: h.BinCenter(i), Y: float64(c) / float64(h.total)}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should be rejected")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range should be rejected")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range should be rejected")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.9, -1, 10, 100} {
+		h.Add(x)
+	}
+	bins := h.Bins()
+	want := []int{2, 1, 0, 0, 1}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, bins[i], want[i])
+		}
+	}
+	if h.Under() != 1 {
+		t.Errorf("Under = %d, want 1", h.Under())
+	}
+	if h.Over() != 2 {
+		t.Errorf("Over = %d, want 2", h.Over())
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.NaN())
+	if h.Total() != 1 {
+		t.Errorf("NaN should count toward the total, got %d", h.Total())
+	}
+	if h.Under() != 0 || h.Over() != 0 {
+		t.Error("NaN should not land in under/over")
+	}
+	for i, c := range h.Bins() {
+		if c != 0 {
+			t.Errorf("NaN landed in bin %d", i)
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramPoints(t *testing.T) {
+	h, err := NewHistogram(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Points() != nil {
+		t.Error("empty histogram should render nil points")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(100) // over: reduces in-range mass
+	points := h.Points()
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	if !ApproxEqual(points[0].Y, 0.5, 1e-12) {
+		t.Errorf("bin 0 density = %v, want 0.5", points[0].Y)
+	}
+	if !ApproxEqual(points[1].Y, 0.25, 1e-12) {
+		t.Errorf("bin 1 density = %v, want 0.25", points[1].Y)
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	// A value infinitesimally below the upper bound must land in the last
+	// bin, not panic or overflow the slice.
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Nextafter(1, 0))
+	if got := h.Bins()[2]; got != 1 {
+		t.Errorf("near-upper-edge sample landed in wrong bin: %v", h.Bins())
+	}
+}

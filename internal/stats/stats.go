@@ -1,0 +1,278 @@
+// Package stats provides small, allocation-conscious numeric helpers used
+// throughout the consumelocal experiments: empirical distribution functions,
+// quantiles, histograms and axis generators for parameter sweeps.
+//
+// The package is intentionally free of any simulation or energy-model
+// concepts so that it can be tested in isolation and reused by every other
+// module.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summary functions that are undefined on empty
+// inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Point is a single (X, Y) sample of an empirical function, e.g. one point
+// of a CDF or CCDF curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input so
+// that callers aggregating optional series do not need a special case; use
+// MeanChecked when emptiness is an error.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanChecked returns the arithmetic mean of xs, or ErrEmpty when xs is
+// empty.
+func MeanChecked(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Mean(xs), nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs (division by n, not n-1).
+// It returns 0 when xs has fewer than one element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. The input does not need to be
+// sorted. It returns ErrEmpty for empty input and an error for q outside
+// [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted computes the q-th quantile of an already sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// CDF returns the empirical cumulative distribution function of xs as a
+// sequence of (value, P(X <= value)) points, one per distinct sample value,
+// in increasing order of value. It returns nil for empty input.
+func CDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	n := float64(len(sorted))
+	points := make([]Point, 0, len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values into a single point carrying the
+		// highest cumulative probability for that value.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		points = append(points, Point{X: sorted[i], Y: float64(i+1) / n})
+	}
+	return points
+}
+
+// CCDF returns the empirical complementary CDF of xs as a sequence of
+// (value, P(X >= value)) points, one per distinct sample value, in
+// increasing order of value. This matches the axes used by the paper's
+// Fig. 3 (log-log CCDF of per-swarm capacity and savings).
+func CCDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	n := float64(len(sorted))
+	points := make([]Point, 0, len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// First index of each run of equal values carries P(X >= value).
+		if i > 0 && sorted[i] == sorted[i-1] {
+			continue
+		}
+		points = append(points, Point{X: sorted[i], Y: float64(len(sorted)-i) / n})
+	}
+	return points
+}
+
+// FractionAbove returns the fraction of samples strictly greater than
+// threshold.
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var count int
+	for _, x := range xs {
+		if x > threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// FractionAtLeast returns the fraction of samples greater than or equal to
+// threshold.
+func FractionAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var count int
+	for _, x := range xs {
+		if x >= threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// LinSpace returns n evenly spaced values covering [lo, hi] inclusive.
+// n must be at least 2; smaller n returns a single-element slice holding lo.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// LogSpace returns n logarithmically spaced values covering [lo, hi]
+// inclusive. Both bounds must be positive; n must be at least 2, otherwise
+// a single-element slice holding lo is returned.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= 0 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	step := (logHi - logLo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Exp(logLo + float64(i)*step)
+	}
+	out[n-1] = hi
+	return out
+}
+
+// WeightedMean returns the weighted mean of values with the given weights.
+// Entries with non-positive weight are ignored. It returns 0 when the
+// total weight is 0.
+func WeightedMean(values, weights []float64) float64 {
+	n := len(values)
+	if len(weights) < n {
+		n = len(weights)
+	}
+	var sum, wsum float64
+	for i := 0; i < n; i++ {
+		if weights[i] <= 0 {
+			continue
+		}
+		sum += values[i] * weights[i]
+		wsum += weights[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ApproxEqual reports whether a and b are equal within absolute tolerance
+// tol. NaN values are never approximately equal.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// RelativeError returns |a-b| / max(|a|,|b|, eps) with eps guarding the
+// all-zero case. It is the comparison metric used by the theory-versus-
+// simulation agreement tests.
+func RelativeError(a, b float64) float64 {
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	if denom < 1e-12 {
+		return 0
+	}
+	return math.Abs(a-b) / denom
+}

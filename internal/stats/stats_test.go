@@ -1,0 +1,352 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{name: "empty", in: nil, want: 0},
+		{name: "single", in: []float64{5}, want: 5},
+		{name: "pair", in: []float64{2, 4}, want: 3},
+		{name: "negative", in: []float64{-1, 1}, want: 0},
+		{name: "fractional", in: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); got != tt.want {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanChecked(t *testing.T) {
+	if _, err := MeanChecked(nil); err != ErrEmpty {
+		t.Errorf("MeanChecked(nil) error = %v, want ErrEmpty", err)
+	}
+	got, err := MeanChecked([]float64{1, 3})
+	if err != nil {
+		t.Fatalf("MeanChecked returned unexpected error: %v", err)
+	}
+	if got != 2 {
+		t.Errorf("MeanChecked = %v, want 2", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !ApproxEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !ApproxEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", tt.q, err)
+		}
+		if !ApproxEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	got, err := Quantile([]float64{10, 20}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ApproxEqual(got, 15, 1e-12) {
+		t.Errorf("Quantile = %v, want 15", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("empty input error = %v, want ErrEmpty", err)
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Quantile([]float64{1}, q); err == nil {
+			t.Errorf("Quantile(q=%v) expected error", q)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	points := CDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(points) != len(want) {
+		t.Fatalf("CDF returned %d points, want %d", len(points), len(want))
+	}
+	for i := range want {
+		if !ApproxEqual(points[i].X, want[i].X, 1e-12) || !ApproxEqual(points[i].Y, want[i].Y, 1e-12) {
+			t.Errorf("CDF[%d] = %+v, want %+v", i, points[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	points := CCDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 1}, {2, 0.75}, {3, 0.25}}
+	if len(points) != len(want) {
+		t.Fatalf("CCDF returned %d points, want %d", len(points), len(want))
+	}
+	for i := range want {
+		if !ApproxEqual(points[i].X, want[i].X, 1e-12) || !ApproxEqual(points[i].Y, want[i].Y, 1e-12) {
+			t.Errorf("CCDF[%d] = %+v, want %+v", i, points[i], want[i])
+		}
+	}
+}
+
+func TestCDFAndCCDFAreComplementary(t *testing.T) {
+	// For every distinct value v: P(X <= v) + P(X > v) = 1, where
+	// P(X > v) = CCDF at the next distinct value (or 0 past the max).
+	xs := []float64{1, 1, 2, 5, 5, 5, 9}
+	cdf := CDF(xs)
+	ccdf := CCDF(xs)
+	if len(cdf) != len(ccdf) {
+		t.Fatalf("point count mismatch: %d vs %d", len(cdf), len(ccdf))
+	}
+	for i := range cdf {
+		var pAbove float64
+		if i+1 < len(ccdf) {
+			pAbove = ccdf[i+1].Y
+		}
+		if !ApproxEqual(cdf[i].Y+pAbove, 1, 1e-12) {
+			t.Errorf("value %v: CDF %v + CCDF-next %v != 1", cdf[i].X, cdf[i].Y, pAbove)
+		}
+	}
+}
+
+func TestFractionAboveAndAtLeast(t *testing.T) {
+	xs := []float64{-1, 0, 0, 1, 2}
+	if got := FractionAbove(xs, 0); got != 0.4 {
+		t.Errorf("FractionAbove = %v, want 0.4", got)
+	}
+	if got := FractionAtLeast(xs, 0); got != 0.8 {
+		t.Errorf("FractionAtLeast = %v, want 0.8", got)
+	}
+	if got := FractionAbove(nil, 0); got != 0 {
+		t.Errorf("FractionAbove(nil) = %v, want 0", got)
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	got := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("LinSpace returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !ApproxEqual(got[i], want[i], 1e-12) {
+			t.Errorf("LinSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("LinSpace(n=1) = %v, want [3]", got)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	got := LogSpace(0.01, 100, 5)
+	want := []float64{0.01, 0.1, 1, 10, 100}
+	if len(got) != len(want) {
+		t.Fatalf("LogSpace returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !ApproxEqual(got[i], want[i], 1e-9) {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := LogSpace(-1, 10, 4); len(got) != 1 {
+		t.Errorf("LogSpace with non-positive bound should degrade to single value, got %v", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if !ApproxEqual(got, 2.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 2.5", got)
+	}
+	if got := WeightedMean([]float64{1, 2}, []float64{0, 0}); got != 0 {
+		t.Errorf("WeightedMean with zero weights = %v, want 0", got)
+	}
+	// Negative weights are ignored rather than inverting the mean.
+	got = WeightedMean([]float64{1, 100}, []float64{1, -5})
+	if got != 1 {
+		t.Errorf("WeightedMean with negative weight = %v, want 1", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("values within tolerance should be approximately equal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-9) {
+		t.Error("values outside tolerance should not be approximately equal")
+	}
+	if ApproxEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN should never be approximately equal")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(100, 110); !ApproxEqual(got, 10.0/110.0, 1e-12) {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %v, want 0", got)
+	}
+}
+
+// Property: the CDF is monotonically non-decreasing and ends at exactly 1.
+func TestCDFPropertyMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		points := CDF(xs)
+		prevX := math.Inf(-1)
+		prevY := 0.0
+		for _, p := range points {
+			if p.X <= prevX || p.Y < prevY {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		return ApproxEqual(points[len(points)-1].Y, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the CCDF starts at exactly 1 and is strictly decreasing in Y
+// across distinct values.
+func TestCCDFPropertyMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		points := CCDF(xs)
+		if !ApproxEqual(points[0].Y, 1, 1e-12) {
+			return false
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].Y >= points[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantilePropertyMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		q25, err1 := Quantile(xs, 0.25)
+		q50, err2 := Quantile(xs, 0.5)
+		q75, err3 := Quantile(xs, 0.75)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		lo, _ := Quantile(xs, 0)
+		hi, _ := Quantile(xs, 1)
+		return lo <= q25 && q25 <= q50 && q50 <= q75 && q75 <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize filters NaN/Inf out of generator output so that the properties
+// test the documented domain.
+func sanitize(raw []float64) []float64 {
+	out := raw[:0:0]
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

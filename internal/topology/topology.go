@@ -1,0 +1,209 @@
+// Package topology models the metropolitan access network of an ISP as the
+// three-level tree the paper describes (Fig. 1 and Table III): end users
+// attach to exchange points, exchange points aggregate into points of
+// presence (PoPs), and PoPs hang off a single metropolitan core router.
+//
+// The package answers the two questions the energy model needs:
+//
+//  1. Where is a user attached? (Placement of users onto exchange points.)
+//  2. Given two users, what is the lowest layer of the tree containing
+//     both? (The layer determines the per-bit network energy of a P2P
+//     transfer between them.)
+//
+// It also exposes the per-layer localisation probabilities of Table III,
+// which feed the closed-form model in internal/core.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"consumelocal/internal/energy"
+)
+
+// Default counts for the London deployment of the large national ISP the
+// paper consulted (Table III).
+const (
+	// DefaultExchangePoints is the number of exchange points in the
+	// metropolitan network.
+	DefaultExchangePoints = 345
+	// DefaultPoPs is the number of points of presence.
+	DefaultPoPs = 9
+	// DefaultCoreRouters is the number of metropolitan core routers.
+	DefaultCoreRouters = 1
+)
+
+// Tree is an ISP metropolitan tree with a fixed number of exchange points
+// and PoPs under a single core. Exchange points are assigned to PoPs
+// round-robin so that every PoP aggregates an (almost) equal share of
+// exchanges, matching the uniform-placement assumption of the analytical
+// model.
+type Tree struct {
+	name      string
+	exchanges int
+	pops      int
+}
+
+// New creates a Tree with the given number of exchange points and PoPs.
+func New(name string, exchanges, pops int) (*Tree, error) {
+	if exchanges < 1 {
+		return nil, errors.New("topology: need at least one exchange point")
+	}
+	if pops < 1 {
+		return nil, errors.New("topology: need at least one PoP")
+	}
+	if pops > exchanges {
+		return nil, errors.New("topology: cannot have more PoPs than exchange points")
+	}
+	return &Tree{name: name, exchanges: exchanges, pops: pops}, nil
+}
+
+// DefaultLondon returns the topology with the counts of Table III
+// (345 exchange points, 9 PoPs, 1 core router).
+func DefaultLondon() *Tree {
+	t, err := New("london", DefaultExchangePoints, DefaultPoPs)
+	if err != nil {
+		// The default constants are valid by construction; reaching this
+		// indicates programmer error, which is the one place panicking at
+		// initialisation is acceptable.
+		panic(fmt.Sprintf("topology: invalid defaults: %v", err))
+	}
+	return t
+}
+
+// Name returns the human-readable name of the topology.
+func (t *Tree) Name() string { return t.name }
+
+// Exchanges returns the number of exchange points.
+func (t *Tree) Exchanges() int { return t.exchanges }
+
+// PoPs returns the number of points of presence.
+func (t *Tree) PoPs() int { return t.pops }
+
+// Location is the attachment point of one user in a Tree: the exchange
+// point it hangs off and, derived from it, the PoP that aggregates the
+// exchange.
+type Location struct {
+	// Exchange is the zero-based exchange point index.
+	Exchange int
+	// PoP is the zero-based point-of-presence index.
+	PoP int
+}
+
+// PoPOf returns the PoP that aggregates the given exchange point.
+// Exchanges are distributed round-robin across PoPs.
+func (t *Tree) PoPOf(exchange int) int {
+	return exchange % t.pops
+}
+
+// Place assigns a uniformly random attachment location using rng.
+// Placement is uniform across exchange points, which is the assumption
+// behind the Table III localisation probabilities.
+func (t *Tree) Place(rng *rand.Rand) Location {
+	e := rng.Intn(t.exchanges)
+	return Location{Exchange: e, PoP: t.PoPOf(e)}
+}
+
+// PlaceDeterministic maps an arbitrary identifier (e.g. a user ID) onto a
+// location by modular hashing. It gives stable placements without carrying
+// a random stream, used when the same user must land on the same exchange
+// across simulations.
+func (t *Tree) PlaceDeterministic(id uint64) Location {
+	// SplitMix64 finaliser: cheap, well-distributed stateless hash.
+	z := id + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	e := int(z % uint64(t.exchanges))
+	return Location{Exchange: e, PoP: t.PoPOf(e)}
+}
+
+// Layer returns the lowest tree layer that contains both locations: the
+// exchange layer when the users share an exchange point, the PoP layer
+// when they share only a PoP, and the core layer otherwise.
+func (t *Tree) Layer(a, b Location) energy.Layer {
+	switch {
+	case a.Exchange == b.Exchange:
+		return energy.LayerExchange
+	case a.PoP == b.PoP:
+		return energy.LayerPoP
+	default:
+		return energy.LayerCore
+	}
+}
+
+// Probabilities are the per-layer localisation probabilities of Table III:
+// the probability that one specific peer falls under the same exchange
+// point (resp. PoP, core) as a given user.
+type Probabilities struct {
+	// Exchange is pexp = 1/nexp.
+	Exchange float64
+	// PoP is ppop = 1/npop.
+	PoP float64
+	// Core is pcore = 1/ncore = 1 for a single metropolitan core.
+	Core float64
+}
+
+// Probabilities returns the localisation probabilities implied by the
+// tree's node counts.
+func (t *Tree) Probabilities() Probabilities {
+	return Probabilities{
+		Exchange: 1 / float64(t.exchanges),
+		PoP:      1 / float64(t.pops),
+		Core:     1,
+	}
+}
+
+// ForLayer returns the localisation probability for the given layer.
+func (p Probabilities) ForLayer(l energy.Layer) float64 {
+	switch l {
+	case energy.LayerExchange:
+		return p.Exchange
+	case energy.LayerPoP:
+		return p.PoP
+	default:
+		return p.Core
+	}
+}
+
+// Validate checks the probabilities are a monotone chain in (0, 1] ending
+// at 1 for the core.
+func (p Probabilities) Validate() error {
+	switch {
+	case p.Exchange <= 0 || p.Exchange > 1:
+		return errors.New("topology: exchange probability must be in (0,1]")
+	case p.PoP < p.Exchange || p.PoP > 1:
+		return errors.New("topology: pop probability must be in [exchange,1]")
+	case p.Core < p.PoP || p.Core > 1:
+		return errors.New("topology: core probability must be in [pop,1]")
+	case p.Core != 1:
+		return errors.New("topology: core probability must be 1 for a single metropolitan core")
+	}
+	return nil
+}
+
+// MatchProbability returns the probability that a user in a swarm with L
+// online users finds at least one of the other L−1 peers within the given
+// layer: P_layer(L) = 1 − (1 − p_layer)^(L−1) (Section III.D).
+func (p Probabilities) MatchProbability(l energy.Layer, swarmSize int) float64 {
+	if swarmSize <= 1 {
+		return 0
+	}
+	pl := p.ForLayer(l)
+	return 1 - pow(1-pl, swarmSize-1)
+}
+
+// pow computes base^exp for non-negative integer exponents with exact
+// integer exponentiation-by-squaring, avoiding math.Pow edge cases.
+func pow(base float64, exp int) float64 {
+	result := 1.0
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
+}

@@ -1,0 +1,273 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"consumelocal/internal/energy"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		exchanges int
+		pops      int
+		wantErr   bool
+	}{
+		{"valid", 345, 9, false},
+		{"minimal", 1, 1, false},
+		{"zero exchanges", 0, 1, true},
+		{"zero pops", 10, 0, true},
+		{"more pops than exchanges", 3, 5, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New("test", tt.exchanges, tt.pops)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New(%d,%d) error = %v, wantErr %v", tt.exchanges, tt.pops, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaultLondonMatchesTableIII(t *testing.T) {
+	tr := DefaultLondon()
+	if tr.Exchanges() != 345 {
+		t.Errorf("exchanges = %d, want 345", tr.Exchanges())
+	}
+	if tr.PoPs() != 9 {
+		t.Errorf("pops = %d, want 9", tr.PoPs())
+	}
+	if tr.Name() != "london" {
+		t.Errorf("name = %q, want london", tr.Name())
+	}
+
+	p := tr.Probabilities()
+	// Table III: pexp = 0.29%, ppop = 11.11%, pcore = 100%.
+	if math.Abs(p.Exchange-0.0029) > 0.0001 {
+		t.Errorf("pexp = %v, want ~0.0029", p.Exchange)
+	}
+	if math.Abs(p.PoP-0.1111) > 0.0001 {
+		t.Errorf("ppop = %v, want ~0.1111", p.PoP)
+	}
+	if p.Core != 1 {
+		t.Errorf("pcore = %v, want 1", p.Core)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default probabilities must validate: %v", err)
+	}
+}
+
+func TestPoPOfRoundRobin(t *testing.T) {
+	tr, err := New("t", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for e := 0; e < 10; e++ {
+		pop := tr.PoPOf(e)
+		if pop < 0 || pop >= 3 {
+			t.Fatalf("PoPOf(%d) = %d out of range", e, pop)
+		}
+		counts[pop]++
+	}
+	// Round-robin: sizes differ by at most one.
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round-robin imbalance: %v", counts)
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	tr, err := New("t", 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 20)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		loc := tr.Place(rng)
+		if loc.Exchange < 0 || loc.Exchange >= 20 {
+			t.Fatalf("exchange out of range: %d", loc.Exchange)
+		}
+		if loc.PoP != tr.PoPOf(loc.Exchange) {
+			t.Fatalf("PoP inconsistent with exchange: %+v", loc)
+		}
+		counts[loc.Exchange]++
+	}
+	want := float64(n) / 20
+	for e, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Errorf("exchange %d count %d deviates >15%% from uniform %v", e, c, want)
+		}
+	}
+}
+
+func TestPlaceDeterministicStable(t *testing.T) {
+	tr := DefaultLondon()
+	for id := uint64(0); id < 100; id++ {
+		a := tr.PlaceDeterministic(id)
+		b := tr.PlaceDeterministic(id)
+		if a != b {
+			t.Fatalf("placement for id %d not stable: %+v vs %+v", id, a, b)
+		}
+		if a.PoP != tr.PoPOf(a.Exchange) {
+			t.Fatalf("PoP inconsistent for id %d: %+v", id, a)
+		}
+	}
+}
+
+func TestPlaceDeterministicSpread(t *testing.T) {
+	// Hash placement should spread sequential IDs over many exchanges.
+	tr := DefaultLondon()
+	seen := make(map[int]bool)
+	for id := uint64(0); id < 1000; id++ {
+		seen[tr.PlaceDeterministic(id).Exchange] = true
+	}
+	if len(seen) < 300 {
+		t.Errorf("1000 sequential ids hit only %d distinct exchanges", len(seen))
+	}
+}
+
+func TestLayerClassification(t *testing.T) {
+	tr, err := New("t", 6, 3) // exchanges 0..5, pops = e % 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	locOf := func(e int) Location { return Location{Exchange: e, PoP: tr.PoPOf(e)} }
+
+	tests := []struct {
+		name string
+		a, b int
+		want energy.Layer
+	}{
+		{"same exchange", 2, 2, energy.LayerExchange},
+		{"same pop different exchange", 0, 3, energy.LayerPoP}, // 0%3 == 3%3
+		{"different pop", 0, 1, energy.LayerCore},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tr.Layer(locOf(tt.a), locOf(tt.b)); got != tt.want {
+				t.Errorf("Layer(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLayerSymmetric(t *testing.T) {
+	tr := DefaultLondon()
+	f := func(idA, idB uint64) bool {
+		a := tr.PlaceDeterministic(idA)
+		b := tr.PlaceDeterministic(idB)
+		return tr.Layer(a, b) == tr.Layer(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbabilitiesForLayer(t *testing.T) {
+	p := DefaultLondon().Probabilities()
+	if got := p.ForLayer(energy.LayerExchange); got != p.Exchange {
+		t.Errorf("ForLayer(exchange) = %v", got)
+	}
+	if got := p.ForLayer(energy.LayerPoP); got != p.PoP {
+		t.Errorf("ForLayer(pop) = %v", got)
+	}
+	if got := p.ForLayer(energy.LayerCore); got != 1 {
+		t.Errorf("ForLayer(core) = %v", got)
+	}
+}
+
+func TestProbabilitiesValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Probabilities
+		wantErr bool
+	}{
+		{"default", Probabilities{Exchange: 1.0 / 345, PoP: 1.0 / 9, Core: 1}, false},
+		{"zero exchange", Probabilities{Exchange: 0, PoP: 0.1, Core: 1}, true},
+		{"pop below exchange", Probabilities{Exchange: 0.5, PoP: 0.1, Core: 1}, true},
+		{"core not one", Probabilities{Exchange: 0.1, PoP: 0.2, Core: 0.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMatchProbability(t *testing.T) {
+	p := DefaultLondon().Probabilities()
+	// With one user there is nobody to match with.
+	if got := p.MatchProbability(energy.LayerExchange, 1); got != 0 {
+		t.Errorf("MatchProbability(L=1) = %v, want 0", got)
+	}
+	// With two users, the chance of an exchange-local peer is pexp itself.
+	if got := p.MatchProbability(energy.LayerExchange, 2); math.Abs(got-p.Exchange) > 1e-12 {
+		t.Errorf("MatchProbability(L=2) = %v, want %v", got, p.Exchange)
+	}
+	// The core always contains everybody.
+	if got := p.MatchProbability(energy.LayerCore, 2); got != 1 {
+		t.Errorf("MatchProbability(core, 2) = %v, want 1", got)
+	}
+	// Large swarms localise with near certainty even at exchanges.
+	if got := p.MatchProbability(energy.LayerExchange, 5000); got < 0.99 {
+		t.Errorf("MatchProbability(exchange, 5000) = %v, want > 0.99", got)
+	}
+}
+
+func TestMatchProbabilityMonotoneInSwarmSize(t *testing.T) {
+	p := DefaultLondon().Probabilities()
+	prev := -1.0
+	for _, l := range []int{1, 2, 5, 10, 100, 1000} {
+		got := p.MatchProbability(energy.LayerPoP, l)
+		if got < prev {
+			t.Errorf("MatchProbability not monotone at L=%d: %v < %v", l, got, prev)
+		}
+		prev = got
+	}
+}
+
+// Empirical check: random placement reproduces the Table III localisation
+// probabilities, tying Place/Layer to Probabilities.
+func TestPlacementReproducesLocalisationProbabilities(t *testing.T) {
+	tr := DefaultLondon()
+	probs := tr.Probabilities()
+	rng := rand.New(rand.NewSource(99))
+
+	const n = 200000
+	ref := tr.Place(rng)
+	var sameExchange, samePoP int
+	for i := 0; i < n; i++ {
+		other := tr.Place(rng)
+		switch tr.Layer(ref, other) {
+		case energy.LayerExchange:
+			sameExchange++
+			samePoP++ // same exchange implies same PoP
+		case energy.LayerPoP:
+			samePoP++
+		}
+	}
+	gotExp := float64(sameExchange) / n
+	gotPoP := float64(samePoP) / n
+	if math.Abs(gotExp-probs.Exchange)/probs.Exchange > 0.2 {
+		t.Errorf("empirical pexp = %v, want ~%v", gotExp, probs.Exchange)
+	}
+	if math.Abs(gotPoP-probs.PoP)/probs.PoP > 0.1 {
+		t.Errorf("empirical ppop = %v, want ~%v", gotPoP, probs.PoP)
+	}
+}

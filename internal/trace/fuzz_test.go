@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := smallTrace().WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("#meta name=x\n")
+	f.Add("#meta name=x epoch=2013-09-01T00:00:00Z horizon=86400 users=1 content=1 isps=1\n" +
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"0,0,0,0,0,60,1500\n")
+	f.Add("#meta horizon=-1\nuser,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n")
+	f.Add("#meta users=99999999999999999999\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		// Accepted traces must be valid and round-trippable.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again.Sessions) != len(tr.Sessions) {
+			t.Fatalf("round trip changed session count: %d vs %d",
+				len(again.Sessions), len(tr.Sessions))
+		}
+	})
+}
+
+// FuzzReadJSON mirrors FuzzReadCSV for the JSON reader.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := smallTrace().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add("{\"horizon_sec\": -1}")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// DefaultISPShares is the market-share split used for the top five ISPs in
+// the considered city. The paper does not publish the shares; these follow
+// the UK fixed-broadband market ordering (one dominant incumbent and four
+// challengers), which is sufficient to reproduce the ISP ordering of
+// Fig. 2 and Fig. 4.
+var DefaultISPShares = []float64{0.34, 0.24, 0.19, 0.13, 0.10}
+
+// DefaultDiurnalProfile is the relative arrival intensity per hour of day
+// for a catch-up TV service: quiet overnight, a lunchtime bump, and a
+// strong evening prime-time peak (cf. Karamshuk et al., JSAC 2016).
+var DefaultDiurnalProfile = [24]float64{
+	0.35, 0.20, 0.12, 0.08, 0.06, 0.08, // 00-05
+	0.15, 0.30, 0.45, 0.55, 0.60, 0.70, // 06-11
+	0.80, 0.85, 0.80, 0.75, 0.85, 1.00, // 12-17
+	1.40, 1.80, 2.10, 2.00, 1.50, 0.80, // 18-23
+}
+
+// GeneratorConfig parameterises the synthetic trace generator. The zero
+// value is not usable; start from DefaultGeneratorConfig.
+type GeneratorConfig struct {
+	// Name labels the generated trace.
+	Name string
+	// Seed makes generation deterministic; the same config always yields
+	// the same trace.
+	Seed int64
+	// Days is the trace horizon in days.
+	Days int
+	// NumUsers is the user population size.
+	NumUsers int
+	// NumContent is the catalogue size.
+	NumContent int
+	// TargetSessions is the total number of sessions to generate.
+	TargetSessions int
+	// ZipfExponent is the popularity skew s of the content catalogue
+	// (P(item k) ∝ (v+k)^-s). Catch-up TV catalogues are strongly skewed;
+	// values near 1.2 reproduce the paper's "few popular items, large
+	// majority of unpopular items" CCDF (Fig. 3 left).
+	ZipfExponent float64
+	// ZipfOffset is the Zipf v parameter.
+	ZipfOffset float64
+	// UserActivityExponent skews per-user session counts; per-user
+	// consumption is "highly skewed towards a small share of very active
+	// users" (Section II).
+	UserActivityExponent float64
+	// ISPShares are the per-ISP market shares; they must sum to ~1.
+	ISPShares []float64
+	// ExchangesPerISP is the number of exchange points in each ISP's
+	// metropolitan tree (Table III: 345).
+	ExchangesPerISP int
+	// ExchangeSkew makes user placement across exchange points non-uniform:
+	// 0 (the default) places users uniformly, matching the analytical
+	// model's assumption; positive values draw exchanges from a Zipf
+	// distribution with exponent 1+ExchangeSkew, concentrating users in
+	// popular exchanges the way real metro populations do. Used to probe
+	// the robustness of the paper's Eq. 7 approximation.
+	ExchangeSkew float64
+	// MeanDurationSec is the mean session duration. TV shows run much
+	// longer than short-form video; the default models ~28 minutes.
+	MeanDurationSec float64
+	// DurationSigma is the σ of the log-normal duration distribution.
+	DurationSigma float64
+	// MinDurationSec truncates unrealistically short sessions.
+	MinDurationSec int32
+	// MaxDurationSec truncates unrealistically long sessions.
+	MaxDurationSec int32
+	// BitrateWeights gives the probability of each bitrate class.
+	BitrateWeights map[BitrateClass]float64
+	// DiurnalProfile is the relative arrival intensity per hour of day.
+	DiurnalProfile [24]float64
+	// WeekendMultiplier scales session arrivals on Saturdays and Sundays
+	// relative to weekdays. Catch-up TV sees a weekend uplift; 1 disables
+	// the effect.
+	WeekendMultiplier float64
+	// Epoch anchors the trace in wall-clock time.
+	Epoch time.Time
+}
+
+// DefaultGeneratorConfig returns a configuration calibrated to the shape
+// of the paper's dataset, scaled down by the given factor so that tests
+// and examples run quickly. scale = 1.0 approximates the London subset of
+// Table I (3.3M users, 23.5M sessions, 30 days); scale = 0.01 yields a
+// trace that simulates in seconds while preserving per-swarm capacities
+// for the popular items (both users and sessions shrink together, so
+// arrival rates per item scale linearly and the popular-item capacities
+// stay within the regime the paper analyses).
+func DefaultGeneratorConfig(scale float64) GeneratorConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	round := func(x float64, min int) int {
+		n := int(math.Round(x))
+		if n < min {
+			return min
+		}
+		return n
+	}
+	return GeneratorConfig{
+		Name:                 "synthetic-london",
+		Seed:                 1,
+		Days:                 30,
+		NumUsers:             round(3_300_000*scale, 100),
+		NumContent:           round(60_000*scale, 50),
+		TargetSessions:       round(23_500_000*scale, 1000),
+		ZipfExponent:         1.2,
+		ZipfOffset:           2,
+		UserActivityExponent: 1.05,
+		ISPShares:            append([]float64(nil), DefaultISPShares...),
+		ExchangesPerISP:      345,
+		MeanDurationSec:      1700,
+		DurationSigma:        0.8,
+		MinDurationSec:       60,
+		MaxDurationSec:       3 * 3600,
+		BitrateWeights: map[BitrateClass]float64{
+			BitrateMobile: 0.22,
+			BitrateSD:     0.56,
+			BitrateHD:     0.22,
+		},
+		DiurnalProfile:    DefaultDiurnalProfile,
+		WeekendMultiplier: 1.25,
+		Epoch:             time.Date(2013, time.September, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Validate checks the configuration.
+func (c GeneratorConfig) Validate() error {
+	switch {
+	case c.Days <= 0:
+		return errors.New("trace: config needs a positive number of days")
+	case c.NumUsers <= 0 || c.NumContent <= 0 || c.TargetSessions <= 0:
+		return errors.New("trace: config needs positive population sizes")
+	case c.ZipfExponent <= 1:
+		return errors.New("trace: zipf exponent must exceed 1")
+	case c.ZipfOffset < 1:
+		return errors.New("trace: zipf offset must be >= 1")
+	case len(c.ISPShares) == 0:
+		return errors.New("trace: config needs at least one ISP share")
+	case c.ExchangesPerISP <= 0:
+		return errors.New("trace: config needs a positive exchange count")
+	case c.MeanDurationSec <= 0 || c.DurationSigma <= 0:
+		return errors.New("trace: config needs positive duration parameters")
+	case c.MinDurationSec <= 0 || c.MaxDurationSec < c.MinDurationSec:
+		return errors.New("trace: invalid duration bounds")
+	case len(c.BitrateWeights) == 0:
+		return errors.New("trace: config needs bitrate weights")
+	case c.WeekendMultiplier < 0:
+		return errors.New("trace: weekend multiplier must be non-negative")
+	case c.ExchangeSkew < 0:
+		return errors.New("trace: exchange skew must be non-negative")
+	}
+	var shareSum float64
+	for _, s := range c.ISPShares {
+		if s < 0 {
+			return errors.New("trace: ISP shares must be non-negative")
+		}
+		shareSum += s
+	}
+	if math.Abs(shareSum-1) > 0.05 {
+		return fmt.Errorf("trace: ISP shares sum to %v, want ~1", shareSum)
+	}
+	var weightSum float64
+	for class, w := range c.BitrateWeights {
+		if class <= 0 || w < 0 {
+			return errors.New("trace: invalid bitrate weight entry")
+		}
+		weightSum += w
+	}
+	if weightSum <= 0 {
+		return errors.New("trace: bitrate weights must have positive mass")
+	}
+	return nil
+}
+
+// Generate builds a deterministic synthetic trace from the configuration.
+func Generate(cfg GeneratorConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	contentZipf := rand.NewZipf(rng, cfg.ZipfExponent, cfg.ZipfOffset, uint64(cfg.NumContent-1))
+	userZipf := rand.NewZipf(rng, cfg.UserActivityExponent, 20, uint64(cfg.NumUsers-1))
+
+	// Precompute hourly sampling: cumulative diurnal weights.
+	hourCum := make([]float64, 24)
+	var total float64
+	for h, w := range cfg.DiurnalProfile {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		hourCum[h] = total
+	}
+	if total == 0 {
+		return nil, errors.New("trace: diurnal profile has no mass")
+	}
+
+	bitrates, bitrateCum := cumulativeBitrates(cfg.BitrateWeights)
+	ispCum := make([]float64, len(cfg.ISPShares))
+	var ispTotal float64
+	for i, s := range cfg.ISPShares {
+		ispTotal += s
+		ispCum[i] = ispTotal
+	}
+
+	// Fixed per-user attributes: home ISP, home exchange and a preferred
+	// bitrate class (devices rarely change between sessions).
+	var exchangeZipf *rand.Zipf
+	if cfg.ExchangeSkew > 0 {
+		exchangeZipf = rand.NewZipf(rng, 1+cfg.ExchangeSkew, 1, uint64(cfg.ExchangesPerISP-1))
+	}
+	userISP := make([]uint8, cfg.NumUsers)
+	userExchange := make([]uint16, cfg.NumUsers)
+	userBitrate := make([]BitrateClass, cfg.NumUsers)
+	for u := 0; u < cfg.NumUsers; u++ {
+		userISP[u] = uint8(sampleCumulative(ispCum, ispTotal, rng))
+		if exchangeZipf != nil {
+			userExchange[u] = uint16(exchangeZipf.Uint64())
+		} else {
+			userExchange[u] = uint16(rng.Intn(cfg.ExchangesPerISP))
+		}
+		userBitrate[u] = bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)]
+	}
+
+	// Cumulative day weights implementing the weekend uplift.
+	dayCum := make([]float64, cfg.Days)
+	var dayTotal float64
+	for d := 0; d < cfg.Days; d++ {
+		w := 1.0
+		if cfg.WeekendMultiplier > 0 && isWeekend(cfg.Epoch, d) {
+			w = cfg.WeekendMultiplier
+		}
+		dayTotal += w
+		dayCum[d] = dayTotal
+	}
+
+	horizon := int64(cfg.Days) * 24 * 3600
+	sessions := make([]Session, 0, cfg.TargetSessions)
+	for i := 0; i < cfg.TargetSessions; i++ {
+		user := uint32(userZipf.Uint64())
+		content := uint32(contentZipf.Uint64())
+
+		day := sampleCumulative(dayCum, dayTotal, rng)
+		hour := sampleCumulative(hourCum, total, rng)
+		sec := rng.Intn(3600)
+		start := int64(day)*24*3600 + int64(hour)*3600 + int64(sec)
+
+		duration := sampleDuration(rng, cfg)
+		// Sessions may cross the horizon end; clip so the trace closes.
+		if start+int64(duration) > horizon {
+			duration = int32(horizon - start)
+			if duration < cfg.MinDurationSec {
+				continue
+			}
+		}
+
+		// Sessions occasionally stream at a different class than the
+		// user's usual device (e.g. on the move): 15% re-draw.
+		bitrate := userBitrate[user]
+		if rng.Float64() < 0.15 {
+			bitrate = bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)]
+		}
+
+		sessions = append(sessions, Session{
+			UserID:      user,
+			ContentID:   content,
+			ISP:         userISP[user],
+			Exchange:    userExchange[user],
+			StartSec:    start,
+			DurationSec: duration,
+			Bitrate:     bitrate,
+		})
+	}
+
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].StartSec != sessions[j].StartSec {
+			return sessions[i].StartSec < sessions[j].StartSec
+		}
+		return sessions[i].UserID < sessions[j].UserID
+	})
+
+	return &Trace{
+		Name:       cfg.Name,
+		Epoch:      cfg.Epoch,
+		HorizonSec: horizon,
+		NumUsers:   cfg.NumUsers,
+		NumContent: cfg.NumContent,
+		NumISPs:    len(cfg.ISPShares),
+		Sessions:   sessions,
+	}, nil
+}
+
+// isWeekend reports whether day offset d from the epoch falls on a
+// Saturday or Sunday.
+func isWeekend(epoch time.Time, d int) bool {
+	wd := epoch.AddDate(0, 0, d).Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// sampleDuration draws a log-normal playback duration truncated to the
+// configured bounds.
+func sampleDuration(rng *rand.Rand, cfg GeneratorConfig) int32 {
+	// For a log-normal with median m and shape σ, mean = m·exp(σ²/2); we
+	// pick μ so the distribution mean matches MeanDurationSec.
+	mu := math.Log(cfg.MeanDurationSec) - cfg.DurationSigma*cfg.DurationSigma/2
+	d := math.Exp(mu + cfg.DurationSigma*rng.NormFloat64())
+	if d < float64(cfg.MinDurationSec) {
+		return cfg.MinDurationSec
+	}
+	if d > float64(cfg.MaxDurationSec) {
+		return cfg.MaxDurationSec
+	}
+	return int32(d)
+}
+
+// cumulativeBitrates flattens the bitrate weight map into parallel slices
+// with a deterministic order (ascending bitrate) and cumulative weights.
+func cumulativeBitrates(weights map[BitrateClass]float64) ([]BitrateClass, []float64) {
+	classes := make([]BitrateClass, 0, len(weights))
+	for class := range weights {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	cum := make([]float64, len(classes))
+	var total float64
+	for i, class := range classes {
+		total += weights[class]
+		cum[i] = total
+	}
+	return classes, cum
+}
+
+// sampleCumulative draws an index from a cumulative weight vector.
+func sampleCumulative(cum []float64, total float64, rng *rand.Rand) int {
+	x := rng.Float64() * total
+	// Linear scan: the vectors here have at most a couple of dozen
+	// entries, where a scan beats binary search.
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}

@@ -1,0 +1,386 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// testConfig returns a small but statistically meaningful generator
+// configuration for tests.
+func testConfig() GeneratorConfig {
+	cfg := DefaultGeneratorConfig(0.002) // ~6600 users, ~47K sessions
+	cfg.Days = 7
+	return cfg
+}
+
+func TestDefaultGeneratorConfigValid(t *testing.T) {
+	for _, scale := range []float64{1, 0.1, 0.001, 0} {
+		cfg := DefaultGeneratorConfig(scale)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scale %v: default config invalid: %v", scale, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*GeneratorConfig)
+	}{
+		{"zero days", func(c *GeneratorConfig) { c.Days = 0 }},
+		{"zero users", func(c *GeneratorConfig) { c.NumUsers = 0 }},
+		{"zero content", func(c *GeneratorConfig) { c.NumContent = 0 }},
+		{"zipf exponent too low", func(c *GeneratorConfig) { c.ZipfExponent = 1 }},
+		{"zipf offset too low", func(c *GeneratorConfig) { c.ZipfOffset = 0.5 }},
+		{"no isps", func(c *GeneratorConfig) { c.ISPShares = nil }},
+		{"negative share", func(c *GeneratorConfig) { c.ISPShares = []float64{1.2, -0.2} }},
+		{"shares do not sum to one", func(c *GeneratorConfig) { c.ISPShares = []float64{0.2, 0.2} }},
+		{"zero exchanges", func(c *GeneratorConfig) { c.ExchangesPerISP = 0 }},
+		{"bad duration", func(c *GeneratorConfig) { c.MeanDurationSec = 0 }},
+		{"bad duration bounds", func(c *GeneratorConfig) { c.MaxDurationSec = c.MinDurationSec - 1 }},
+		{"no bitrates", func(c *GeneratorConfig) { c.BitrateWeights = nil }},
+		{"zero weight mass", func(c *GeneratorConfig) { c.BitrateWeights = map[BitrateClass]float64{BitrateSD: 0} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected config validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateProducesValidTrace(t *testing.T) {
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Sessions) < 40000 {
+		t.Errorf("generated %d sessions, want ~47K", len(tr.Sessions))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ: %d vs %d", len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i] != b.Sessions[i] {
+			t.Fatalf("session %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	cfgA := testConfig()
+	cfgB := testConfig()
+	cfgB.Seed = 999
+	a, err := Generate(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Sessions) == len(b.Sessions)
+	if same {
+		identical := true
+		for i := range a.Sessions {
+			if a.Sessions[i] != b.Sessions[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestGeneratePopularitySkew(t *testing.T) {
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.ViewCounts()
+
+	// Item 0 must dominate: Zipf ordering puts the most popular first.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if counts[0] < max/2 {
+		t.Errorf("item 0 has %d views, max is %d; expected item 0 to be near the top", counts[0], max)
+	}
+
+	// Heavy tail: the top 10% of items should capture a large share of all
+	// views (the paper's catalogue is strongly skewed, Fig. 3 left). At
+	// full catalogue size the same parameters put ~79% of views in the
+	// top 1%.
+	topN := len(counts) / 10
+	if topN < 1 {
+		topN = 1
+	}
+	var topViews, allViews int
+	for i, c := range counts {
+		allViews += c
+		if i < topN {
+			topViews += c
+		}
+	}
+	share := float64(topViews) / float64(allViews)
+	if share < 0.4 {
+		t.Errorf("top-10%% items capture only %.1f%% of views, want >= 40%%", 100*share)
+	}
+}
+
+func TestGenerateISPShares(t *testing.T) {
+	cfg := testConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perISP := tr.SessionsPerISP()
+	total := 0
+	for _, c := range perISP {
+		total += c
+	}
+	// Session shares should roughly follow user-population shares. Heavy
+	// per-user activity skew adds variance, so allow a generous band.
+	for i, want := range cfg.ISPShares {
+		got := float64(perISP[i]) / float64(total)
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("ISP %d share = %.3f, configured %.3f", i, got, want)
+		}
+	}
+	// ISP 0 is the largest by construction.
+	for i := 1; i < len(perISP); i++ {
+		if perISP[i] > perISP[0] {
+			t.Errorf("ISP %d (%d sessions) exceeds ISP 0 (%d)", i, perISP[i], perISP[0])
+		}
+	}
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hourCounts := make([]int, 24)
+	for _, s := range tr.Sessions {
+		hour := (s.StartSec / 3600) % 24
+		hourCounts[hour]++
+	}
+	// Prime time (20:00) must be busier than early morning (04:00).
+	if hourCounts[20] <= hourCounts[4]*3 {
+		t.Errorf("prime time %d sessions vs 4am %d: expected strong prime-time peak",
+			hourCounts[20], hourCounts[4])
+	}
+}
+
+func TestGenerateWeekendUplift(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 28 // exactly four weeks for a fair comparison
+	cfg.WeekendMultiplier = 1.5
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weekend, weekday int
+	for _, s := range tr.Sessions {
+		if isWeekend(cfg.Epoch, int(s.StartSec/86400)) {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	perWeekendDay := float64(weekend) / 8
+	perWeekday := float64(weekday) / 20
+	ratio := perWeekendDay / perWeekday
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("weekend/weekday arrival ratio = %v, want ~1.5", ratio)
+	}
+}
+
+func TestGenerateWeekendMultiplierValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.WeekendMultiplier = -0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative weekend multiplier should be rejected")
+	}
+	// Zero disables the effect (treated as uniform), still valid.
+	cfg.WeekendMultiplier = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero multiplier should be valid: %v", err)
+	}
+}
+
+func TestIsWeekend(t *testing.T) {
+	// The default epoch, 2013-09-01, is a Sunday.
+	epoch := DefaultGeneratorConfig(0.01).Epoch
+	if !isWeekend(epoch, 0) {
+		t.Error("epoch day (Sunday) should be weekend")
+	}
+	if isWeekend(epoch, 1) {
+		t.Error("day 1 (Monday) should be weekday")
+	}
+	if !isWeekend(epoch, 6) {
+		t.Error("day 6 (Saturday) should be weekend")
+	}
+}
+
+func TestGenerateExchangeSkew(t *testing.T) {
+	uniform := testConfig()
+	skewed := testConfig()
+	skewed.ExchangeSkew = 0.5
+
+	trU, err := Generate(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trS, err := Generate(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed placement concentrates users: the most popular exchange must
+	// host a far larger share of users than under uniform placement.
+	topShare := func(tr *Trace) float64 {
+		counts := map[uint16]int{}
+		users := map[uint32]bool{}
+		for _, s := range tr.Sessions {
+			if users[s.UserID] {
+				continue
+			}
+			users[s.UserID] = true
+			counts[s.Exchange]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(users))
+	}
+	u, s := topShare(trU), topShare(trS)
+	if s < 2*u {
+		t.Errorf("skewed top-exchange share %v should far exceed uniform %v", s, u)
+	}
+}
+
+func TestGenerateExchangeSkewValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.ExchangeSkew = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative exchange skew should be rejected")
+	}
+}
+
+func TestGenerateDurations(t *testing.T) {
+	cfg := testConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range tr.Sessions {
+		if s.DurationSec < cfg.MinDurationSec || s.DurationSec > cfg.MaxDurationSec {
+			t.Fatalf("duration %d outside configured bounds", s.DurationSec)
+		}
+		sum += float64(s.DurationSec)
+	}
+	mean := sum / float64(len(tr.Sessions))
+	// Truncation pulls the realised mean below the configured mean; it
+	// must stay in the right ballpark for capacity calibration.
+	if mean < cfg.MeanDurationSec*0.55 || mean > cfg.MeanDurationSec*1.3 {
+		t.Errorf("mean duration %v strays too far from configured %v", mean, cfg.MeanDurationSec)
+	}
+}
+
+func TestGenerateBitrateMix(t *testing.T) {
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[BitrateClass]int{}
+	for _, s := range tr.Sessions {
+		counts[s.Bitrate]++
+	}
+	// SD must be the most common bitrate (Section IV.B.1).
+	if counts[BitrateSD] <= counts[BitrateMobile] || counts[BitrateSD] <= counts[BitrateHD] {
+		t.Errorf("SD is not the most common bitrate: %v", counts)
+	}
+}
+
+func TestGenerateUserActivitySkew(t *testing.T) {
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUser := map[uint32]int{}
+	for _, s := range tr.Sessions {
+		perUser[s.UserID]++
+	}
+	max := 0
+	for _, c := range perUser {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(tr.Sessions)) / float64(len(perUser))
+	if float64(max) < 5*mean {
+		t.Errorf("max per-user sessions %d vs mean %.1f: expected heavy activity skew", max, mean)
+	}
+}
+
+func TestGenerateExchangeStability(t *testing.T) {
+	// A user must always appear at the same exchange (home placement).
+	tr, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]uint16{}
+	for _, s := range tr.Sessions {
+		if prev, ok := seen[s.UserID]; ok && prev != s.Exchange {
+			t.Fatalf("user %d appears at exchanges %d and %d", s.UserID, prev, s.Exchange)
+		}
+		seen[s.UserID] = s.Exchange
+	}
+}
+
+func TestGenerateScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale config sanity check only verifies arithmetic")
+	}
+	cfg := DefaultGeneratorConfig(1)
+	if cfg.NumUsers != 3_300_000 {
+		t.Errorf("full-scale users = %d, want 3.3M", cfg.NumUsers)
+	}
+	if cfg.TargetSessions != 23_500_000 {
+		t.Errorf("full-scale sessions = %d, want 23.5M", cfg.TargetSessions)
+	}
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// csvHeader is the column layout of the CSV interchange format. It mirrors
+// the per-session fields the paper's dataset exposes.
+var csvHeader = []string{
+	"user", "content", "isp", "exchange", "start_sec", "duration_sec", "bitrate_kbps",
+}
+
+// WriteCSV serialises the trace sessions as CSV with a header row. Trace
+// metadata (horizon, population sizes) is carried in a leading comment
+// line so that ReadCSV can reconstruct the full Trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	meta := fmt.Sprintf("#meta name=%s epoch=%s horizon=%d users=%d content=%d isps=%d\n",
+		t.Name, t.Epoch.Format(time.RFC3339), t.HorizonSec, t.NumUsers, t.NumContent, t.NumISPs)
+	if _, err := io.WriteString(w, meta); err != nil {
+		return fmt.Errorf("trace: write meta: %w", err)
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	record := make([]string, len(csvHeader))
+	for _, s := range t.Sessions {
+		record[0] = strconv.FormatUint(uint64(s.UserID), 10)
+		record[1] = strconv.FormatUint(uint64(s.ContentID), 10)
+		record[2] = strconv.Itoa(int(s.ISP))
+		record[3] = strconv.Itoa(int(s.Exchange))
+		record[4] = strconv.FormatInt(s.StartSec, 10)
+		record[5] = strconv.Itoa(int(s.DurationSec))
+		record[6] = strconv.Itoa(int(s.Bitrate))
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("trace: write session: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace previously produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	br := newLineReader(r)
+	metaLine, err := br.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read meta: %w", err)
+	}
+	t := &Trace{}
+	if err := parseMeta(metaLine, t); err != nil {
+		return nil, err
+	}
+
+	cr := csv.NewReader(br)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read session: %w", err)
+		}
+		s, err := parseSession(record)
+		if err != nil {
+			return nil, err
+		}
+		t.Sessions = append(t.Sessions, s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseMeta decodes the "#meta k=v ..." comment line.
+func parseMeta(line string, t *Trace) error {
+	const prefix = "#meta "
+	if !strings.HasPrefix(line, prefix) {
+		return fmt.Errorf("trace: missing #meta line, got %q", truncate(line, 40))
+	}
+	fields := strings.Fields(line[len(prefix):])
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			return fmt.Errorf("trace: malformed meta field %q", f)
+		}
+		key, value := f[:eq], f[eq+1:]
+		var err error
+		switch key {
+		case "name":
+			t.Name = value
+		case "epoch":
+			t.Epoch, err = time.Parse(time.RFC3339, value)
+		case "horizon":
+			t.HorizonSec, err = strconv.ParseInt(value, 10, 64)
+		case "users":
+			t.NumUsers, err = strconv.Atoi(value)
+		case "content":
+			t.NumContent, err = strconv.Atoi(value)
+		case "isps":
+			t.NumISPs, err = strconv.Atoi(value)
+		default:
+			// Unknown keys are ignored for forward compatibility.
+		}
+		if err != nil {
+			return fmt.Errorf("trace: meta field %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// parseSession decodes one CSV record.
+func parseSession(record []string) (Session, error) {
+	var s Session
+	if len(record) != len(csvHeader) {
+		return s, fmt.Errorf("trace: record has %d columns, want %d", len(record), len(csvHeader))
+	}
+	user, err := strconv.ParseUint(record[0], 10, 32)
+	if err != nil {
+		return s, fmt.Errorf("trace: user column: %w", err)
+	}
+	content, err := strconv.ParseUint(record[1], 10, 32)
+	if err != nil {
+		return s, fmt.Errorf("trace: content column: %w", err)
+	}
+	isp, err := strconv.ParseUint(record[2], 10, 8)
+	if err != nil {
+		return s, fmt.Errorf("trace: isp column: %w", err)
+	}
+	exchange, err := strconv.ParseUint(record[3], 10, 16)
+	if err != nil {
+		return s, fmt.Errorf("trace: exchange column: %w", err)
+	}
+	start, err := strconv.ParseInt(record[4], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("trace: start column: %w", err)
+	}
+	duration, err := strconv.ParseInt(record[5], 10, 32)
+	if err != nil {
+		return s, fmt.Errorf("trace: duration column: %w", err)
+	}
+	bitrate, err := strconv.ParseInt(record[6], 10, 32)
+	if err != nil {
+		return s, fmt.Errorf("trace: bitrate column: %w", err)
+	}
+	return Session{
+		UserID:      uint32(user),
+		ContentID:   uint32(content),
+		ISP:         uint8(isp),
+		Exchange:    uint16(exchange),
+		StartSec:    start,
+		DurationSec: int32(duration),
+		Bitrate:     BitrateClass(bitrate),
+	}, nil
+}
+
+// WriteJSON serialises the whole trace as one JSON document.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace produced by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// lineReader reads one raw line then exposes the rest of the stream as an
+// io.Reader, without buffering past the first line boundary more than
+// necessary.
+type lineReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	n   int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: r, buf: make([]byte, 4096)}
+}
+
+// readLine returns the first line (without the trailing newline).
+func (lr *lineReader) readLine() (string, error) {
+	var line []byte
+	for {
+		if lr.pos == lr.n {
+			n, err := lr.r.Read(lr.buf)
+			if n == 0 {
+				if err == io.EOF && len(line) > 0 {
+					return string(line), nil
+				}
+				if err == nil {
+					continue
+				}
+				return "", err
+			}
+			lr.pos, lr.n = 0, n
+		}
+		for lr.pos < lr.n {
+			b := lr.buf[lr.pos]
+			lr.pos++
+			if b == '\n' {
+				return string(line), nil
+			}
+			line = append(line, b)
+		}
+	}
+}
+
+// Read exposes the remainder of the stream after the consumed line.
+func (lr *lineReader) Read(p []byte) (int, error) {
+	if lr.pos < lr.n {
+		n := copy(p, lr.buf[lr.pos:lr.n])
+		lr.pos += n
+		return n, nil
+	}
+	return lr.r.Read(p)
+}
+
+// truncate shortens s for error messages.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

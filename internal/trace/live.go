@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// LiveEvent is one scheduled live broadcast in a LiveConfig.
+type LiveEvent struct {
+	// ContentID identifies the broadcast.
+	ContentID uint32
+	// StartSec is the broadcast start in seconds since the trace epoch.
+	StartSec int64
+	// DurationSec is the broadcast length.
+	DurationSec int32
+	// Viewers is the expected audience size.
+	Viewers int
+}
+
+// LiveConfig parameterises the live-streaming workload generator — the
+// "live video streaming scenarios" the paper lists as future work
+// (Section VI, citing Raman et al., WWW 2018). Live audiences join
+// within a short window around the broadcast start and watch largely in
+// lockstep, so live swarms reach far higher concurrency than catch-up
+// swarms of equal volume.
+type LiveConfig struct {
+	// Name labels the generated trace.
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// HorizonSec is the trace length; all events must fit inside it.
+	HorizonSec int64
+	// NumUsers is the viewer population size.
+	NumUsers int
+	// Events is the broadcast schedule.
+	Events []LiveEvent
+	// JoinJitterSec spreads tune-in times around the broadcast start
+	// (normal σ). Late joiners watch the remainder of the event.
+	JoinJitterSec float64
+	// EarlyLeaveFraction is the share of viewers who leave before the
+	// event ends, uniformly during the broadcast.
+	EarlyLeaveFraction float64
+	// ISPShares are per-ISP market shares (must sum to ~1).
+	ISPShares []float64
+	// ExchangesPerISP sizes each ISP's metropolitan tree.
+	ExchangesPerISP int
+	// BitrateWeights gives the probability of each bitrate class.
+	BitrateWeights map[BitrateClass]float64
+	// Epoch anchors the trace in wall-clock time.
+	Epoch time.Time
+}
+
+// DefaultLiveConfig returns an evening of live television: three
+// broadcasts of growing audience, population scaled like the catch-up
+// generator.
+func DefaultLiveConfig(scale float64) LiveConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	base := DefaultGeneratorConfig(scale)
+	audience := func(full int) int {
+		n := int(float64(full) * scale)
+		if n < 10 {
+			n = 10
+		}
+		return n
+	}
+	return LiveConfig{
+		Name:       "live-evening",
+		Seed:       1,
+		HorizonSec: 24 * 3600,
+		NumUsers:   base.NumUsers,
+		Events: []LiveEvent{
+			{ContentID: 0, StartSec: 18 * 3600, DurationSec: 45 * 60, Viewers: audience(400_000)},
+			{ContentID: 1, StartSec: 20 * 3600, DurationSec: 90 * 60, Viewers: audience(900_000)},
+			{ContentID: 2, StartSec: 22 * 3600, DurationSec: 60 * 60, Viewers: audience(250_000)},
+		},
+		JoinJitterSec:      120,
+		EarlyLeaveFraction: 0.25,
+		ISPShares:          append([]float64(nil), DefaultISPShares...),
+		ExchangesPerISP:    345,
+		BitrateWeights:     base.BitrateWeights,
+		Epoch:              base.Epoch,
+	}
+}
+
+// Validate checks the configuration.
+func (c LiveConfig) Validate() error {
+	switch {
+	case c.HorizonSec <= 0:
+		return errors.New("trace: live config needs a positive horizon")
+	case c.NumUsers <= 0:
+		return errors.New("trace: live config needs a positive population")
+	case len(c.Events) == 0:
+		return errors.New("trace: live config needs at least one event")
+	case c.JoinJitterSec < 0:
+		return errors.New("trace: join jitter must be non-negative")
+	case c.EarlyLeaveFraction < 0 || c.EarlyLeaveFraction > 1:
+		return errors.New("trace: early-leave fraction must be in [0,1]")
+	case len(c.ISPShares) == 0:
+		return errors.New("trace: live config needs ISP shares")
+	case c.ExchangesPerISP <= 0:
+		return errors.New("trace: live config needs exchange points")
+	case len(c.BitrateWeights) == 0:
+		return errors.New("trace: live config needs bitrate weights")
+	}
+	maxContent := uint32(0)
+	for i, e := range c.Events {
+		if e.DurationSec <= 0 || e.Viewers <= 0 {
+			return fmt.Errorf("trace: live event %d needs positive duration and audience", i)
+		}
+		if e.StartSec < 0 || e.StartSec+int64(e.DurationSec) > c.HorizonSec {
+			return fmt.Errorf("trace: live event %d does not fit the horizon", i)
+		}
+		if e.ContentID > maxContent {
+			maxContent = e.ContentID
+		}
+	}
+	return nil
+}
+
+// GenerateLive builds a deterministic live-broadcast trace.
+func GenerateLive(cfg LiveConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ispCum := make([]float64, len(cfg.ISPShares))
+	var ispTotal float64
+	for i, s := range cfg.ISPShares {
+		if s < 0 {
+			return nil, errors.New("trace: ISP shares must be non-negative")
+		}
+		ispTotal += s
+		ispCum[i] = ispTotal
+	}
+	bitrates, bitrateCum := cumulativeBitrates(cfg.BitrateWeights)
+
+	maxContent := uint32(0)
+	var sessions []Session
+	for _, ev := range cfg.Events {
+		if ev.ContentID > maxContent {
+			maxContent = ev.ContentID
+		}
+		end := ev.StartSec + int64(ev.DurationSec)
+		for v := 0; v < ev.Viewers; v++ {
+			user := uint32(rng.Intn(cfg.NumUsers))
+			join := ev.StartSec + int64(rng.NormFloat64()*cfg.JoinJitterSec)
+			if join < ev.StartSec {
+				// Early tuners buffer until the broadcast starts.
+				join = ev.StartSec
+			}
+			if join >= end {
+				continue
+			}
+			leave := end
+			if rng.Float64() < cfg.EarlyLeaveFraction {
+				leave = join + int64(rng.Float64()*float64(end-join))
+			}
+			dur := int32(leave - join)
+			if dur < 1 {
+				continue
+			}
+			sessions = append(sessions, Session{
+				UserID:      user,
+				ContentID:   ev.ContentID,
+				ISP:         uint8(sampleCumulative(ispCum, ispTotal, rng)),
+				Exchange:    uint16(rng.Intn(cfg.ExchangesPerISP)),
+				StartSec:    join,
+				DurationSec: dur,
+				Bitrate:     bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)],
+			})
+		}
+	}
+
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].StartSec != sessions[j].StartSec {
+			return sessions[i].StartSec < sessions[j].StartSec
+		}
+		return sessions[i].UserID < sessions[j].UserID
+	})
+
+	return &Trace{
+		Name:       cfg.Name,
+		Epoch:      cfg.Epoch,
+		HorizonSec: cfg.HorizonSec,
+		NumUsers:   cfg.NumUsers,
+		NumContent: int(maxContent) + 1,
+		NumISPs:    len(cfg.ISPShares),
+		Sessions:   sessions,
+	}, nil
+}

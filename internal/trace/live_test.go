@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+)
+
+func liveConfig() LiveConfig {
+	cfg := DefaultLiveConfig(0.001)
+	return cfg
+}
+
+func TestDefaultLiveConfigValid(t *testing.T) {
+	for _, scale := range []float64{1, 0.01, 0} {
+		if err := DefaultLiveConfig(scale).Validate(); err != nil {
+			t.Errorf("scale %v: %v", scale, err)
+		}
+	}
+}
+
+func TestLiveConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*LiveConfig)
+	}{
+		{"zero horizon", func(c *LiveConfig) { c.HorizonSec = 0 }},
+		{"zero users", func(c *LiveConfig) { c.NumUsers = 0 }},
+		{"no events", func(c *LiveConfig) { c.Events = nil }},
+		{"negative jitter", func(c *LiveConfig) { c.JoinJitterSec = -1 }},
+		{"bad leave fraction", func(c *LiveConfig) { c.EarlyLeaveFraction = 1.5 }},
+		{"no isps", func(c *LiveConfig) { c.ISPShares = nil }},
+		{"zero exchanges", func(c *LiveConfig) { c.ExchangesPerISP = 0 }},
+		{"no bitrates", func(c *LiveConfig) { c.BitrateWeights = nil }},
+		{"event beyond horizon", func(c *LiveConfig) { c.Events[0].StartSec = c.HorizonSec }},
+		{"zero audience", func(c *LiveConfig) { c.Events[0].Viewers = 0 }},
+		{"zero event duration", func(c *LiveConfig) { c.Events[0].DurationSec = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := liveConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateLiveProducesValidTrace(t *testing.T) {
+	tr, err := GenerateLive(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated live trace invalid: %v", err)
+	}
+	if len(tr.Sessions) < 1000 {
+		t.Errorf("got %d sessions, expected four-digit audience at this scale", len(tr.Sessions))
+	}
+}
+
+func TestGenerateLiveDeterministic(t *testing.T) {
+	a, err := GenerateLive(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLive(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("session counts differ")
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i] != b.Sessions[i] {
+			t.Fatalf("session %d differs", i)
+		}
+	}
+}
+
+func TestGenerateLiveSessionsInsideEvents(t *testing.T) {
+	cfg := liveConfig()
+	tr, err := GenerateLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventByContent := map[uint32]LiveEvent{}
+	for _, ev := range cfg.Events {
+		eventByContent[ev.ContentID] = ev
+	}
+	for _, s := range tr.Sessions {
+		ev, ok := eventByContent[s.ContentID]
+		if !ok {
+			t.Fatalf("session for unknown event content %d", s.ContentID)
+		}
+		if s.StartSec < ev.StartSec {
+			t.Fatalf("viewer joined at %d before broadcast start %d", s.StartSec, ev.StartSec)
+		}
+		if s.EndSec() > ev.StartSec+int64(ev.DurationSec) {
+			t.Fatalf("viewer left at %d after broadcast end", s.EndSec())
+		}
+	}
+}
+
+func TestGenerateLiveHighConcurrency(t *testing.T) {
+	// The defining property of live workloads: concurrency during the
+	// event approaches the audience size, far beyond what a catch-up
+	// workload of equal volume reaches.
+	cfg := liveConfig()
+	tr, err := GenerateLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample concurrency in the middle of the main event.
+	mid := cfg.Events[1].StartSec + int64(cfg.Events[1].DurationSec)/2
+	var live int
+	for _, s := range tr.Sessions {
+		if s.ContentID == 1 && s.StartSec <= mid && mid < s.EndSec() {
+			live++
+		}
+	}
+	if live < cfg.Events[1].Viewers/2 {
+		t.Errorf("mid-event concurrency %d below half the audience %d", live, cfg.Events[1].Viewers)
+	}
+}
+
+func TestGenerateLiveRejectsInvalid(t *testing.T) {
+	cfg := liveConfig()
+	cfg.Events = nil
+	if _, err := GenerateLive(cfg); err == nil {
+		t.Error("expected error")
+	}
+	cfg = liveConfig()
+	cfg.ISPShares = []float64{-1}
+	if _, err := GenerateLive(cfg); err == nil {
+		t.Error("expected error for negative share")
+	}
+}

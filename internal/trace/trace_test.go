@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func validSession() Session {
+	return Session{
+		UserID:      1,
+		ContentID:   2,
+		ISP:         0,
+		Exchange:    10,
+		StartSec:    100,
+		DurationSec: 600,
+		Bitrate:     BitrateSD,
+	}
+}
+
+func smallTrace() *Trace {
+	return &Trace{
+		Name:       "test",
+		Epoch:      time.Date(2013, 9, 1, 0, 0, 0, 0, time.UTC),
+		HorizonSec: 86400,
+		NumUsers:   10,
+		NumContent: 5,
+		NumISPs:    2,
+		Sessions: []Session{
+			{UserID: 0, ContentID: 0, ISP: 0, StartSec: 0, DurationSec: 100, Bitrate: BitrateSD},
+			{UserID: 1, ContentID: 0, ISP: 1, StartSec: 50, DurationSec: 200, Bitrate: BitrateHD},
+			{UserID: 2, ContentID: 3, ISP: 0, StartSec: 60, DurationSec: 60, Bitrate: BitrateMobile},
+		},
+	}
+}
+
+func TestBitrateClass(t *testing.T) {
+	if BitrateSD.Kbps() != 1500 {
+		t.Errorf("SD kbps = %d, want 1500", BitrateSD.Kbps())
+	}
+	if BitrateSD.BitsPerSecond() != 1.5e6 {
+		t.Errorf("SD bps = %v, want 1.5e6", BitrateSD.BitsPerSecond())
+	}
+	if BitrateMobile.String() != "mobile-800k" {
+		t.Errorf("mobile label = %q", BitrateMobile.String())
+	}
+	if BitrateClass(2500).String() != "custom-2500k" {
+		t.Errorf("custom label = %q", BitrateClass(2500).String())
+	}
+}
+
+func TestSessionDerivedFields(t *testing.T) {
+	s := validSession()
+	if got := s.EndSec(); got != 700 {
+		t.Errorf("EndSec = %d, want 700", got)
+	}
+	// 1.5 Mb/s × 600 s / 8 = 112.5 MB
+	if got := s.Bytes(); got != 112_500_000 {
+		t.Errorf("Bytes = %v, want 1.125e8", got)
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Session)
+		wantErr bool
+	}{
+		{"valid", func(*Session) {}, false},
+		{"zero duration", func(s *Session) { s.DurationSec = 0 }, true},
+		{"negative start", func(s *Session) { s.StartSec = -1 }, true},
+		{"zero bitrate", func(s *Session) { s.Bitrate = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validSession()
+			tt.mutate(&s)
+			if err := s.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	if err := smallTrace().Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"zero horizon", func(tr *Trace) { tr.HorizonSec = 0 }},
+		{"zero users", func(tr *Trace) { tr.NumUsers = 0 }},
+		{"user out of range", func(tr *Trace) { tr.Sessions[0].UserID = 99 }},
+		{"content out of range", func(tr *Trace) { tr.Sessions[0].ContentID = 99 }},
+		{"isp out of range", func(tr *Trace) { tr.Sessions[0].ISP = 9 }},
+		{"start beyond horizon", func(tr *Trace) { tr.Sessions[2].StartSec = 1 << 40 }},
+		{"out of order", func(tr *Trace) { tr.Sessions[0].StartSec = 55 }},
+		{"bad session", func(tr *Trace) { tr.Sessions[1].DurationSec = -5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := smallTrace()
+			tt.mutate(tr)
+			if err := tr.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTraceDays(t *testing.T) {
+	tr := smallTrace()
+	if got := tr.Days(); got != 1 {
+		t.Errorf("Days = %d, want 1", got)
+	}
+	tr.HorizonSec = 86401
+	if got := tr.Days(); got != 2 {
+		t.Errorf("Days = %d, want 2 (rounded up)", got)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	tr := smallTrace()
+	want := tr.Sessions[0].Bytes() + tr.Sessions[1].Bytes() + tr.Sessions[2].Bytes()
+	if got := tr.TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := smallTrace()
+	sum := tr.Summarize()
+	if sum.Users != 3 {
+		t.Errorf("Users = %d, want 3", sum.Users)
+	}
+	if sum.Sessions != 3 {
+		t.Errorf("Sessions = %d, want 3", sum.Sessions)
+	}
+	if sum.IPAddresses < 1 || sum.IPAddresses > 3 {
+		t.Errorf("IPAddresses = %d, want within [1,3]", sum.IPAddresses)
+	}
+	wantMean := (100.0 + 200.0 + 60.0) / 3
+	if sum.MeanSessionSec != wantMean {
+		t.Errorf("MeanSessionSec = %v, want %v", sum.MeanSessionSec, wantMean)
+	}
+	if sum.TotalBytes != tr.TotalBytes() {
+		t.Errorf("TotalBytes mismatch")
+	}
+}
+
+func TestSummaryUsersPerIP(t *testing.T) {
+	s := Summary{Users: 33, IPAddresses: 15}
+	if got := s.UsersPerIP(); got != 2.2 {
+		t.Errorf("UsersPerIP = %v, want 2.2", got)
+	}
+	if got := (Summary{}).UsersPerIP(); got != 0 {
+		t.Errorf("UsersPerIP on empty = %v, want 0", got)
+	}
+}
+
+func TestIPOfUserStableAndBounded(t *testing.T) {
+	const population = 1000
+	ipSpace := uint32(450)
+	for u := uint32(0); u < 200; u++ {
+		a := IPOfUser(u, population)
+		b := IPOfUser(u, population)
+		if a != b {
+			t.Fatalf("IPOfUser not deterministic for %d", u)
+		}
+		if a >= ipSpace {
+			t.Fatalf("IPOfUser(%d) = %d beyond space %d", u, a, ipSpace)
+		}
+	}
+	if got := IPOfUser(5, 1); got != 0 {
+		t.Errorf("tiny population should map to IP 0, got %d", got)
+	}
+}
+
+func TestIPSharingRatioNearTableI(t *testing.T) {
+	// Table I: ~3.3M users behind ~1.5M IPs => ~2.2 users per IP. The hash
+	// model should land near that for a full population.
+	const population = 50000
+	ips := make(map[uint32]struct{})
+	for u := uint32(0); u < population; u++ {
+		ips[IPOfUser(u, population)] = struct{}{}
+	}
+	ratio := float64(population) / float64(len(ips))
+	if ratio < 1.8 || ratio > 2.8 {
+		t.Errorf("users per IP = %v, want within [1.8, 2.8]", ratio)
+	}
+}
+
+func TestViewCounts(t *testing.T) {
+	tr := smallTrace()
+	counts := tr.ViewCounts()
+	if counts[0] != 2 || counts[3] != 1 {
+		t.Errorf("ViewCounts = %v", counts)
+	}
+}
+
+func TestSessionsPerISP(t *testing.T) {
+	tr := smallTrace()
+	counts := tr.SessionsPerISP()
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("SessionsPerISP = %v", counts)
+	}
+}
