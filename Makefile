@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+## build: compile every package and both binaries
+build:
+	$(GO) build ./...
+
+## vet: static analysis over the whole module
+vet:
+	$(GO) vet ./...
+
+## test: the tier-1 suite
+test:
+	$(GO) test ./...
+
+## race: race-check the concurrent subsystems (streaming engine,
+## parallel simulator, daemon)
+race:
+	$(GO) test -race ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/...
+
+## bench: the reproduction's benchmark report at reduced scale
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+## ci: what every PR must pass — see ci.sh
+ci:
+	./ci.sh

@@ -21,14 +21,17 @@
 package consumelocal_test
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"consumelocal/internal/carbon"
 	"consumelocal/internal/chunksim"
 	"consumelocal/internal/core"
 	"consumelocal/internal/energy"
+	"consumelocal/internal/engine"
 	"consumelocal/internal/experiments"
 	"consumelocal/internal/matching"
 	"consumelocal/internal/mminf"
@@ -361,6 +364,47 @@ func BenchmarkSimulatorParallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tr.Sessions))/1000, "ksessions")
+}
+
+// BenchmarkStream measures the streaming replay engine end to end —
+// CSV parsing included — on the same 14-day workload as
+// BenchmarkSimulatorMonth, reporting throughput in sessions per second
+// so the two paths can be compared directly: the streamed replay trades
+// a little per-session overhead (event scheduling, windowed reporting)
+// for bounded memory and live progress.
+func BenchmarkStream(b *testing.B) {
+	cfg := trace.DefaultGeneratorConfig(0.002)
+	cfg.Days = 14
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := tr.WriteCSV(&csv); err != nil {
+		b.Fatal(err)
+	}
+	streamCfg := engine.Config{Sim: sim.DefaultConfig(1), WindowSec: 24 * 3600, Workers: 4}
+	streamCfg.Sim.TrackUsers = false
+	b.SetBytes(int64(csv.Len()))
+	b.ResetTimer()
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sc, err := trace.NewScanner(bytes.NewReader(csv.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := engine.Stream(sc, streamCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.Result(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+	}
+	b.ReportMetric(float64(len(tr.Sessions))/1000, "ksessions")
+	b.ReportMetric(float64(len(tr.Sessions)*b.N)/elapsed.Seconds(), "sessions/s")
 }
 
 func BenchmarkChunkSimulator(b *testing.B) {

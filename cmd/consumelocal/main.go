@@ -7,7 +7,8 @@
 //	consumelocal <experiment> [flags]
 //
 // Experiments: table1, table3, table4, fig2, fig3, fig4, fig5, fig6,
-// ablations, provisioning, live, accounting, simulate, tracegen, all.
+// ablations, provisioning, live, accounting, simulate, replay,
+// tracegen, all.
 //
 // Flags:
 //
@@ -45,10 +46,14 @@ func run(args []string, out io.Writer) error {
 	}
 	name := args[0]
 
-	// The simulate subcommand has its own flag set (trace path, policy
-	// knobs), so it dispatches before the shared experiment flags parse.
+	// The simulate and replay subcommands have their own flag sets
+	// (trace path, policy knobs), so they dispatch before the shared
+	// experiment flags parse.
 	if name == "simulate" {
 		return runSimulate(args[1:], out)
+	}
+	if name == "replay" {
+		return runReplay(args[1:], out)
 	}
 
 	fs := flag.NewFlagSet("consumelocal", flag.ContinueOnError)
@@ -121,6 +126,8 @@ experiments:
   live       live broadcasts vs catch-up viewing (future work)
   accounting per-bit vs per-subscriber energy accounting
   simulate   run the simulator on a trace CSV (-trace file, or stdin)
+  replay     stream a trace CSV through the out-of-core engine with
+             live windowed reports (-trace file, or stdin)
   tracegen   write a synthetic trace as CSV to stdout
   all        run everything
 

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"consumelocal/internal/energy"
+	"consumelocal/internal/engine"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/trace"
+)
+
+// runReplay implements the `replay` subcommand: stream a trace CSV
+// through the out-of-core engine (-trace file, or stdin — so a
+// generator can be piped straight in) and print live windowed reports
+// followed by the same summary the simulate subcommand produces.
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace CSV path (default: read stdin)")
+	ratio := fs.Float64("ratio", 1.0, "upload-to-bitrate ratio q/beta")
+	window := fs.Int64("window", 3600, "reporting window in seconds")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "shard workers")
+	participation := fs.Float64("participation", 1.0, "fraction of users contributing upload capacity")
+	seedRetention := fs.Int64("seed-retention", 0, "post-playback seeding window in seconds")
+	tick := fs.Int64("tick", 0, "quantize sessions to this tick (seconds); 0 = exact")
+	cityWide := fs.Bool("city-wide", false, "allow swarms to span ISPs")
+	mixedBitrates := fs.Bool("mixed-bitrates", false, "allow swarms to mix bitrate classes")
+	ndjson := fs.Bool("ndjson", false, "emit snapshots as NDJSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := io.Reader(os.Stdin)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sc, err := trace.NewScanner(in)
+	if err != nil {
+		return err
+	}
+
+	cfg := engine.DefaultConfig(*ratio)
+	cfg.WindowSec = *window
+	cfg.Workers = *workers
+	cfg.Sim.ParticipationRate = *participation
+	cfg.Sim.SeedRetentionSec = *seedRetention
+	cfg.Sim.QuantizeTickSec = *tick
+	cfg.Sim.Swarm = swarm.Options{RestrictISP: !*cityWide, SplitBitrate: !*mixedBitrates}
+
+	run, err := engine.Stream(sc, cfg)
+	if err != nil {
+		return err
+	}
+
+	meta := run.Meta()
+	models := energy.BothModels()
+	if !*ndjson {
+		fmt.Fprintf(out, "replaying %q out-of-core: %d-day horizon, window %ds, %d workers\n\n",
+			meta.Name, meta.Days(), cfg.WindowSec, cfg.Workers)
+		fmt.Fprintf(out, "%8s %10s %9s %8s %8s", "window", "sessions", "active", "traffic", "offload")
+		for _, p := range models {
+			fmt.Fprintf(out, " %10s", p.Name)
+		}
+		fmt.Fprintln(out)
+	}
+
+	var seen int64
+	enc := json.NewEncoder(out)
+	for snap := range run.Snapshots() {
+		seen = snap.SessionsSeen
+		if *ndjson {
+			if err := enc.Encode(snap); err != nil {
+				return err
+			}
+			continue
+		}
+		label := fmt.Sprintf("%dh", snap.ToSec/3600)
+		if snap.Final {
+			label = "final"
+		}
+		fmt.Fprintf(out, "%8s %10d %9d %5.2f TB %7.1f%%",
+			label, snap.SessionsSeen, snap.ActiveMembers,
+			snap.Cumulative.TotalBits/8/1e12, 100*snap.Cumulative.Offload())
+		for _, p := range models {
+			fmt.Fprintf(out, " %9.1f%%", 100*sim.Evaluate(snap.Cumulative, p).Savings)
+		}
+		fmt.Fprintln(out)
+	}
+
+	res, err := run.Result()
+	if err != nil {
+		return err
+	}
+	if !*ndjson {
+		fmt.Fprintf(out, "\n%d sessions across %d swarms; %.1f%% of traffic served by peers (policy %s)\n",
+			seen, len(res.Swarms), 100*res.Total.Offload(), res.PolicyName)
+		for _, p := range models {
+			report := sim.Evaluate(res.Total, p)
+			fmt.Fprintf(out, "energy savings (%s): %.1f%%\n", p.Name, 100*report.Savings)
+		}
+	}
+	return nil
+}

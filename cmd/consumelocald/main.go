@@ -1,0 +1,46 @@
+// Command consumelocald is the long-running service form of the
+// reproduction: a hybrid-CDN replay daemon built on the streaming engine
+// (internal/engine). Clients POST a trace — streaming the CSV body, so
+// month-scale traces replay out-of-core — and read live windowed
+// tallies, energy reports and carbon-credit snapshots back out while the
+// replay is still running.
+//
+// Usage:
+//
+//	consumelocald [-addr :8377]
+//
+// API:
+//
+//	POST /v1/replay            stream a trace CSV in; NDJSON snapshots out.
+//	                           Query: ratio, window, workers, participation,
+//	                           tick, seed_retention, city_wide,
+//	                           mixed_bitrates, track_users, name
+//	GET  /v1/jobs              list replay jobs
+//	GET  /v1/jobs/{id}         one job's status and latest snapshot
+//	GET  /v1/jobs/{id}/energy  energy reports under both Table IV models
+//	GET  /v1/jobs/{id}/carbon  per-user carbon credit distribution
+//	GET  /healthz              liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: unexpected arguments")
+		os.Exit(2)
+	}
+
+	srv := newServer()
+	log.Printf("consumelocald listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		log.Fatalf("consumelocald: %v", err)
+	}
+}

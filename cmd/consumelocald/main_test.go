@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"consumelocal/internal/engine"
+	"consumelocal/internal/trace"
+)
+
+func testTraceCSV(t *testing.T) []byte {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig(0.001)
+	cfg.Days = 2
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(newServer().routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestReplayLifecycle(t *testing.T) {
+	ts := httptest.NewServer(newServer().routes())
+	defer ts.Close()
+	csv := testTraceCSV(t)
+
+	resp, err := http.Post(ts.URL+"/v1/replay?window=21600&name=lifecycle", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("replay status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Job-ID"); got != "1" {
+		t.Fatalf("X-Job-ID = %q, want 1", got)
+	}
+
+	type line struct {
+		Job      int              `json:"job"`
+		Snapshot *engine.Snapshot `json:"snapshot"`
+		Error    string           `json:"error"`
+		Summary  *struct {
+			Swarms  int     `json:"swarms"`
+			Offload float64 `json:"offload"`
+		} `json:"summary"`
+	}
+	var (
+		snapshots int
+		summary   *line
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if l.Error != "" {
+			t.Fatalf("replay reported error: %s", l.Error)
+		}
+		if l.Snapshot != nil {
+			snapshots++
+		}
+		if l.Summary != nil {
+			summary = &l
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if snapshots < 2 {
+		t.Fatalf("expected multiple snapshots, got %d", snapshots)
+	}
+	if summary == nil {
+		t.Fatal("missing summary line")
+	}
+	if summary.Summary.Swarms == 0 || summary.Summary.Offload <= 0 {
+		t.Fatalf("implausible summary: %+v", summary.Summary)
+	}
+
+	// The finished job is queryable.
+	var jobs []map[string]any
+	getJSON(t, ts.URL+"/v1/jobs", &jobs)
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(jobs))
+	}
+	var job map[string]any
+	getJSON(t, ts.URL+"/v1/jobs/1", &job)
+	if job["status"] != "done" {
+		t.Fatalf("job status = %v, want done", job["status"])
+	}
+	if job["name"] != "lifecycle" {
+		t.Fatalf("job name = %v", job["name"])
+	}
+
+	var energyOut struct {
+		Status string `json:"status"`
+		Energy []struct {
+			Model   string  `json:"Model"`
+			Savings float64 `json:"Savings"`
+		} `json:"energy"`
+		Offload float64 `json:"offload"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/1/energy", &energyOut)
+	if len(energyOut.Energy) != 2 {
+		t.Fatalf("energy reports = %d, want 2", len(energyOut.Energy))
+	}
+	if energyOut.Offload <= 0 {
+		t.Fatal("energy endpoint reports zero offload")
+	}
+	for _, rep := range energyOut.Energy {
+		if rep.Savings <= 0 {
+			t.Fatalf("model %s reports no savings", rep.Model)
+		}
+	}
+
+	var carbonOut struct {
+		Carbon []struct {
+			Model          string  `json:"Model"`
+			Users          int     `json:"Users"`
+			CarbonPositive float64 `json:"CarbonPositive"`
+		} `json:"carbon"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/1/carbon", &carbonOut)
+	if len(carbonOut.Carbon) != 2 {
+		t.Fatalf("carbon distributions = %d, want 2", len(carbonOut.Carbon))
+	}
+	if carbonOut.Carbon[0].Users == 0 {
+		t.Fatal("carbon distribution has no users")
+	}
+}
+
+func TestReplayRejectsBadInput(t *testing.T) {
+	ts := httptest.NewServer(newServer().routes())
+	defer ts.Close()
+
+	// Garbage body: the scanner fails before any job is registered.
+	resp, err := http.Post(ts.URL+"/v1/replay", "text/csv", strings.NewReader("not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage replay status = %d, want 400", resp.StatusCode)
+	}
+
+	// Bad query parameter.
+	resp, err = http.Post(ts.URL+"/v1/replay?ratio=nope", "text/csv", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ratio status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestReplayWithoutUserTrackingRefusesCarbon(t *testing.T) {
+	ts := httptest.NewServer(newServer().routes())
+	defer ts.Close()
+	csv := testTraceCSV(t)
+
+	resp, err := http.Post(ts.URL+"/v1/replay?track_users=false", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	carbonResp, err := http.Get(ts.URL + "/v1/jobs/1/carbon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	carbonResp.Body.Close()
+	if carbonResp.StatusCode != http.StatusConflict {
+		t.Fatalf("carbon without tracking status = %d, want 409", carbonResp.StatusCode)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	ts := httptest.NewServer(newServer().routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(fmt.Errorf("decode %s: %w", url, err))
+	}
+}

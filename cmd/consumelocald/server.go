@@ -1,0 +1,406 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"consumelocal/internal/carbon"
+	"consumelocal/internal/energy"
+	"consumelocal/internal/engine"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/trace"
+)
+
+// maxRetainedJobs bounds the registry: once exceeded, the oldest
+// finished jobs — whose results hold full per-user ledgers — are
+// evicted, keeping a long-running daemon's memory bounded by the jobs
+// actually in flight plus a recent-history window.
+const maxRetainedJobs = 32
+
+// server is the daemon's shared state: a registry of replay jobs, past
+// and in flight.
+type server struct {
+	mu     sync.Mutex
+	jobs   map[int]*job
+	nextID int
+}
+
+// job is one replay: its configuration fingerprint, the latest windowed
+// snapshot while running, and the full result once done.
+type job struct {
+	mu       sync.Mutex
+	id       int
+	name     string
+	started  time.Time
+	status   string // "running", "done", "failed"
+	meta     trace.Meta
+	snapshot engine.Snapshot
+	result   *sim.Result
+	errMsg   string
+}
+
+// jobView is the JSON projection of a job.
+type jobView struct {
+	ID       int             `json:"id"`
+	Name     string          `json:"name"`
+	Started  time.Time       `json:"started"`
+	Status   string          `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Meta     trace.Meta      `json:"meta"`
+	Snapshot engine.Snapshot `json:"snapshot"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:       j.id,
+		Name:     j.name,
+		Started:  j.started,
+		Status:   j.status,
+		Error:    j.errMsg,
+		Meta:     j.meta,
+		Snapshot: j.snapshot,
+	}
+}
+
+func newServer() *server {
+	return &server{jobs: make(map[int]*job), nextID: 1}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/replay", s.handleReplay)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/energy", s.handleJobEnergy)
+	mux.HandleFunc("GET /v1/jobs/{id}/carbon", s.handleJobCarbon)
+	return mux
+}
+
+// replayConfig parses the replay query parameters into an engine
+// configuration.
+func replayConfig(r *http.Request) (engine.Config, error) {
+	q := r.URL.Query()
+	getF := func(key string, def float64) (float64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("query %s: %w", key, err)
+		}
+		return f, nil
+	}
+	getI := func(key string, def int64) (int64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("query %s: %w", key, err)
+		}
+		return n, nil
+	}
+	getB := func(key string) (bool, error) {
+		v := q.Get(key)
+		if v == "" {
+			return false, nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return false, fmt.Errorf("query %s: %w", key, err)
+		}
+		return b, nil
+	}
+
+	ratio, err := getF("ratio", 1.0)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	cfg := engine.DefaultConfig(ratio)
+	if cfg.WindowSec, err = getI("window", 3600); err != nil {
+		return engine.Config{}, err
+	}
+	var workers int64
+	if workers, err = getI("workers", int64(runtime.GOMAXPROCS(0))); err != nil {
+		return engine.Config{}, err
+	}
+	cfg.Workers = int(workers)
+	if cfg.Sim.ParticipationRate, err = getF("participation", 1.0); err != nil {
+		return engine.Config{}, err
+	}
+	if cfg.Sim.QuantizeTickSec, err = getI("tick", 0); err != nil {
+		return engine.Config{}, err
+	}
+	if cfg.Sim.SeedRetentionSec, err = getI("seed_retention", 0); err != nil {
+		return engine.Config{}, err
+	}
+	cityWide, err := getB("city_wide")
+	if err != nil {
+		return engine.Config{}, err
+	}
+	mixed, err := getB("mixed_bitrates")
+	if err != nil {
+		return engine.Config{}, err
+	}
+	cfg.Sim.Swarm = swarm.Options{RestrictISP: !cityWide, SplitBitrate: !mixed}
+	if v := q.Get("track_users"); v != "" {
+		track, err := strconv.ParseBool(v)
+		if err != nil {
+			return engine.Config{}, fmt.Errorf("query track_users: %w", err)
+		}
+		cfg.Sim.TrackUsers = track
+	}
+	return cfg, nil
+}
+
+// handleReplay consumes a trace CSV from the request body — streamed, so
+// the trace is never materialised — and writes NDJSON snapshots back as
+// the replay progresses, finishing with a summary line. The job stays
+// queryable through /v1/jobs afterwards.
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	cfg, err := replayConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The replay reads the request body while snapshots stream out on
+	// the response: opt in to concurrent read/write on HTTP/1.x, where
+	// the server otherwise closes the body at the first response write.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	run, err := consumeStream(r, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	j := s.register(r.URL.Query().Get("name"), run.Meta())
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-ID", strconv.Itoa(j.id))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	type line struct {
+		Job      int              `json:"job"`
+		Snapshot *engine.Snapshot `json:"snapshot,omitempty"`
+		Error    string           `json:"error,omitempty"`
+		Summary  *replaySummary   `json:"summary,omitempty"`
+	}
+	for snap := range run.Snapshots() {
+		j.mu.Lock()
+		j.snapshot = snap
+		j.mu.Unlock()
+		snap := snap
+		_ = enc.Encode(line{Job: j.id, Snapshot: &snap})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := run.Result()
+
+	j.mu.Lock()
+	if err != nil {
+		j.status = "failed"
+		j.errMsg = err.Error()
+	} else {
+		j.status = "done"
+		j.result = res
+	}
+	j.mu.Unlock()
+
+	if err != nil {
+		_ = enc.Encode(line{Job: j.id, Error: err.Error()})
+		return
+	}
+	_ = enc.Encode(line{Job: j.id, Summary: summarize(res)})
+}
+
+// consumeStream builds a scanner over the request body and starts the
+// engine.
+func consumeStream(r *http.Request, cfg engine.Config) (*engine.Run, error) {
+	sc, err := trace.NewScanner(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Stream(sc, cfg)
+}
+
+func (s *server) register(name string, meta trace.Meta) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &job{
+		id:      s.nextID,
+		name:    name,
+		started: time.Now().UTC(),
+		status:  "running",
+		meta:    meta,
+	}
+	if j.name == "" {
+		j.name = meta.Name
+	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished jobs once the registry exceeds
+// maxRetainedJobs. Running jobs are never evicted. Callers hold s.mu.
+func (s *server) evictLocked() {
+	if len(s.jobs) <= maxRetainedJobs {
+		return
+	}
+	ids := make([]int, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if len(s.jobs) <= maxRetainedJobs {
+			return
+		}
+		j := s.jobs[id]
+		j.mu.Lock()
+		finished := j.status != "running"
+		j.mu.Unlock()
+		if finished {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// replaySummary is the closing line of a replay response: system offload
+// and energy savings under both published parameter sets.
+type replaySummary struct {
+	Swarms  int                `json:"swarms"`
+	Total   sim.Tally          `json:"total"`
+	Offload float64            `json:"offload"`
+	Energy  []sim.EnergyReport `json:"energy"`
+}
+
+func summarize(res *sim.Result) *replaySummary {
+	sum := &replaySummary{
+		Swarms:  len(res.Swarms),
+		Total:   res.Total,
+		Offload: res.Total.Offload(),
+	}
+	for _, p := range energy.BothModels() {
+		sum.Energy = append(sum.Energy, sim.Evaluate(res.Total, p))
+	}
+	return sum
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+// lookup resolves the {id} path segment.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %d not found", id))
+		return nil
+	}
+	return j
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+// handleJobEnergy prices the job's latest cumulative tally — live while
+// the replay runs, final once done — under both Table IV parameter sets.
+func (s *server) handleJobEnergy(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	tally := j.snapshot.Cumulative
+	if j.result != nil {
+		tally = j.result.Total
+	}
+	status := j.status
+	j.mu.Unlock()
+
+	reports := make([]sim.EnergyReport, 0, 2)
+	for _, p := range energy.BothModels() {
+		reports = append(reports, sim.Evaluate(tally, p))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":     j.id,
+		"status":  status,
+		"tally":   tally,
+		"offload": tally.Offload(),
+		"energy":  reports,
+	})
+}
+
+// handleJobCarbon computes the per-user carbon credit transfer
+// distribution (paper Fig. 6) of a finished replay. Requires the replay
+// to have tracked users (the default).
+func (s *server) handleJobCarbon(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	res := j.result
+	status := j.status
+	j.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %d is %s; carbon credits need a finished replay", j.id, status))
+		return
+	}
+	if res.Users == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %d ran without user tracking (track_users=false)", j.id))
+		return
+	}
+	dists := make([]carbon.Distribution, 0, 2)
+	for _, p := range energy.BothModels() {
+		dists = append(dists, carbon.Distribute(res.Users, p))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.id, "carbon": dists})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -8,7 +8,7 @@
 // that transferring the CDN's savings to users as carbon credits can make
 // most users carbon positive.
 //
-// The library exposes three layers:
+// The library exposes four layers:
 //
 //   - The closed-form analytical model (Model): energy savings S(c),
 //     traffic offload G, and carbon credit transfer CCT as functions of
@@ -17,6 +17,11 @@
 //   - The trace-driven simulator (Simulate): replays a session trace,
 //     matches peers locality-first inside ISP metropolitan trees, and
 //     accounts every delivered bit by source and network layer.
+//   - The streaming replay engine (Stream): the simulator's out-of-core
+//     twin — consumes a trace as an arrival-ordered event stream, keeps
+//     only the active-session working set in memory, and reports live
+//     windowed tallies while producing the same result as Simulate. It
+//     also powers the long-running consumelocald service.
 //   - The experiment harnesses (package internal/experiments, reachable
 //     through the consumelocal CLI and the root benchmarks): regenerate
 //     every table and figure of the paper's evaluation.
@@ -43,6 +48,7 @@ import (
 	"consumelocal/internal/cdn"
 	"consumelocal/internal/core"
 	"consumelocal/internal/energy"
+	"consumelocal/internal/engine"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/topology"
 	"consumelocal/internal/trace"
@@ -87,6 +93,22 @@ type (
 	UserStats = sim.UserStats
 	// CarbonDistribution summarises per-user CCT (paper Fig. 6).
 	CarbonDistribution = carbon.Distribution
+	// TraceMeta is the trace-level metadata a streaming consumer has in
+	// hand before sessions flow past it.
+	TraceMeta = trace.Meta
+	// TraceScanner iterates a CSV trace one session at a time without
+	// materialising the full session list.
+	TraceScanner = trace.Scanner
+	// StreamConfig parameterises a streaming (out-of-core) replay.
+	StreamConfig = engine.Config
+	// StreamSnapshot is one windowed progress report of a streaming
+	// replay.
+	StreamSnapshot = engine.Snapshot
+	// StreamRun is a streaming replay in progress.
+	StreamRun = engine.Run
+	// StreamSource yields sessions in start order for the streaming
+	// engine; *TraceScanner satisfies it.
+	StreamSource = engine.Source
 )
 
 // Bitrate classes of the synthetic workload.
@@ -157,6 +179,38 @@ func Simulate(t *Trace, cfg SimConfig) (*SimResult, error) { return sim.Run(t, c
 // floating-point associativity.
 func SimulateParallel(t *Trace, cfg SimConfig, workers int) (*SimResult, error) {
 	return sim.RunParallel(t, cfg, workers)
+}
+
+// NewTraceScanner opens a streaming iterator over a CSV trace: the
+// out-of-core counterpart of ReadTraceCSV.
+func NewTraceScanner(r io.Reader) (*TraceScanner, error) { return trace.NewScanner(r) }
+
+// DefaultStreamConfig returns the paper's simulation configuration at
+// the given q/β ratio with hourly reporting windows, for streaming
+// replay.
+func DefaultStreamConfig(uploadRatio float64) StreamConfig {
+	return engine.DefaultConfig(uploadRatio)
+}
+
+// Stream replays a CSV trace from r out-of-core: sessions are consumed
+// as a stream, simulated incrementally, and progress is reported as
+// windowed snapshots on StreamRun.Snapshots. The final result — equal to
+// Simulate on the same trace, bit-for-bit per swarm — is available from
+// StreamRun.Result. Consumers must drain Snapshots (or call Result,
+// which drains internally); the bounded pipeline otherwise stalls by
+// design, propagating backpressure to r.
+func Stream(r io.Reader, cfg StreamConfig) (*StreamRun, error) {
+	sc, err := trace.NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Stream(sc, cfg)
+}
+
+// StreamTrace replays an in-memory trace through the streaming engine —
+// useful for cross-checking against Simulate and for tests.
+func StreamTrace(t *Trace, cfg StreamConfig) (*StreamRun, error) {
+	return engine.Stream(engine.TraceSource(t), cfg)
 }
 
 // EvaluateEnergy prices a tally under the given energy parameters,

@@ -1,0 +1,3 @@
+module consumelocal
+
+go 1.24

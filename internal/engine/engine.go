@@ -1,0 +1,413 @@
+// Package engine is the streaming counterpart of package sim: an
+// event-driven, out-of-core replay engine that consumes a session trace
+// as an arrival-ordered stream and simulates the paper's hybrid CDN
+// without ever materialising the full trace in memory.
+//
+// Where sim.Run groups the whole trace into swarms up front and sweeps
+// each swarm's activity intervals in isolation, the engine turns every
+// session into start/end events as it arrives, maintains incremental
+// per-swarm activity state (swarm.Tracker), and settles each activity
+// interval — matching peers with the same internal/matching policies and
+// the same Eq. 2 budget — as soon as the arrival watermark guarantees the
+// interval can no longer change. Per-swarm accounting is therefore the
+// same sequence of floating-point operations as the batch simulator:
+// cumulative per-swarm tallies and the key-ordered grand total are
+// bit-for-bit identical to sim.Run, while cross-swarm aggregates (day
+// grid, user ledgers) agree within floating-point associativity (~1e-12
+// relative), mirroring sim.RunParallel's documented guarantee.
+//
+// The event stream is sharded across workers by swarm key — swarms are
+// independent, so the partition is exact — and results merge in
+// deterministic key order, so per-swarm statistics and the total are
+// invariant to the worker count. Progress is reported as windowed
+// Snapshot values over a bounded channel: when the consumer lags, the
+// pipeline blocks all the way back to the input reader (backpressure),
+// keeping memory bounded by the active-session population rather than
+// the trace length.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+
+	"consumelocal/internal/sim"
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/trace"
+)
+
+// Config parameterises a streaming replay.
+type Config struct {
+	// Sim is the simulation configuration, shared verbatim with the batch
+	// simulator: policy, swarm formation, upload capacity model,
+	// quantization, seeding, participation, user tracking.
+	Sim sim.Config
+	// WindowSec is the reporting window: a Snapshot is emitted each time
+	// the arrival watermark crosses a multiple of it. Defaults to 3600
+	// (hourly snapshots).
+	WindowSec int64
+	// Workers is the number of shard workers the event stream is
+	// partitioned across by swarm key. Defaults to GOMAXPROCS, capped at
+	// 64.
+	Workers int
+	// SnapshotBuffer bounds the snapshot channel. When the consumer lags
+	// by more than this many windows the pipeline blocks — backpressure
+	// propagates through the workers to the input reader. Defaults to 4.
+	SnapshotBuffer int
+}
+
+// DefaultConfig returns the paper's simulation configuration at the
+// given q/β ratio with hourly reporting windows.
+func DefaultConfig(uploadRatio float64) Config {
+	return Config{Sim: sim.DefaultConfig(uploadRatio)}
+}
+
+// withDefaults fills zero-value fields.
+func (c Config) withDefaults() Config {
+	c.Sim = c.Sim.WithDefaults()
+	if c.WindowSec <= 0 {
+		c.WindowSec = 3600
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > 64 {
+		c.Workers = 64
+	}
+	if c.SnapshotBuffer <= 0 {
+		c.SnapshotBuffer = 4
+	}
+	return c
+}
+
+// Snapshot is one windowed progress report of a streaming replay.
+//
+// Delta attributes traffic at settlement time: an activity interval's
+// bits are booked in the window during which the interval closed, so a
+// long-lived interval settles in the window containing its end. The
+// Cumulative tally converges to the batch simulator's total as the
+// stream drains.
+type Snapshot struct {
+	// Index is the zero-based window index.
+	Index int `json:"index"`
+	// FromSec / ToSec bound the window in trace time.
+	FromSec int64 `json:"from_sec"`
+	ToSec   int64 `json:"to_sec"`
+	// SessionsSeen counts sessions consumed from the source so far.
+	SessionsSeen int64 `json:"sessions_seen"`
+	// ActiveMembers counts currently active swarm members, including
+	// post-playback seeding members when SeedRetentionSec is set.
+	ActiveMembers int `json:"active_members"`
+	// Swarms counts distinct swarms seen so far.
+	Swarms int `json:"swarms"`
+	// Delta is the traffic settled during this window.
+	Delta sim.Tally `json:"delta"`
+	// Cumulative is the traffic settled since the start of the stream.
+	Cumulative sim.Tally `json:"cumulative"`
+	// Final marks the closing snapshot, emitted after the source drains
+	// and every remaining interval has settled.
+	Final bool `json:"final,omitempty"`
+}
+
+// Run is a streaming replay in progress. Consumers must drain
+// Snapshots() — or call Result(), which drains internally — or the
+// bounded pipeline stalls by design.
+type Run struct {
+	meta      trace.Meta
+	snapshots chan Snapshot
+	done      chan struct{}
+	result    *sim.Result
+	err       error
+}
+
+// Meta returns the trace metadata of the stream being replayed.
+func (r *Run) Meta() trace.Meta { return r.meta }
+
+// Snapshots returns the windowed progress channel. It is closed after
+// the final snapshot.
+func (r *Run) Snapshots() <-chan Snapshot { return r.snapshots }
+
+// Result blocks until the stream drains and returns the complete
+// outcome, equivalent to sim.Run over the same trace and configuration.
+// Remaining snapshots are drained internally, so Result may be called
+// with or without a concurrent Snapshots consumer.
+func (r *Run) Result() (*sim.Result, error) {
+	for range r.snapshots {
+	}
+	<-r.done
+	return r.result, r.err
+}
+
+// Stream starts replaying src under cfg. It validates the configuration
+// and metadata synchronously, then runs the shard pipeline in the
+// background; progress arrives on Run.Snapshots and the final outcome
+// through Run.Result.
+func Stream(src Source, cfg Config) (*Run, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Sim.Validate(); err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	r := &Run{
+		meta:      meta,
+		snapshots: make(chan Snapshot, cfg.SnapshotBuffer),
+		done:      make(chan struct{}),
+	}
+	go r.feed(src, cfg)
+	return r, nil
+}
+
+// wmsg is one message on a worker's input channel: either a session
+// assigned to the worker's shard, or a window mark instructing the
+// worker to settle activity up to a boundary and report its delta.
+type wmsg struct {
+	mark    bool
+	final   bool
+	until   int64
+	sess    trace.Session
+	key     swarm.Key
+	origDur int32
+}
+
+// ack is a worker's reply to one window mark.
+type ack struct {
+	worker int
+	delta  sim.Tally
+	active int
+	swarms int
+	err    error
+}
+
+// report is a worker's final shard outcome.
+type report struct {
+	worker int
+	stats  []sim.SwarmStats
+	days   [][]sim.Tally
+	users  map[uint32]*sim.UserStats
+	err    error
+}
+
+// feed is the coordinator goroutine: it pulls sessions from the source,
+// shards them across workers by swarm key, broadcasts window marks as
+// the arrival watermark crosses boundaries, merges worker deltas into
+// snapshots, and assembles the final result in deterministic key order.
+func (r *Run) feed(src Source, cfg Config) {
+	defer close(r.done)
+	defer close(r.snapshots)
+
+	inputs := make([]chan wmsg, cfg.Workers)
+	acks := make(chan ack, cfg.Workers)
+	reports := make(chan report, cfg.Workers)
+	for i := range inputs {
+		inputs[i] = make(chan wmsg, 256)
+		w := newWorker(i, cfg, r.meta)
+		go w.run(inputs[i], acks, reports)
+	}
+
+	var (
+		sessionsSeen int64
+		prevStart    int64 = -1
+		windowIdx    int
+		boundary     = cfg.WindowSec
+		cum          sim.Tally
+		ferr         error
+		deltas       = make([]sim.Tally, cfg.Workers)
+	)
+
+	// flush broadcasts a mark, merges the worker acks in worker order
+	// (deterministic for a fixed worker count) and emits a snapshot.
+	// It reports false once any worker has failed.
+	flush := func(until int64, final bool) bool {
+		msg := wmsg{mark: true, final: final, until: until}
+		for i := range inputs {
+			inputs[i] <- msg
+		}
+		var active, swarms int
+		for n := 0; n < cfg.Workers; n++ {
+			a := <-acks
+			deltas[a.worker] = a.delta
+			active += a.active
+			swarms += a.swarms
+			if a.err != nil && ferr == nil {
+				ferr = a.err
+			}
+		}
+		if ferr != nil {
+			return false
+		}
+		var delta sim.Tally
+		for _, d := range deltas {
+			delta.Add(d)
+		}
+		cum.Add(delta)
+		from := int64(windowIdx) * cfg.WindowSec
+		to := until
+		if final {
+			to = r.meta.HorizonSec
+			if to < from {
+				to = from
+			}
+		}
+		r.snapshots <- Snapshot{
+			Index:         windowIdx,
+			FromSec:       from,
+			ToSec:         to,
+			SessionsSeen:  sessionsSeen,
+			ActiveMembers: active,
+			Swarms:        swarms,
+			Delta:         delta,
+			Cumulative:    cum,
+			Final:         final,
+		}
+		return true
+	}
+
+	for ferr == nil {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ferr = fmt.Errorf("engine: read source: %w", err)
+			break
+		}
+		if err := r.meta.ValidateSession(sessionsSeen, s); err != nil {
+			ferr = fmt.Errorf("engine: %w", err)
+			break
+		}
+		if s.StartSec < prevStart {
+			ferr = fmt.Errorf("engine: session %d out of start order", sessionsSeen)
+			break
+		}
+		prevStart = s.StartSec
+		sessionsSeen++
+
+		key := swarm.KeyOf(s, cfg.Sim.Swarm)
+		origDur := s.DurationSec
+		if tick := cfg.Sim.QuantizeTickSec; tick > 0 {
+			// Snap boundaries outward to Δτ ticks, exactly as the batch
+			// simulator's quantize step does.
+			start := s.StartSec / tick * tick
+			end := (s.EndSec() + tick - 1) / tick * tick
+			s.StartSec = start
+			s.DurationSec = int32(end - start)
+		}
+
+		for s.StartSec >= boundary {
+			if !flush(boundary, false) {
+				break
+			}
+			windowIdx++
+			boundary += cfg.WindowSec
+		}
+		if ferr != nil {
+			break
+		}
+		inputs[shardOf(key, cfg.Workers)] <- wmsg{sess: s, key: key, origDur: origDur}
+	}
+
+	// Final mark: settle everything pending (including activity past the
+	// last window boundary and beyond the horizon) and emit the closing
+	// snapshot, unless the run already failed.
+	if ferr == nil {
+		flush(math.MaxInt64, true)
+	} else {
+		// Workers still need the final mark to flush their reports.
+		msg := wmsg{mark: true, final: true, until: math.MaxInt64}
+		for i := range inputs {
+			inputs[i] <- msg
+		}
+		for n := 0; n < cfg.Workers; n++ {
+			<-acks
+		}
+	}
+	for i := range inputs {
+		close(inputs[i])
+	}
+
+	shards := make([]report, cfg.Workers)
+	for n := 0; n < cfg.Workers; n++ {
+		rep := <-reports
+		shards[rep.worker] = rep
+		if rep.err != nil && ferr == nil {
+			ferr = rep.err
+		}
+	}
+	if ferr != nil {
+		r.err = ferr
+		return
+	}
+	r.result = mergeShards(shards, cfg, r.meta)
+}
+
+// mergeShards assembles the final result: per-swarm statistics sorted by
+// key and totalled in key order — the exact order sim.Run accumulates
+// in, making both bit-for-bit identical to the batch run regardless of
+// worker count — and day/user aggregates merged in worker order.
+func mergeShards(shards []report, cfg Config, meta trace.Meta) *sim.Result {
+	res := &sim.Result{
+		Days:       make([][]sim.Tally, meta.Days()),
+		PolicyName: cfg.Sim.Policy.Name(),
+	}
+	for d := range res.Days {
+		res.Days[d] = make([]sim.Tally, meta.NumISPs)
+	}
+	if cfg.Sim.TrackUsers {
+		res.Users = make(map[uint32]*sim.UserStats)
+	}
+	var total int
+	for _, sh := range shards {
+		total += len(sh.stats)
+	}
+	res.Swarms = make([]sim.SwarmStats, 0, total)
+	for _, sh := range shards {
+		res.Swarms = append(res.Swarms, sh.stats...)
+	}
+	sort.Slice(res.Swarms, func(i, j int) bool { return res.Swarms[i].Key.Less(res.Swarms[j].Key) })
+	for _, st := range res.Swarms {
+		res.Total.Add(st.Tally)
+	}
+	for _, sh := range shards {
+		for d := range sh.days {
+			for isp := range sh.days[d] {
+				res.Days[d][isp].Add(sh.days[d][isp])
+			}
+		}
+		if res.Users == nil {
+			continue
+		}
+		for id, u := range sh.users {
+			dst := res.Users[id]
+			if dst == nil {
+				dst = &sim.UserStats{}
+				res.Users[id] = dst
+			}
+			dst.DownloadedBits += u.DownloadedBits
+			dst.FromPeersBits += u.FromPeersBits
+			dst.UploadedBits += u.UploadedBits
+		}
+	}
+	return res
+}
+
+// shardOf assigns a swarm key to a worker by FNV-1a hash: stable across
+// runs, independent of arrival order.
+func shardOf(k swarm.Key, workers int) int {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= 16777619
+			v >>= 8
+		}
+	}
+	mix(k.Content)
+	mix(uint32(uint16(k.ISP)))
+	mix(uint32(k.Bitrate))
+	return int(h % uint32(workers))
+}

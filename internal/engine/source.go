@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"io"
+
+	"consumelocal/internal/trace"
+)
+
+// Source yields trace sessions in start order together with the
+// trace-level metadata (horizon, population sizes) the engine needs
+// before the first session arrives. *trace.Scanner satisfies Source
+// directly, making any CSV stream — a file, an HTTP request body, a
+// pipe — replayable without materialising the trace; TraceSource adapts
+// an in-memory trace for cross-checking and tests.
+type Source interface {
+	// Meta returns the trace metadata.
+	Meta() trace.Meta
+	// Next returns the next session, or io.EOF at a clean end of stream.
+	Next() (trace.Session, error)
+}
+
+// TraceSource adapts an in-memory trace into a Source.
+func TraceSource(t *trace.Trace) Source {
+	return &sliceSource{meta: t.Meta(), sessions: t.Sessions}
+}
+
+type sliceSource struct {
+	meta     trace.Meta
+	sessions []trace.Session
+	pos      int
+}
+
+func (s *sliceSource) Meta() trace.Meta { return s.meta }
+
+func (s *sliceSource) Next() (trace.Session, error) {
+	if s.pos >= len(s.sessions) {
+		return trace.Session{}, io.EOF
+	}
+	sess := s.sessions[s.pos]
+	s.pos++
+	return sess, nil
+}

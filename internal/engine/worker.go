@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+
+	"consumelocal/internal/matching"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/swarm"
+	"consumelocal/internal/trace"
+)
+
+// member is one live swarm member: a real session or a post-playback
+// seeding appendix. Member records exist only while the member is active
+// or pending — they are released as soon as the tracker settles the
+// member's end event, which is what keeps the engine out-of-core.
+type member struct {
+	s       trace.Session
+	seeding bool
+}
+
+// swarmState is one swarm's incremental state on its owning worker.
+type swarmState struct {
+	key     swarm.Key
+	tracker *swarm.Tracker
+	// members holds live member sessions by tracker index.
+	members map[int]member
+	nextIdx int
+	// sessions and durSum accumulate the original (pre-quantization,
+	// non-seeding) membership for the batch-identical capacity figure.
+	sessions int
+	durSum   float64
+	tally    sim.Tally
+	// emit, closed and session are per-state callbacks, bound once to
+	// avoid a closure allocation per event.
+	emit    func(swarm.Interval)
+	closed  func(int)
+	session func(int) trace.Session
+}
+
+// worker owns one shard of the swarm key space. It processes its input
+// messages strictly in order, so per-swarm settlement is a deterministic
+// replay of the batch simulator's sweep.
+type worker struct {
+	id      int
+	cfg     sim.Config
+	horizon int64
+	// states indexes swarms by key; order preserves first-arrival order
+	// so that window marks settle swarms deterministically.
+	states  map[swarm.Key]*swarmState
+	ordered []*swarmState
+
+	delta  sim.Tally
+	booker sim.Booker
+	active int
+	err    error
+
+	// scratch buffers reused across intervals, as in the batch engine.
+	peers   []matching.Peer
+	demands []float64
+	caps    []float64
+}
+
+func newWorker(id int, cfg Config, meta trace.Meta) *worker {
+	w := &worker{
+		id:      id,
+		cfg:     cfg.Sim,
+		horizon: meta.HorizonSec,
+		states:  make(map[swarm.Key]*swarmState),
+		booker:  sim.Booker{Days: make([][]sim.Tally, meta.Days())},
+	}
+	for d := range w.booker.Days {
+		w.booker.Days[d] = make([]sim.Tally, meta.NumISPs)
+	}
+	if cfg.Sim.TrackUsers {
+		w.booker.Users = make(map[uint32]*sim.UserStats)
+	}
+	return w
+}
+
+func (w *worker) run(in <-chan wmsg, acks chan<- ack, reports chan<- report) {
+	for msg := range in {
+		if !msg.mark {
+			w.session(msg)
+			continue
+		}
+		w.mark(msg.until, msg.final)
+		acks <- ack{worker: w.id, delta: w.delta, active: w.active, swarms: len(w.ordered), err: w.err}
+		w.delta = sim.Tally{}
+		if msg.final {
+			reports <- w.report()
+		}
+	}
+}
+
+// session schedules one arriving session (and its optional seeding
+// appendix) on the owning swarm, settling the swarm's activity up to the
+// session's start first so earlier intervals close before the new member
+// opens.
+func (w *worker) session(msg wmsg) {
+	st := w.states[msg.key]
+	if st == nil {
+		st = &swarmState{
+			key:     msg.key,
+			tracker: swarm.NewTracker(),
+			members: make(map[int]member),
+		}
+		st.emit = func(iv swarm.Interval) { w.settle(st, iv) }
+		st.closed = func(idx int) {
+			delete(st.members, idx)
+			w.active--
+		}
+		st.session = func(idx int) trace.Session { return st.members[idx].s }
+		w.states[msg.key] = st
+		w.ordered = append(w.ordered, st)
+	}
+
+	s := msg.sess
+	st.tracker.Advance(s.StartSec, st.emit, st.closed)
+
+	idx := st.nextIdx
+	st.nextIdx++
+	st.members[idx] = member{s: s}
+	st.tracker.Open(s.StartSec, idx)
+	st.tracker.Close(s.EndSec(), idx)
+	w.active++
+	st.sessions++
+	st.durSum += float64(msg.origDur)
+
+	// Post-playback seeding appendix, mirroring the batch simulator's
+	// augment step: the member's upload capacity stays available for
+	// SeedRetentionSec after playback while it demands nothing.
+	if retention := w.cfg.SeedRetentionSec; retention > 0 {
+		seeder := s
+		seeder.StartSec = s.EndSec()
+		if seeder.StartSec+retention > w.horizon {
+			retention = w.horizon - seeder.StartSec
+		}
+		if retention > 0 {
+			seeder.DurationSec = int32(retention)
+			sidx := st.nextIdx
+			st.nextIdx++
+			st.members[sidx] = member{s: seeder, seeding: true}
+			st.tracker.Open(seeder.StartSec, sidx)
+			st.tracker.Close(seeder.EndSec(), sidx)
+			w.active++
+		}
+	}
+}
+
+// mark settles every swarm's activity up to a window boundary (or fully,
+// on the final mark), in first-arrival order for determinism.
+func (w *worker) mark(until int64, final bool) {
+	for _, st := range w.ordered {
+		if st.tracker.Idle() {
+			continue
+		}
+		if final {
+			st.tracker.Finish(st.emit, st.closed)
+		} else {
+			st.tracker.Advance(until, st.emit, st.closed)
+		}
+	}
+}
+
+// settle matches one completed activity interval and books the outcome —
+// the streaming twin of the batch engine's runInterval/book, performing
+// the identical sequence of floating-point operations so per-swarm
+// tallies match sim.Run bit for bit.
+func (w *worker) settle(st *swarmState, iv swarm.Interval) {
+	if w.err != nil {
+		return
+	}
+	n := len(iv.Active)
+	dur := iv.Seconds()
+	w.resize(n)
+
+	var sumCaps float64
+	for slot, idx := range iv.Active {
+		m := st.members[idx]
+		w.peers[slot] = w.cfg.PeerEndpoint(m.s, st.key)
+		if m.seeding {
+			w.demands[slot] = 0
+		} else {
+			w.demands[slot] = m.s.Bitrate.BitsPerSecond() * dur
+		}
+		cap := w.cfg.UploadBpsOf(m.s) * dur
+		w.caps[slot] = cap
+		sumCaps += cap
+	}
+	budget := w.cfg.PeerBudget(sumCaps, n)
+
+	alloc, err := w.cfg.Policy.Match(w.peers[:n], w.demands[:n], w.caps[:n], budget)
+	if err != nil {
+		w.err = fmt.Errorf("engine: match swarm %+v interval [%d,%d): %w", st.key, iv.From, iv.To, err)
+		return
+	}
+
+	ivTally := w.booker.BookInterval(iv, alloc, w.demands, st.session)
+	st.tally.Add(ivTally)
+	w.delta.Add(ivTally)
+}
+
+// report packages the worker's shard outcome, with per-swarm statistics
+// in first-arrival order; the coordinator re-sorts the union by key.
+func (w *worker) report() report {
+	stats := make([]sim.SwarmStats, 0, len(w.ordered))
+	for _, st := range w.ordered {
+		capacity := 0.0
+		if w.horizon > 0 {
+			capacity = st.durSum / float64(w.horizon)
+		}
+		stats = append(stats, sim.SwarmStats{
+			Key:      st.key,
+			Capacity: capacity,
+			Sessions: st.sessions,
+			Tally:    st.tally,
+		})
+	}
+	return report{worker: w.id, stats: stats, days: w.booker.Days, users: w.booker.Users, err: w.err}
+}
+
+// resize grows the scratch buffers to hold n entries.
+func (w *worker) resize(n int) {
+	if cap(w.peers) < n {
+		w.peers = make([]matching.Peer, n)
+		w.demands = make([]float64, n)
+		w.caps = make([]float64, n)
+	}
+	w.peers = w.peers[:n]
+	w.demands = w.demands[:n]
+	w.caps = w.caps[:n]
+}

@@ -59,7 +59,7 @@ func RunParallel(t *trace.Trace, cfg Config, workers int) (*Result, error) {
 			if cfg.TrackUsers {
 				res.Users = make(map[uint32]*UserStats)
 			}
-			eng := &engine{cfg: cfg, trace: t, result: res}
+			eng := &engine{cfg: cfg, trace: t, result: res, booker: Booker{Days: res.Days, Users: res.Users}}
 			// Strided assignment: worker w owns swarms w, w+workers, ...
 			// — deterministic and balanced, since swarm.Group returns
 			// swarms in key order with sizes spread across the catalogue.

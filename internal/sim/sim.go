@@ -125,6 +125,63 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns a copy of the configuration with zero-valued
+// optional fields (policy, topology) filled in exactly as Run does
+// internally. The streaming engine (internal/engine) applies it so a
+// Config means the same thing replayed out-of-core as it does in batch.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// Validate rejects configurations the simulator cannot run; exported for
+// the streaming engine, which shares Run's acceptance rules.
+func (c Config) Validate() error { return c.validate() }
+
+// PeerEndpoint maps a session onto its matching endpoint under the
+// configuration's topology. Exchange identifiers are namespaced per ISP:
+// when a swarm spans ISPs (ablation mode), peers from different ISPs can
+// never share an exchange or PoP — their traffic meets at the core,
+// modelling inter-ISP exchange through the metro core / peering fabric.
+// The topology must be set (use WithDefaults).
+func (c Config) PeerEndpoint(s trace.Session, key swarm.Key) matching.Peer {
+	exchange := int(s.Exchange)
+	pop := c.Topology.PoPOf(exchange)
+	if key.ISP == swarm.AnyISP {
+		stride := c.Topology.Exchanges()
+		popStride := c.Topology.PoPs()
+		exchange += int(s.ISP) * stride
+		pop += int(s.ISP) * popStride
+	}
+	return matching.Peer{User: s.UserID, Exchange: exchange, PoP: pop}
+}
+
+// UploadBpsOf returns a session's upload bandwidth in bits/s under the
+// configuration — zero for users who do not participate in uploading,
+// the tier bandwidth under an UploadTiers mix, otherwise the absolute or
+// bitrate-relative setting.
+func (c Config) UploadBpsOf(s trace.Session) float64 {
+	if !c.participates(s.UserID) {
+		return 0
+	}
+	if tier := c.tierOf(s.UserID); tier >= 0 {
+		return c.UploadTiers[tier].Bps
+	}
+	if c.UploadBps > 0 {
+		return c.UploadBps
+	}
+	return c.UploadRatio * s.Bitrate.BitsPerSecond()
+}
+
+// PeerBudget returns the paper's Eq. 2 cap on an interval's peer-to-peer
+// traffic: the (L−1)/L share of the active set's total upload capacity
+// (sumCaps, in bits over the interval; n is the active set size). A
+// negative return means unbounded — the DisablePaperBudget ablation or an
+// empty interval.
+func (c Config) PeerBudget(sumCaps float64, n int) float64 {
+	if c.DisablePaperBudget || n == 0 {
+		return -1
+	}
+	return sumCaps * float64(n-1) / float64(n)
+}
+
 // validate rejects configurations the simulator cannot run.
 func (c Config) validate() error {
 	if c.UploadBps < 0 {
@@ -257,7 +314,7 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 		res.Users = make(map[uint32]*UserStats)
 	}
 
-	eng := &engine{cfg: cfg, trace: t, result: res}
+	eng := &engine{cfg: cfg, trace: t, result: res, booker: Booker{Days: res.Days, Users: res.Users}}
 	for _, sw := range swarms {
 		if err := eng.runSwarm(sw); err != nil {
 			return nil, err
@@ -280,6 +337,7 @@ type engine struct {
 	cfg    Config
 	trace  *trace.Trace
 	result *Result
+	booker Booker
 
 	// scratch buffers reused across intervals to avoid churn.
 	peers   []matching.Peer
@@ -374,28 +432,25 @@ func (e *engine) runInterval(sw *swarm.Swarm, seeding []bool, iv swarm.Interval,
 	w := iv.Seconds()
 	e.resize(n)
 
-	var budget float64 = -1
 	var sumCaps float64
 	for slot, idx := range iv.Active {
 		s := sw.Sessions[idx]
-		e.peers[slot] = e.peerOf(s, sw.Key)
+		e.peers[slot] = e.cfg.PeerEndpoint(s, sw.Key)
 		if seeding != nil && seeding[idx] {
 			e.demands[slot] = 0
 		} else {
 			e.demands[slot] = s.Bitrate.BitsPerSecond() * w
 		}
-		cap := e.uploadBps(s) * w
+		cap := e.cfg.UploadBpsOf(s) * w
 		e.caps[slot] = cap
 		sumCaps += cap
 	}
-	if !e.cfg.DisablePaperBudget && n > 0 {
-		// Eq. 2: one peer's share of the swarm's upload capacity is spent
-		// pulling novel chunks from the server, leaving the (L−1)/L share
-		// for sharing — exactly (L−1)·q for uniform per-peer capacity q,
-		// and its natural generalisation when capacities differ (e.g.
-		// partial upload participation).
-		budget = sumCaps * float64(n-1) / float64(n)
-	}
+	// Eq. 2: one peer's share of the swarm's upload capacity is spent
+	// pulling novel chunks from the server, leaving the (L−1)/L share
+	// for sharing — exactly (L−1)·q for uniform per-peer capacity q,
+	// and its natural generalisation when capacities differ (e.g.
+	// partial upload participation).
+	budget := e.cfg.PeerBudget(sumCaps, n)
 
 	alloc, err := e.cfg.Policy.Match(e.peers[:n], e.demands[:n], e.caps[:n], budget)
 	if err != nil {
@@ -406,116 +461,13 @@ func (e *engine) runInterval(sw *swarm.Swarm, seeding []bool, iv swarm.Interval,
 	return nil
 }
 
-// peerOf maps a session onto a matching endpoint. Exchange identifiers are
-// namespaced per ISP: when a swarm spans ISPs (ablation mode), peers from
-// different ISPs can never share an exchange or PoP — their traffic meets
-// at the core, modelling inter-ISP exchange through the metro core /
-// peering fabric.
-func (e *engine) peerOf(s trace.Session, key swarm.Key) matching.Peer {
-	exchange := int(s.Exchange)
-	pop := e.cfg.Topology.PoPOf(exchange)
-	if key.ISP == swarm.AnyISP {
-		stride := e.cfg.Topology.Exchanges()
-		popStride := e.cfg.Topology.PoPs()
-		exchange += int(s.ISP) * stride
-		pop += int(s.ISP) * popStride
-	}
-	return matching.Peer{User: s.UserID, Exchange: exchange, PoP: pop}
-}
-
-// uploadBps returns a session's upload bandwidth in bits/s, zero for
-// users who do not participate in uploading.
-func (e *engine) uploadBps(s trace.Session) float64 {
-	if !e.cfg.participates(s.UserID) {
-		return 0
-	}
-	if tier := e.cfg.tierOf(s.UserID); tier >= 0 {
-		return e.cfg.UploadTiers[tier].Bps
-	}
-	if e.cfg.UploadBps > 0 {
-		return e.cfg.UploadBps
-	}
-	return e.cfg.UploadRatio * s.Bitrate.BitsPerSecond()
-}
-
 // book accumulates an interval allocation into the swarm stats, the
 // per-day/per-ISP grid and the per-user ledgers.
 func (e *engine) book(sw *swarm.Swarm, iv swarm.Interval, alloc matching.Allocation, stats *SwarmStats) {
-	var ivTally Tally
-	ivTally.ServerBits = alloc.ServerBits
-	ivTally.LayerBits = alloc.LayerBits
-	ivTally.TotalBits = alloc.ServerBits
-	for _, b := range alloc.LayerBits {
-		ivTally.TotalBits += b
-	}
+	ivTally := e.booker.BookInterval(iv, alloc, e.demands, func(idx int) trace.Session {
+		return sw.Sessions[idx]
+	})
 	stats.Tally.Add(ivTally)
-
-	peerTotal := ivTally.PeerBits()
-	for slot, idx := range iv.Active {
-		s := sw.Sessions[idx]
-		demand := e.demands[slot]
-		received := alloc.PeerReceivedBits[slot]
-		server := demand - received
-		if server < 0 {
-			server = 0
-		}
-
-		// Per-day / per-ISP attribution at downloader granularity. Peer
-		// bits are split across layers proportionally to the interval's
-		// overall layer mix.
-		var perUser Tally
-		perUser.TotalBits = demand
-		perUser.ServerBits = server
-		if peerTotal > 0 {
-			frac := received / peerTotal
-			for l := range alloc.LayerBits {
-				perUser.LayerBits[l] = alloc.LayerBits[l] * frac
-			}
-		}
-		e.bookDays(iv, int(s.ISP), perUser)
-
-		if e.result.Users != nil {
-			u := e.result.Users[s.UserID]
-			if u == nil {
-				u = &UserStats{}
-				e.result.Users[s.UserID] = u
-			}
-			u.DownloadedBits += demand
-			u.FromPeersBits += received
-			u.UploadedBits += alloc.UploadedBits[slot]
-		}
-	}
-}
-
-// bookDays splits a tally across the days an interval overlaps,
-// proportionally to the overlap.
-func (e *engine) bookDays(iv swarm.Interval, isp int, t Tally) {
-	const daySec = 24 * 3600
-	total := iv.Seconds()
-	if total <= 0 {
-		return
-	}
-	grid := e.result.Days
-	for day := int(iv.From / daySec); day <= int((iv.To-1)/daySec); day++ {
-		if day < 0 || day >= len(grid) {
-			continue
-		}
-		dayStart := int64(day) * daySec
-		dayEnd := dayStart + daySec
-		overlap := minInt64(iv.To, dayEnd) - maxInt64(iv.From, dayStart)
-		if overlap <= 0 {
-			continue
-		}
-		frac := float64(overlap) / total
-		scaled := Tally{
-			TotalBits:  t.TotalBits * frac,
-			ServerBits: t.ServerBits * frac,
-		}
-		for l := range t.LayerBits {
-			scaled.LayerBits[l] = t.LayerBits[l] * frac
-		}
-		grid[day][isp].Add(scaled)
-	}
 }
 
 // resize grows the scratch buffers to hold n entries.

@@ -1,0 +1,118 @@
+package swarm
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Tracker maintains one swarm's activity incrementally: session-start and
+// session-end events are scheduled as sessions arrive, and completed
+// activity intervals are settled on demand as the event-time watermark
+// advances. Fed the same membership, a Tracker reproduces Sweep exactly —
+// the same interval boundaries, the same sorted active sets, in the same
+// order — without ever holding the swarm's full session list. It is the
+// incremental core of the streaming engine (internal/engine), where whole
+// traces are too large to group up front.
+//
+// The contract mirrors Sweep's event ordering: at any instant, session
+// ends settle before session starts, so back-to-back sessions never
+// appear concurrent. Callers must advance the watermark monotonically and
+// must Advance to a session's start time before scheduling its Open, so
+// that earlier ends settle first.
+type Tracker struct {
+	events eventHeap
+	active map[int]struct{}
+	prevAt int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{active: make(map[int]struct{})}
+}
+
+// Open schedules a session-start event for member index at time at.
+func (t *Tracker) Open(at int64, index int) {
+	heap.Push(&t.events, trackerEvent{at: at, open: true, index: index})
+}
+
+// Close schedules a session-end event for member index at time at.
+func (t *Tracker) Close(at int64, index int) {
+	heap.Push(&t.events, trackerEvent{at: at, open: false, index: index})
+}
+
+// Advance settles every event strictly before until, plus session-end
+// events at exactly until (Sweep's ends-before-starts tie-break), and
+// emits each completed interval in time order. closed, when non-nil, is
+// invoked for every settled session-end after the last interval
+// containing that member was emitted — the hook the streaming engine uses
+// to release per-member state. until must not decrease across calls.
+func (t *Tracker) Advance(until int64, emit func(Interval), closed func(index int)) {
+	for len(t.events) > 0 {
+		head := t.events[0]
+		if head.at > until || (head.at == until && head.open) {
+			break
+		}
+		at := head.at
+		if len(t.active) > 0 && at > t.prevAt {
+			emit(Interval{From: t.prevAt, To: at, Active: keysSorted(t.active)})
+		}
+		// Apply every settleable event at this instant before moving on,
+		// so the next emitted interval sees the fully updated active set.
+		for len(t.events) > 0 {
+			e := t.events[0]
+			if e.at != at || (e.at == until && e.open) {
+				break
+			}
+			heap.Pop(&t.events)
+			if e.open {
+				t.active[e.index] = struct{}{}
+			} else {
+				delete(t.active, e.index)
+				if closed != nil {
+					closed(e.index)
+				}
+			}
+		}
+		t.prevAt = at
+	}
+}
+
+// Finish settles everything still pending, closing out the swarm.
+func (t *Tracker) Finish(emit func(Interval), closed func(index int)) {
+	t.Advance(math.MaxInt64, emit, closed)
+}
+
+// ActiveCount returns the number of currently active members.
+func (t *Tracker) ActiveCount() int { return len(t.active) }
+
+// Idle reports whether the tracker has neither active members nor
+// pending events.
+func (t *Tracker) Idle() bool { return len(t.active) == 0 && len(t.events) == 0 }
+
+// trackerEvent is one scheduled membership change.
+type trackerEvent struct {
+	at    int64
+	open  bool
+	index int
+}
+
+// eventHeap is a min-heap of events ordered by time, with ends sorting
+// before starts at the same instant — the same tie-break Sweep applies.
+type eventHeap []trackerEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return !h[i].open && h[j].open
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(trackerEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

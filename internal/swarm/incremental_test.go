@@ -1,0 +1,161 @@
+package swarm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+// feedTracker replays a session list through a Tracker the way the
+// streaming engine does — advance to each start, then schedule the
+// session — and collects the emitted intervals and close order.
+func feedTracker(sessions []trace.Session) (intervals []Interval, closes []int) {
+	tr := NewTracker()
+	emit := func(iv Interval) { intervals = append(intervals, iv) }
+	closed := func(idx int) { closes = append(closes, idx) }
+	for i, s := range sessions {
+		tr.Advance(s.StartSec, emit, closed)
+		tr.Open(s.StartSec, i)
+		tr.Close(s.EndSec(), i)
+	}
+	tr.Finish(emit, closed)
+	return intervals, closes
+}
+
+func assertIntervalsEqual(t *testing.T, got, want []Interval) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("interval counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].From != want[i].From || got[i].To != want[i].To {
+			t.Fatalf("interval %d spans differ: [%d,%d) vs [%d,%d)",
+				i, got[i].From, got[i].To, want[i].From, want[i].To)
+		}
+		if !reflect.DeepEqual(got[i].Active, want[i].Active) {
+			t.Fatalf("interval %d active sets differ: %v vs %v", i, got[i].Active, want[i].Active)
+		}
+	}
+}
+
+func TestTrackerMatchesSweepRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		sessions := make([]trace.Session, n)
+		for i := range sessions {
+			sessions[i] = trace.Session{
+				UserID:      uint32(i),
+				StartSec:    int64(rng.Intn(200)),
+				DurationSec: int32(1 + rng.Intn(100)),
+				Bitrate:     trace.BitrateSD,
+			}
+		}
+		sort.Slice(sessions, func(i, j int) bool { return sessions[i].StartSec < sessions[j].StartSec })
+
+		sw := &Swarm{Sessions: sessions}
+		want := sw.Sweep()
+		got, closes := feedTracker(sessions)
+		assertIntervalsEqual(t, got, want)
+		if len(closes) != n {
+			t.Fatalf("trial %d: %d closes, want %d", trial, len(closes), n)
+		}
+	}
+}
+
+func TestTrackerBackToBackSessionsNotConcurrent(t *testing.T) {
+	// Second session starts exactly when the first ends: Sweep's
+	// ends-before-starts tie-break keeps them in separate intervals.
+	sessions := []trace.Session{
+		{UserID: 0, StartSec: 0, DurationSec: 10, Bitrate: trace.BitrateSD},
+		{UserID: 1, StartSec: 10, DurationSec: 10, Bitrate: trace.BitrateSD},
+	}
+	got, _ := feedTracker(sessions)
+	want := (&Swarm{Sessions: sessions}).Sweep()
+	assertIntervalsEqual(t, got, want)
+	for _, iv := range got {
+		if len(iv.Active) != 1 {
+			t.Fatalf("back-to-back sessions appear concurrent: %+v", iv)
+		}
+	}
+}
+
+func TestTrackerFutureOpens(t *testing.T) {
+	// Seeding-style members open in the future relative to the arrival
+	// watermark (their open is scheduled at an earlier Advance point).
+	// The tracker must interleave them with other sessions correctly.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		var combined []trace.Session
+		for i := 0; i < n; i++ {
+			s := trace.Session{
+				UserID:      uint32(i),
+				StartSec:    int64(rng.Intn(150)),
+				DurationSec: int32(1 + rng.Intn(60)),
+				Bitrate:     trace.BitrateSD,
+			}
+			combined = append(combined, s)
+		}
+		sort.Slice(combined, func(i, j int) bool { return combined[i].StartSec < combined[j].StartSec })
+
+		// Batch reference: real sessions interleaved with their seeders,
+		// exactly like sim's augment step.
+		const retention = 25
+		var members []trace.Session
+		for _, s := range combined {
+			members = append(members, s)
+			seeder := s
+			seeder.StartSec = s.EndSec()
+			seeder.DurationSec = retention
+			members = append(members, seeder)
+		}
+		want := (&Swarm{Sessions: members}).Sweep()
+
+		// Streaming: schedule a seeder alongside each real session.
+		tr := NewTracker()
+		var got []Interval
+		emit := func(iv Interval) { got = append(got, iv) }
+		idx := 0
+		for _, s := range combined {
+			tr.Advance(s.StartSec, emit, nil)
+			tr.Open(s.StartSec, idx)
+			tr.Close(s.EndSec(), idx)
+			idx++
+			seeder := s
+			seeder.StartSec = s.EndSec()
+			seeder.DurationSec = retention
+			tr.Open(seeder.StartSec, idx)
+			tr.Close(seeder.EndSec(), idx)
+			idx++
+		}
+		tr.Finish(emit, nil)
+		assertIntervalsEqual(t, got, want)
+	}
+}
+
+func TestTrackerIdle(t *testing.T) {
+	tr := NewTracker()
+	if !tr.Idle() {
+		t.Fatal("new tracker should be idle")
+	}
+	tr.Open(0, 0)
+	tr.Close(10, 0)
+	if tr.Idle() {
+		t.Fatal("tracker with pending events should not be idle")
+	}
+	var n int
+	tr.Finish(func(Interval) { n++ }, nil)
+	if !tr.Idle() {
+		t.Fatal("finished tracker should be idle")
+	}
+	if n != 1 {
+		t.Fatalf("emitted %d intervals, want 1", n)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Fatalf("active count = %d, want 0", tr.ActiveCount())
+	}
+}

@@ -100,12 +100,14 @@ func Group(t *trace.Trace, opts Options) []*Swarm {
 	for _, sw := range byKey {
 		out = append(out, sw)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.less(out[j].Key) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
 	return out
 }
 
-// less orders keys lexicographically for deterministic iteration.
-func (k Key) less(other Key) bool {
+// Less orders keys lexicographically (content, ISP, bitrate) for
+// deterministic iteration; exported so the streaming engine can merge
+// sharded per-swarm results in the same order as Group.
+func (k Key) Less(other Key) bool {
 	if k.Content != other.Content {
 		return k.Content < other.Content
 	}

@@ -120,7 +120,7 @@ func TestGroupDeterministicOrder(t *testing.T) {
 	}
 	// Sorted by content, then ISP, then bitrate.
 	for i := 1; i < len(first); i++ {
-		if !first[i-1].Key.less(first[i].Key) {
+		if !first[i-1].Key.Less(first[i].Key) {
 			t.Errorf("keys out of order: %+v before %+v", first[i-1].Key, first[i].Key)
 		}
 	}

@@ -50,49 +50,38 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// ReadCSV parses a trace previously produced by WriteCSV.
+// ReadCSV parses a trace previously produced by WriteCSV. It is the
+// materialising counterpart of NewScanner: the whole session list is
+// loaded into memory and validated as a Trace.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	br := newLineReader(r)
-	metaLine, err := br.readLine()
+	sc, err := NewScanner(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: read meta: %w", err)
-	}
-	t := &Trace{}
-	if err := parseMeta(metaLine, t); err != nil {
 		return nil, err
 	}
-
-	cr := csv.NewReader(br)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read header: %w", err)
+	meta := sc.Meta()
+	t := &Trace{
+		Name:       meta.Name,
+		Epoch:      meta.Epoch,
+		HorizonSec: meta.HorizonSec,
+		NumUsers:   meta.NumUsers,
+		NumContent: meta.NumContent,
+		NumISPs:    meta.NumISPs,
 	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	for sc.Scan() {
+		t.Sessions = append(t.Sessions, sc.Session())
 	}
-	for {
-		record, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: read session: %w", err)
-		}
-		s, err := parseSession(record)
-		if err != nil {
-			return nil, err
-		}
-		t.Sessions = append(t.Sessions, s)
-	}
-	if err := t.Validate(); err != nil {
+	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// No trailing t.Validate(): the scanner has already enforced every
+	// invariant it checks — metadata, per-session ranges, start order —
+	// row by row, and repeating it would double the cost on month-scale
+	// traces.
 	return t, nil
 }
 
 // parseMeta decodes the "#meta k=v ..." comment line.
-func parseMeta(line string, t *Trace) error {
+func parseMeta(line string, t *Meta) error {
 	const prefix = "#meta "
 	if !strings.HasPrefix(line, prefix) {
 		return fmt.Errorf("trace: missing #meta line, got %q", truncate(line, 40))

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"encoding/csv"
+)
+
+// Meta is the trace-level metadata carried by the CSV interchange
+// format's leading "#meta" line: everything the simulator needs to know
+// about a trace besides the sessions themselves. It is what a streaming
+// consumer (trace.Scanner, internal/engine) has in hand before — and
+// while — sessions flow past it.
+type Meta struct {
+	// Name labels the trace in reports.
+	Name string `json:"name"`
+	// Epoch anchors StartSec = 0 in wall-clock time.
+	Epoch time.Time `json:"epoch"`
+	// HorizonSec is the trace length in seconds.
+	HorizonSec int64 `json:"horizon_sec"`
+	// NumUsers is the user population size.
+	NumUsers int `json:"num_users"`
+	// NumContent is the catalogue size.
+	NumContent int `json:"num_content"`
+	// NumISPs is the number of ISPs.
+	NumISPs int `json:"num_isps"`
+}
+
+// Validate checks the metadata invariants, mirroring the meta-level part
+// of Trace.Validate.
+func (m Meta) Validate() error {
+	if m.HorizonSec <= 0 {
+		return fmt.Errorf("trace: horizon must be positive, got %d", m.HorizonSec)
+	}
+	if m.NumUsers <= 0 || m.NumContent <= 0 || m.NumISPs <= 0 {
+		return fmt.Errorf("trace: population sizes must be positive (users=%d content=%d isps=%d)",
+			m.NumUsers, m.NumContent, m.NumISPs)
+	}
+	return nil
+}
+
+// Days returns the horizon length in whole days (rounded up).
+func (m Meta) Days() int {
+	const daySec = 24 * 60 * 60
+	return int((m.HorizonSec + daySec - 1) / daySec)
+}
+
+// ValidateSession checks one session against the metadata, mirroring the
+// per-session part of Trace.Validate. i is the session's ordinal for
+// error messages.
+func (m Meta) ValidateSession(i int64, s Session) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("trace: session %d: %w", i, err)
+	}
+	if int(s.UserID) >= m.NumUsers {
+		return fmt.Errorf("trace: session %d: user %d out of range", i, s.UserID)
+	}
+	if int(s.ContentID) >= m.NumContent {
+		return fmt.Errorf("trace: session %d: content %d out of range", i, s.ContentID)
+	}
+	if int(s.ISP) >= m.NumISPs {
+		return fmt.Errorf("trace: session %d: ISP %d out of range", i, s.ISP)
+	}
+	if s.StartSec >= m.HorizonSec {
+		return fmt.Errorf("trace: session %d starts at %d beyond horizon %d", i, s.StartSec, m.HorizonSec)
+	}
+	return nil
+}
+
+// Meta returns the trace's metadata view.
+func (t *Trace) Meta() Meta {
+	return Meta{
+		Name:       t.Name,
+		Epoch:      t.Epoch,
+		HorizonSec: t.HorizonSec,
+		NumUsers:   t.NumUsers,
+		NumContent: t.NumContent,
+		NumISPs:    t.NumISPs,
+	}
+}
+
+// Scanner iterates a CSV trace one session at a time without ever
+// materialising the full session list: the out-of-core entry point the
+// streaming engine replays month-scale traces through. The metadata line
+// and header are parsed eagerly by NewScanner; sessions are parsed and
+// validated lazily as Scan advances, including the start-order invariant
+// Trace.Validate enforces on whole traces.
+type Scanner struct {
+	meta      Meta
+	cr        *csv.Reader
+	cur       Session
+	err       error
+	scanned   int64
+	prevStart int64
+}
+
+// NewScanner reads the "#meta" line and the CSV header from r and
+// returns a scanner positioned before the first session.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br := newLineReader(r)
+	metaLine, err := br.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read meta: %w", err)
+	}
+	var meta Meta
+	if err := parseMeta(metaLine, &meta); err != nil {
+		return nil, err
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+
+	cr := csv.NewReader(br)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	return &Scanner{meta: meta, cr: cr, prevStart: -1}, nil
+}
+
+// Meta returns the trace metadata parsed from the leading comment line.
+func (sc *Scanner) Meta() Meta { return sc.meta }
+
+// Scan advances to the next session, returning false at end of stream or
+// on error (distinguish with Err).
+func (sc *Scanner) Scan() bool {
+	if sc.err != nil {
+		return false
+	}
+	record, err := sc.cr.Read()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		sc.err = fmt.Errorf("trace: read session: %w", err)
+		return false
+	}
+	s, err := parseSession(record)
+	if err != nil {
+		sc.err = err
+		return false
+	}
+	if err := sc.meta.ValidateSession(sc.scanned, s); err != nil {
+		sc.err = err
+		return false
+	}
+	if s.StartSec < sc.prevStart {
+		sc.err = fmt.Errorf("trace: session %d out of start order", sc.scanned)
+		return false
+	}
+	sc.prevStart = s.StartSec
+	sc.cur = s
+	sc.scanned++
+	return true
+}
+
+// Session returns the session Scan last advanced to.
+func (sc *Scanner) Session() Session { return sc.cur }
+
+// Err returns the first error encountered, nil after a clean end of
+// stream.
+func (sc *Scanner) Err() error { return sc.err }
+
+// Scanned returns the number of sessions successfully scanned so far.
+func (sc *Scanner) Scanned() int64 { return sc.scanned }
+
+// Next is the iterator form of Scan/Session: it returns the next session
+// or io.EOF at a clean end of stream. It makes *Scanner satisfy the
+// streaming engine's Source interface.
+func (sc *Scanner) Next() (Session, error) {
+	if sc.Scan() {
+		return sc.cur, nil
+	}
+	if sc.err != nil {
+		return Session{}, sc.err
+	}
+	return Session{}, io.EOF
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestScannerMatchesReadCSV(t *testing.T) {
+	cfg := DefaultGeneratorConfig(0.0005)
+	cfg.Days = 3
+	original, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := original.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sc.Meta(), original.Meta(); got != want {
+		t.Fatalf("meta mismatch: %+v vs %+v", got, want)
+	}
+	var i int
+	for sc.Scan() {
+		if i >= len(original.Sessions) {
+			t.Fatalf("scanner yielded more than %d sessions", len(original.Sessions))
+		}
+		if sc.Session() != original.Sessions[i] {
+			t.Fatalf("session %d differs: %+v vs %+v", i, sc.Session(), original.Sessions[i])
+		}
+		i++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if i != len(original.Sessions) {
+		t.Fatalf("scanned %d sessions, want %d", i, len(original.Sessions))
+	}
+	if sc.Scanned() != int64(i) {
+		t.Fatalf("Scanned() = %d, want %d", sc.Scanned(), i)
+	}
+}
+
+func TestScannerNextEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := smallTrace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(smallTrace().Sessions) {
+		t.Fatalf("Next yielded %d sessions, want %d", n, len(smallTrace().Sessions))
+	}
+	// EOF is sticky.
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestScannerRejectsOutOfOrder(t *testing.T) {
+	input := "#meta name=x epoch=2013-09-01T00:00:00Z horizon=86400 users=5 content=5 isps=2\n" +
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"0,0,0,0,100,60,1500\n" +
+		"1,0,0,0,50,60,1500\n"
+	sc, err := NewScanner(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("first session should scan")
+	}
+	if sc.Scan() {
+		t.Fatal("out-of-order session should not scan")
+	}
+	if sc.Err() == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
+
+func TestScannerRejectsBadMeta(t *testing.T) {
+	cases := []string{
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n",
+		"#meta name=x epoch=2013-09-01T00:00:00Z horizon=0 users=1 content=1 isps=1\nuser,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n",
+		"#meta name=x epoch=2013-09-01T00:00:00Z horizon=86400 users=0 content=1 isps=1\nuser,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n",
+	}
+	for i, input := range cases {
+		if _, err := NewScanner(strings.NewReader(input)); err == nil {
+			t.Errorf("case %d: expected meta error", i)
+		}
+	}
+}
+
+func TestScannerRejectsSessionOutOfRange(t *testing.T) {
+	input := "#meta name=x epoch=2013-09-01T00:00:00Z horizon=86400 users=1 content=1 isps=1\n" +
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"5,0,0,0,0,60,1500\n"
+	sc, err := NewScanner(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Fatal("out-of-range user should not scan")
+	}
+	if sc.Err() == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestMetaDays(t *testing.T) {
+	m := Meta{HorizonSec: 86400*3 + 1}
+	if m.Days() != 4 {
+		t.Fatalf("Days() = %d, want 4", m.Days())
+	}
+}
