@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet lint test race bench ci
 
 all: build
 
@@ -12,14 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+## lint: formatting gate — fails when gofmt would rewrite anything
+lint:
+	@drift="$$(gofmt -l .)"; if [ -n "$$drift" ]; then \
+		echo "gofmt needed on:"; echo "$$drift"; exit 1; \
+	fi
+
 ## test: the tier-1 suite
 test:
 	$(GO) test ./...
 
-## race: race-check the concurrent subsystems (streaming engine,
-## parallel simulator, daemon)
+## race: race-check the concurrent subsystems (Replay API layer,
+## streaming engine, parallel simulator, daemon job manager)
 race:
-	$(GO) test -race ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/...
+	$(GO) test -race . ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/...
 
 ## bench: the reproduction's benchmark report at reduced scale
 bench:

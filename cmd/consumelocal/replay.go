@@ -1,27 +1,31 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 
+	"consumelocal"
 	"consumelocal/internal/energy"
-	"consumelocal/internal/engine"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
-	"consumelocal/internal/trace"
 )
 
-// runReplay implements the `replay` subcommand: stream a trace CSV
-// through the out-of-core engine (-trace file, or stdin — so a
-// generator can be piped straight in) and print live windowed reports
-// followed by the same summary the simulate subcommand produces.
+// runReplay implements the `replay` subcommand on the unified Replay
+// pipeline: pick a source (-trace file, stdin, or -generate for the
+// live synthetic generator), an engine mode, and print live windowed
+// reports followed by the same summary the simulate subcommand
+// produces. -ndjson swaps the table for the NDJSON snapshot sink.
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	tracePath := fs.String("trace", "", "trace CSV path (default: read stdin)")
+	generate := fs.Float64("generate", 0, "stream the synthetic generator live at this scale instead of reading a trace")
+	genDays := fs.Int("days", 7, "generator horizon in days (with -generate)")
+	genSeed := fs.Int64("seed", 1, "generator seed (with -generate)")
+	mode := fs.String("engine", "streaming", "engine mode: streaming, batch or parallel")
 	ratio := fs.Float64("ratio", 1.0, "upload-to-bitrate ratio q/beta")
 	window := fs.Int64("window", 3600, "reporting window in seconds")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "shard workers")
@@ -34,39 +38,90 @@ func runReplay(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	in := io.Reader(os.Stdin)
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return fmt.Errorf("open trace: %w", err)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("replay: unexpected arguments %q", fs.Args())
+	}
+	var generateSet, daysSet, seedSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "generate":
+			generateSet = true
+		case "days":
+			daysSet = true
+		case "seed":
+			seedSet = true
 		}
-		defer f.Close()
-		in = f
+	})
+	// An explicit non-positive -generate must not silently fall through
+	// to the stdin/trace path (DefaultTraceConfig would also treat 0 as
+	// full paper scale, which no typo should launch).
+	if generateSet && *generate <= 0 {
+		return fmt.Errorf("replay: -generate must be a positive scale, got %g", *generate)
 	}
-	sc, err := trace.NewScanner(in)
+	if *generate > 0 && *tracePath != "" {
+		return fmt.Errorf("replay: -generate and -trace are mutually exclusive")
+	}
+	if !generateSet && (daysSet || seedSet) {
+		return fmt.Errorf("replay: -days and -seed only apply with -generate")
+	}
+
+	engineMode, err := consumelocal.ParseEngineMode(*mode)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+
+	var src consumelocal.Source
+	switch {
+	case *generate > 0:
+		gcfg := consumelocal.DefaultTraceConfig(*generate)
+		gcfg.Days = *genDays
+		gcfg.Seed = *genSeed
+		src, err = consumelocal.GeneratorSource(gcfg)
+		if err != nil {
+			return err
+		}
+	default:
+		in := io.Reader(os.Stdin)
+		if *tracePath != "" {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				return fmt.Errorf("open trace: %w", err)
+			}
+			defer f.Close()
+			in = f
+		}
+		src, err = consumelocal.CSVSource(in)
+		if err != nil {
+			return err
+		}
+	}
+
+	simCfg := sim.DefaultConfig(*ratio)
+	simCfg.ParticipationRate = *participation
+	simCfg.SeedRetentionSec = *seedRetention
+	simCfg.QuantizeTickSec = *tick
+	simCfg.Swarm = swarm.Options{RestrictISP: !*cityWide, SplitBitrate: !*mixedBitrates}
+
+	opts := []consumelocal.Option{
+		consumelocal.WithSimConfig(simCfg),
+		consumelocal.WithEngine(engineMode),
+		consumelocal.WithWindow(*window),
+		consumelocal.WithWorkers(*workers),
+	}
+	if *ndjson {
+		opts = append(opts, consumelocal.WithSink(consumelocal.NDJSONSink(out)))
+	}
+
+	job, err := consumelocal.Replay(context.Background(), src, opts...)
 	if err != nil {
 		return err
 	}
 
-	cfg := engine.DefaultConfig(*ratio)
-	cfg.WindowSec = *window
-	cfg.Workers = *workers
-	cfg.Sim.ParticipationRate = *participation
-	cfg.Sim.SeedRetentionSec = *seedRetention
-	cfg.Sim.QuantizeTickSec = *tick
-	cfg.Sim.Swarm = swarm.Options{RestrictISP: !*cityWide, SplitBitrate: !*mixedBitrates}
-
-	run, err := engine.Stream(sc, cfg)
-	if err != nil {
-		return err
-	}
-
-	meta := run.Meta()
+	meta := job.Meta()
 	models := energy.BothModels()
 	if !*ndjson {
-		fmt.Fprintf(out, "replaying %q out-of-core: %d-day horizon, window %ds, %d workers\n\n",
-			meta.Name, meta.Days(), cfg.WindowSec, cfg.Workers)
+		fmt.Fprintf(out, "replaying %q (%s engine): %d-day horizon, window %ds, %d workers\n\n",
+			meta.Name, job.Mode(), meta.Days(), *window, *workers)
 		fmt.Fprintf(out, "%8s %10s %9s %8s %8s", "window", "sessions", "active", "traffic", "offload")
 		for _, p := range models {
 			fmt.Fprintf(out, " %10s", p.Name)
@@ -75,14 +130,10 @@ func runReplay(args []string, out io.Writer) error {
 	}
 
 	var seen int64
-	enc := json.NewEncoder(out)
-	for snap := range run.Snapshots() {
+	for snap := range job.Snapshots() {
 		seen = snap.SessionsSeen
 		if *ndjson {
-			if err := enc.Encode(snap); err != nil {
-				return err
-			}
-			continue
+			continue // the NDJSON sink already wrote the line
 		}
 		label := fmt.Sprintf("%dh", snap.ToSec/3600)
 		if snap.Final {
@@ -97,7 +148,7 @@ func runReplay(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 
-	res, err := run.Result()
+	res, err := job.Result()
 	if err != nil {
 		return err
 	}

@@ -1,25 +1,35 @@
 // Command consumelocald is the long-running service form of the
-// reproduction: a hybrid-CDN replay daemon built on the streaming engine
-// (internal/engine). Clients POST a trace — streaming the CSV body, so
-// month-scale traces replay out-of-core — and read live windowed
-// tallies, energy reports and carbon-credit snapshots back out while the
-// replay is still running.
+// reproduction: an asynchronous hybrid-CDN replay job manager built on
+// the unified consumelocal.Replay pipeline. Clients submit replay jobs —
+// a streamed trace CSV, or the synthetic generator run live — and poll
+// state, follow NDJSON snapshots mid-flight, price energy and carbon,
+// and cancel, while the daemon enforces a concurrent-replay quota.
 //
 // Usage:
 //
-//	consumelocald [-addr :8377]
+//	consumelocald [-addr :8377] [-max-jobs 4]
 //
 // API:
 //
-//	POST /v1/replay            stream a trace CSV in; NDJSON snapshots out.
-//	                           Query: ratio, window, workers, participation,
-//	                           tick, seed_retention, city_wide,
-//	                           mixed_bitrates, track_users, name
-//	GET  /v1/jobs              list replay jobs
-//	GET  /v1/jobs/{id}         one job's status and latest snapshot
-//	GET  /v1/jobs/{id}/energy  energy reports under both Table IV models
-//	GET  /v1/jobs/{id}/carbon  per-user carbon credit distribution
-//	GET  /healthz              liveness
+//	POST   /v1/jobs                 start an async replay job (202).
+//	                                Body: trace CSV (spooled), or
+//	                                ?source=generator with scale, days,
+//	                                seed to stream the synthetic workload
+//	                                live. Shared query: ratio, window,
+//	                                workers, engine (streaming|batch|
+//	                                parallel), participation, tick,
+//	                                seed_retention, city_wide,
+//	                                mixed_bitrates, track_users, name.
+//	                                429 once max-jobs replays run.
+//	GET    /v1/jobs                 list replay jobs
+//	GET    /v1/jobs/{id}            one job's status and latest snapshot
+//	GET    /v1/jobs/{id}/snapshots  follow snapshots as NDJSON mid-flight
+//	DELETE /v1/jobs/{id}            cancel a running replay
+//	GET    /v1/jobs/{id}/energy     energy reports under both Table IV models
+//	GET    /v1/jobs/{id}/carbon     per-user carbon credit distribution
+//	POST   /v1/replay               synchronous form: stream a trace CSV in,
+//	                                NDJSON snapshots out on one connection
+//	GET    /healthz                 liveness
 package main
 
 import (
@@ -28,19 +38,44 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address")
+	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "concurrent replay quota (excess submissions get 429)")
+	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "largest trace CSV a replay submission may upload, in bytes (must be positive; excess gets 413)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "consumelocald: unexpected arguments")
 		os.Exit(2)
 	}
+	if *maxBody <= 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: -max-body must be positive")
+		os.Exit(2)
+	}
+	if *maxJobs <= 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: -max-jobs must be positive")
+		os.Exit(2)
+	}
 
-	srv := newServer()
-	log.Printf("consumelocald listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	srv := newServer(*maxJobs)
+	srv.maxBody = *maxBody
+	// No global Read/WriteTimeout: /v1/replay legitimately reads its body
+	// and writes snapshots for the whole replay. Slow-loris protection is
+	// the header timeout here plus per-request read deadlines covering
+	// the pre-registration phase of both submission paths (the async
+	// body spool, the sync CSV header); a sync client that stalls after
+	// registration holds a visible running job, and DELETE both cancels
+	// it and cuts the stalled body read so the quota slot is freed.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("consumelocald listening on %s (max %d concurrent jobs)", *addr, *maxJobs)
+	if err := hs.ListenAndServe(); err != nil {
 		log.Fatalf("consumelocald: %v", err)
 	}
 }

@@ -31,7 +31,7 @@ func testTraceCSV(t *testing.T) []byte {
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(newServer().routes())
+	ts := httptest.NewServer(newServer(0).routes())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -44,7 +44,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestReplayLifecycle(t *testing.T) {
-	ts := httptest.NewServer(newServer().routes())
+	ts := httptest.NewServer(newServer(0).routes())
 	defer ts.Close()
 	csv := testTraceCSV(t)
 
@@ -157,7 +157,7 @@ func TestReplayLifecycle(t *testing.T) {
 }
 
 func TestReplayRejectsBadInput(t *testing.T) {
-	ts := httptest.NewServer(newServer().routes())
+	ts := httptest.NewServer(newServer(0).routes())
 	defer ts.Close()
 
 	// Garbage body: the scanner fails before any job is registered.
@@ -182,7 +182,7 @@ func TestReplayRejectsBadInput(t *testing.T) {
 }
 
 func TestReplayWithoutUserTrackingRefusesCarbon(t *testing.T) {
-	ts := httptest.NewServer(newServer().routes())
+	ts := httptest.NewServer(newServer(0).routes())
 	defer ts.Close()
 	csv := testTraceCSV(t)
 
@@ -204,7 +204,7 @@ func TestReplayWithoutUserTrackingRefusesCarbon(t *testing.T) {
 }
 
 func TestJobNotFound(t *testing.T) {
-	ts := httptest.NewServer(newServer().routes())
+	ts := httptest.NewServer(newServer(0).routes())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/v1/jobs/99")
 	if err != nil {

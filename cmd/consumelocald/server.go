@@ -1,15 +1,21 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"consumelocal"
 	"consumelocal/internal/carbon"
 	"consumelocal/internal/energy"
 	"consumelocal/internal/engine"
@@ -24,55 +30,117 @@ import (
 // actually in flight plus a recent-history window.
 const maxRetainedJobs = 32
 
-// server is the daemon's shared state: a registry of replay jobs, past
-// and in flight.
+// defaultMaxJobs is the default concurrent-replay quota.
+const defaultMaxJobs = 4
+
+// defaultMaxBodyBytes caps the trace CSV a single replay submission may
+// upload (the paper's full-scale trace is ~1.5 GB; 4 GiB leaves
+// headroom without letting one request exhaust the disk). Note the
+// in-memory engines (engine=batch|parallel) materialise the sessions in
+// RAM up to this cap × max-jobs concurrently — operators hosting those
+// on small machines should lower -max-body or -max-jobs.
+const defaultMaxBodyBytes = 4 << 30
+
+// maxJobSnapshots caps the per-job snapshot history: beyond it the
+// older half is dropped (followers that lag that far behind skip
+// ahead), keeping a job's memory bounded even for window/horizon
+// combinations that settle tens of thousands of windows.
+const maxJobSnapshots = 4096
+
+// server is the daemon's shared state: an async job manager over
+// consumelocal.Replay. Every replay — submitted through the async
+// /v1/jobs API or the synchronous /v1/replay stream — is a registered
+// job with live snapshot history, cancellation and a quota slot.
 type server struct {
-	mu     sync.Mutex
-	jobs   map[int]*job
-	nextID int
+	mu      sync.Mutex
+	jobs    map[int]*job
+	nextID  int
+	maxJobs int
+	maxBody int64
+	// pending counts submissions that claimed a quota slot but are not
+	// yet published in jobs — the gap while Replay starts. Keeping them
+	// out of the registry means a job is only ever visible with its
+	// replay handle attached.
+	pending int
+
+	// sourceHook, when set, replaces jobSource for POST /v1/jobs: the
+	// test seam that lets the httptest suite drive jobs from gated
+	// in-memory sources with deterministic timing.
+	sourceHook func(r *http.Request) (consumelocal.Source, func(), error)
 }
 
-// job is one replay: its configuration fingerprint, the latest windowed
-// snapshot while running, and the full result once done.
+// job is one replay: its registry entry, the live snapshot history
+// while it runs, and the full result once done.
 type job struct {
-	mu       sync.Mutex
-	id       int
-	name     string
-	started  time.Time
-	status   string // "running", "done", "failed"
-	meta     trace.Meta
-	snapshot engine.Snapshot
-	result   *sim.Result
-	errMsg   string
+	id      int
+	name    string
+	mode    consumelocal.EngineMode
+	started time.Time
+	meta    trace.Meta
+	replay  *consumelocal.Job
+	cleanup func()
+
+	mu sync.Mutex
+	// status is "running", "done", "failed" or "cancelled".
+	status string
+	// interrupt, when set (sync /v1/replay jobs), unblocks a body read
+	// the replay may be stalled inside, so DELETE can free the quota
+	// slot of a client that stopped sending. Only called while status
+	// is "running" — the submitting handler is then still blocked in
+	// its settle wait, so its connection is safe to touch.
+	interrupt func()
+	// snaps is the retained snapshot window; snapsStart is the absolute
+	// index of snaps[0] (non-zero once maxJobSnapshots forced eviction).
+	snaps      []engine.Snapshot
+	snapsStart int
+	result     *sim.Result
+	errMsg     string
+	changed    chan struct{}
+}
+
+// broadcastLocked wakes every follower. Callers hold j.mu.
+func (j *job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
 }
 
 // jobView is the JSON projection of a job.
 type jobView struct {
-	ID       int             `json:"id"`
-	Name     string          `json:"name"`
-	Started  time.Time       `json:"started"`
-	Status   string          `json:"status"`
-	Error    string          `json:"error,omitempty"`
-	Meta     trace.Meta      `json:"meta"`
-	Snapshot engine.Snapshot `json:"snapshot"`
+	ID        int             `json:"id"`
+	Name      string          `json:"name"`
+	Mode      string          `json:"mode"`
+	Started   time.Time       `json:"started"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	Meta      trace.Meta      `json:"meta"`
+	Snapshots int             `json:"snapshots"`
+	Snapshot  engine.Snapshot `json:"snapshot"`
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobView{
-		ID:       j.id,
-		Name:     j.name,
-		Started:  j.started,
-		Status:   j.status,
-		Error:    j.errMsg,
-		Meta:     j.meta,
-		Snapshot: j.snapshot,
+	v := jobView{
+		ID:        j.id,
+		Name:      j.name,
+		Mode:      j.mode.String(),
+		Started:   j.started,
+		Status:    j.status,
+		Error:     j.errMsg,
+		Meta:      j.meta,
+		Snapshots: j.snapsStart + len(j.snaps),
 	}
+	if n := len(j.snaps); n > 0 {
+		v.Snapshot = j.snaps[n-1]
+	}
+	return v
 }
 
-func newServer() *server {
-	return &server{jobs: make(map[int]*job), nextID: 1}
+func newServer(maxJobs int) *server {
+	if maxJobs <= 0 {
+		maxJobs = defaultMaxJobs
+	}
+	return &server{jobs: make(map[int]*job), nextID: 1, maxJobs: maxJobs, maxBody: defaultMaxBodyBytes}
 }
 
 func (s *server) routes() http.Handler {
@@ -81,16 +149,37 @@ func (s *server) routes() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("POST /v1/replay", s.handleReplay)
+	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/snapshots", s.handleJobSnapshots)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/energy", s.handleJobEnergy)
 	mux.HandleFunc("GET /v1/jobs/{id}/carbon", s.handleJobCarbon)
 	return mux
 }
 
-// replayConfig parses the replay query parameters into an engine
-// configuration.
-func replayConfig(r *http.Request) (engine.Config, error) {
+// replaySpec is the parsed query-parameter form of a replay request.
+type replaySpec struct {
+	cfg  engine.Config
+	mode consumelocal.EngineMode
+	name string
+}
+
+// options converts the spec into Replay options.
+func (sp replaySpec) options() []consumelocal.Option {
+	return []consumelocal.Option{
+		consumelocal.WithSimConfig(sp.cfg.Sim),
+		consumelocal.WithWindow(sp.cfg.WindowSec),
+		consumelocal.WithWorkers(sp.cfg.Workers),
+		consumelocal.WithSnapshotBuffer(sp.cfg.SnapshotBuffer),
+		consumelocal.WithEngine(sp.mode),
+	}
+}
+
+// parseSpec parses the replay query parameters shared by /v1/replay and
+// /v1/jobs.
+func parseSpec(r *http.Request) (replaySpec, error) {
 	q := r.URL.Query()
 	getF := func(key string, def float64) (float64, error) {
 		v := q.Get(key)
@@ -126,53 +215,339 @@ func replayConfig(r *http.Request) (engine.Config, error) {
 		return b, nil
 	}
 
+	sp := replaySpec{name: q.Get("name")}
 	ratio, err := getF("ratio", 1.0)
 	if err != nil {
-		return engine.Config{}, err
+		return sp, err
 	}
-	cfg := engine.DefaultConfig(ratio)
-	if cfg.WindowSec, err = getI("window", 3600); err != nil {
-		return engine.Config{}, err
+	sp.cfg = engine.DefaultConfig(ratio)
+	if sp.cfg.WindowSec, err = getI("window", 3600); err != nil {
+		return sp, err
+	}
+	// Snapshot history is retained per job; a tiny window on a long
+	// horizon would manufacture millions of snapshots, so floor it.
+	if sp.cfg.WindowSec < 60 {
+		return sp, fmt.Errorf("query window: must be at least 60 seconds, got %d", sp.cfg.WindowSec)
 	}
 	var workers int64
 	if workers, err = getI("workers", int64(runtime.GOMAXPROCS(0))); err != nil {
-		return engine.Config{}, err
+		return sp, err
 	}
-	cfg.Workers = int(workers)
-	if cfg.Sim.ParticipationRate, err = getF("participation", 1.0); err != nil {
-		return engine.Config{}, err
+	sp.cfg.Workers = int(workers)
+	if sp.cfg.Sim.ParticipationRate, err = getF("participation", 1.0); err != nil {
+		return sp, err
 	}
-	if cfg.Sim.QuantizeTickSec, err = getI("tick", 0); err != nil {
-		return engine.Config{}, err
+	if sp.cfg.Sim.QuantizeTickSec, err = getI("tick", 0); err != nil {
+		return sp, err
 	}
-	if cfg.Sim.SeedRetentionSec, err = getI("seed_retention", 0); err != nil {
-		return engine.Config{}, err
+	if sp.cfg.Sim.SeedRetentionSec, err = getI("seed_retention", 0); err != nil {
+		return sp, err
 	}
 	cityWide, err := getB("city_wide")
 	if err != nil {
-		return engine.Config{}, err
+		return sp, err
 	}
 	mixed, err := getB("mixed_bitrates")
 	if err != nil {
-		return engine.Config{}, err
+		return sp, err
 	}
-	cfg.Sim.Swarm = swarm.Options{RestrictISP: !cityWide, SplitBitrate: !mixed}
+	sp.cfg.Sim.Swarm = swarm.Options{RestrictISP: !cityWide, SplitBitrate: !mixed}
 	if v := q.Get("track_users"); v != "" {
 		track, err := strconv.ParseBool(v)
 		if err != nil {
-			return engine.Config{}, fmt.Errorf("query track_users: %w", err)
+			return sp, fmt.Errorf("query track_users: %w", err)
 		}
-		cfg.Sim.TrackUsers = track
+		sp.cfg.Sim.TrackUsers = track
 	}
-	return cfg, nil
+	if v := q.Get("engine"); v != "" {
+		if sp.mode, err = consumelocal.ParseEngineMode(v); err != nil {
+			return sp, fmt.Errorf("query engine: %w", err)
+		}
+	}
+	return sp, nil
 }
 
-// handleReplay consumes a trace CSV from the request body — streamed, so
-// the trace is never materialised — and writes NDJSON snapshots back as
-// the replay progresses, finishing with a summary line. The job stays
-// queryable through /v1/jobs afterwards.
+// spoolIdleTimeout bounds how long an async job submission's upload may
+// go without delivering a byte: the handler holds a claimed quota slot
+// while spooling, so a stalled client must not pin it indefinitely. The
+// deadline is re-armed per chunk — a steadily sending client is never
+// cut off however large (within max-body) or slow its trace.
+const spoolIdleTimeout = time.Minute
+
+// jobSource resolves the trace source of an async job submission.
+// source=generator streams the synthetic workload live; otherwise the
+// request body is a trace CSV, spooled to a temporary file so the replay
+// outlives the request while staying out-of-core.
+func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal.Source, func(), error) {
+	if s.sourceHook != nil {
+		return s.sourceHook(r)
+	}
+	q := r.URL.Query()
+	switch v := q.Get("source"); v {
+	case "generator":
+		scale, days, seed := 0.01, 7, int64(1)
+		if raw := q.Get("scale"); raw != "" {
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query scale: %w", err)
+			}
+			// DefaultGeneratorConfig treats scale<=0 as full paper scale —
+			// refuse rather than let a typo launch a 23.5M-session job, and
+			// bound the upside so one request cannot allocate unbounded
+			// per-user tables.
+			if f <= 0 || f > 1 {
+				return nil, nil, fmt.Errorf("query scale: must be in (0, 1], got %g", f)
+			}
+			scale = f
+		}
+		if raw := q.Get("days"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query days: %w", err)
+			}
+			// The generator allocates days*24 hour buckets up front; bound
+			// it so one request cannot OOM the daemon.
+			if n < 1 || n > 365 {
+				return nil, nil, fmt.Errorf("query days: must be in [1, 365], got %d", n)
+			}
+			days = n
+		}
+		if raw := q.Get("seed"); raw != "" {
+			n, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query seed: %w", err)
+			}
+			seed = n
+		}
+		cfg := trace.DefaultGeneratorConfig(scale)
+		cfg.Days = days
+		cfg.Seed = seed
+		src, err := consumelocal.GeneratorSource(cfg)
+		return src, nil, err
+	case "", "body":
+		f, err := os.CreateTemp("", "consumelocald-job-*.csv")
+		if err != nil {
+			return nil, nil, fmt.Errorf("spool trace: %w", err)
+		}
+		cleanup := func() {
+			f.Close()
+			os.Remove(f.Name())
+		}
+		// Cap the spool so one oversized submission cannot exhaust the
+		// disk (MaxBytesReader fails the read with *MaxBytesError), and
+		// keep a stalled upload from pinning its claimed quota slot with
+		// an idle deadline, re-armed after every chunk (the server sets
+		// no global ReadTimeout).
+		rc := http.NewResponseController(w)
+		body := http.MaxBytesReader(nil, r.Body, s.maxBody)
+		buf := make([]byte, 256<<10)
+		for {
+			_ = rc.SetReadDeadline(time.Now().Add(spoolIdleTimeout))
+			n, rerr := body.Read(buf)
+			if n > 0 {
+				if _, werr := f.Write(buf[:n]); werr != nil {
+					cleanup()
+					return nil, nil, fmt.Errorf("spool trace: %w", werr)
+				}
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("spool trace: %w", rerr)
+			}
+		}
+		_ = rc.SetReadDeadline(time.Time{})
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("spool trace: %w", err)
+		}
+		src, err := consumelocal.CSVSource(bufio.NewReader(f))
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return src, cleanup, nil
+	default:
+		return nil, nil, fmt.Errorf("query source: unknown source %q", v)
+	}
+}
+
+// runningLocked counts in-flight replays. Callers hold s.mu.
+func (s *server) runningLocked() int {
+	running := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.status == "running" {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return running
+}
+
+// quotaExceededLocked returns the 429 error when the quota is
+// exhausted, nil otherwise. Callers hold s.mu.
+func (s *server) quotaExceededLocked() error {
+	if used := s.runningLocked() + s.pending; used >= s.maxJobs {
+		return fmt.Errorf("job quota exhausted: %d replays already running (max %d)", used, s.maxJobs)
+	}
+	return nil
+}
+
+// claimSlot reserves a quota slot before the handler does any heavy
+// lifting (spooling a multi-gigabyte body, opening a source): the
+// reservation is counted in pending until startJob converts it into a
+// registered job or releaseSlot gives it back, so concurrent
+// submissions cannot each spool a full body only to be refused.
+func (s *server) claimSlot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.quotaExceededLocked(); err != nil {
+		return err
+	}
+	s.pending++
+	return nil
+}
+
+// releaseSlot returns a claimed-but-unused quota slot.
+func (s *server) releaseSlot() {
+	s.mu.Lock()
+	s.pending--
+	s.mu.Unlock()
+}
+
+// startJob starts the replay under ctx and publishes the job, consuming
+// the quota slot the caller claimed with claimSlot. The job is only
+// registered with its replay handle attached (DELETE and followers can
+// never observe a half-built one). It returns an HTTP status alongside
+// the error so handlers pass refusals through uniformly.
+func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.Source, cleanup func(), extra ...consumelocal.Option) (*job, int, error) {
+	rep, err := consumelocal.Replay(ctx, src, append(sp.options(), extra...)...)
+	if err != nil {
+		s.releaseSlot()
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, http.StatusBadRequest, err
+	}
+
+	j := &job{
+		name:    sp.name,
+		mode:    sp.mode,
+		started: time.Now().UTC(),
+		// rep.Meta was captured synchronously by Replay before the engine
+		// goroutines began consuming src; reading src.Meta() here instead
+		// would race any Source whose metadata is not an immutable field.
+		meta:    rep.Meta(),
+		replay:  rep,
+		cleanup: cleanup,
+		status:  "running",
+		changed: make(chan struct{}),
+	}
+	if j.name == "" {
+		j.name = j.meta.Name
+	}
+	s.mu.Lock()
+	s.pending--
+	j.id = s.nextID
+	s.nextID++
+	s.jobs[j.id] = j
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go j.pump()
+	return j, http.StatusOK, nil
+}
+
+// pump follows the replay to completion: snapshot history grows as the
+// job runs (broadcast to every follower), and the terminal status is
+// settled from the replay outcome.
+func (j *job) pump() {
+	for snap := range j.replay.Snapshots() {
+		j.mu.Lock()
+		j.snaps = append(j.snaps, snap)
+		if len(j.snaps) > maxJobSnapshots {
+			// Drop the older half in one move, so eviction costs O(1)
+			// amortised per snapshot instead of an O(cap) shift on every
+			// append past the cap.
+			drop := len(j.snaps) - maxJobSnapshots/2
+			j.snaps = append(j.snaps[:0], j.snaps[drop:]...)
+			j.snapsStart += drop
+		}
+		j.broadcastLocked()
+		j.mu.Unlock()
+	}
+	res, err := j.replay.Result()
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.status = "done"
+		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.status = "cancelled"
+		j.errMsg = err.Error()
+	default:
+		j.status = "failed"
+		j.errMsg = err.Error()
+	}
+	// The interrupt closure pins the submitting request's connection
+	// (ResponseController and buffers); drop it so a settled job in the
+	// retained registry does not keep up to 32 dead connections alive.
+	j.interrupt = nil
+	j.broadcastLocked()
+	j.mu.Unlock()
+
+	if j.cleanup != nil {
+		j.cleanup()
+		j.cleanup = nil
+	}
+}
+
+// handleCreateJob starts an asynchronous replay: the request returns as
+// soon as the job is admitted (202) and the replay runs in the
+// background, pollable through GET /v1/jobs/{id} and streamable through
+// GET /v1/jobs/{id}/snapshots until DELETE cancels it.
+func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	sp, err := parseSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Claim the quota slot before spooling the body, so over-quota
+	// submissions are refused without writing a byte to disk.
+	if err := s.claimSlot(); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	src, cleanup, err := s.jobSource(w, r)
+	if err != nil {
+		s.releaseSlot()
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	j, status, err := s.startJob(context.Background(), sp, src, cleanup)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleReplay is the synchronous form: it consumes a trace CSV from
+// the request body — streamed, never spooled — and writes NDJSON
+// snapshots back while the replay progresses, finishing with a summary
+// line. Disconnecting cancels the replay (the request context is the
+// job's context); the job stays queryable through /v1/jobs afterwards.
 func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
-	cfg, err := replayConfig(r)
+	sp, err := parseSpec(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -182,82 +557,223 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	// the server otherwise closes the body at the first response write.
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
-	run, err := consumeStream(r, cfg)
+	if err := s.claimSlot(); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	// The same spool cap as /v1/jobs: batch and parallel engines
+	// materialise the body in memory, so an unbounded stream must not
+	// reach them. Exceeding the cap mid-replay fails the job with a
+	// body-read error. The read deadline covers only the
+	// pre-registration phase (CSV header, job startup): a client that
+	// stalls before the job is registered cannot pin its claimed slot
+	// unseen, while one that stalls afterwards holds a visible running
+	// job an operator can DELETE. The deadline is lifted below, since
+	// the engine reads the body for the whole replay.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(spoolIdleTimeout))
+	src, err := consumelocal.CSVSource(http.MaxBytesReader(nil, r.Body, s.maxBody))
 	if err != nil {
+		s.releaseSlot()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-
-	j := s.register(r.URL.Query().Get("name"), run.Meta())
+	// The response is attached as a Sink, not a follower over the
+	// retained history: sinks deliver every snapshot with backpressure
+	// (a slow client slows the replay), so the synchronous stream is
+	// always complete — unlike /v1/jobs/{id}/snapshots, which may skip
+	// ahead past evicted history.
+	sink := &syncSink{w: w, ready: make(chan struct{})}
+	j, status, err := s.startJob(r.Context(), sp, src, nil, consumelocal.WithSink(sink))
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Job-ID", strconv.Itoa(j.id))
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
+	_ = rc.SetReadDeadline(time.Time{})
+	j.mu.Lock()
+	j.interrupt = func() { _ = rc.SetReadDeadline(time.Now()) }
+	j.mu.Unlock()
+	sink.start(j.id)
 
-	enc := json.NewEncoder(w)
-	type line struct {
-		Job      int              `json:"job"`
-		Snapshot *engine.Snapshot `json:"snapshot,omitempty"`
-		Error    string           `json:"error,omitempty"`
-		Summary  *replaySummary   `json:"summary,omitempty"`
-	}
-	for snap := range run.Snapshots() {
+	// Snapshot lines stream from the replay's pump goroutine; wait for
+	// the job to settle before writing the closing line (no writes
+	// interleave — sinks finish before the status transition lands).
+	// The wait does not bail on r.Context().Done(): the request context
+	// is the job's context, so a disconnect unwinds the replay and
+	// settles the status promptly, and returning earlier would let the
+	// sink write to the ResponseWriter after the handler exits.
+	for {
 		j.mu.Lock()
-		j.snapshot = snap
+		settled := j.status != "running"
+		changed := j.changed
 		j.mu.Unlock()
-		snap := snap
-		_ = enc.Encode(line{Job: j.id, Snapshot: &snap})
+		if settled {
+			break
+		}
+		<-changed
+	}
+
+	j.mu.Lock()
+	res, errMsg := j.result, j.errMsg
+	j.mu.Unlock()
+	if errMsg != "" {
+		sink.write(replayLine{Job: j.id, Error: errMsg})
+		return
+	}
+	if res != nil {
+		sink.write(replayLine{Job: j.id, Summary: summarize(res)})
+	}
+}
+
+// syncSink streams each snapshot of a synchronous replay straight onto
+// the response as it settles. It blocks snapshot delivery until start
+// publishes the job id (the replay begins before registration hands the
+// id back), and a failed client write aborts the replay through the
+// sink-error path.
+type syncSink struct {
+	w     http.ResponseWriter
+	id    int
+	ready chan struct{}
+}
+
+// start releases snapshot delivery once the job id is known.
+func (s *syncSink) start(id int) {
+	s.id = id
+	close(s.ready)
+}
+
+func (s *syncSink) write(l replayLine) error {
+	if err := json.NewEncoder(s.w).Encode(l); err != nil {
+		return err
+	}
+	if flusher, ok := s.w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	return nil
+}
+
+// Snapshot implements consumelocal.Sink.
+func (s *syncSink) Snapshot(snap engine.Snapshot) error {
+	<-s.ready
+	return s.write(replayLine{Job: s.id, Snapshot: &snap})
+}
+
+// Finish implements consumelocal.Sink; the handler writes the closing
+// summary/error line itself after the job record settles.
+func (s *syncSink) Finish(*sim.Result, error) error { return nil }
+
+// replayLine is one NDJSON line of the synchronous replay response.
+type replayLine struct {
+	Job      int              `json:"job"`
+	Snapshot *engine.Snapshot `json:"snapshot,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	Summary  *replaySummary   `json:"summary,omitempty"`
+}
+
+// follow replays the job's snapshot history through emit — past entries
+// first, then live ones as they land — until the job finishes or ctx is
+// done. Positions are absolute snapshot indices, so eviction of the
+// retained window (snapsStart advancing) makes a lagging follower skip
+// the dropped entries instead of stalling.
+func (j *job) follow(ctx context.Context, emit func(engine.Snapshot)) {
+	next := 0
+	for {
+		j.mu.Lock()
+		if next < j.snapsStart {
+			next = j.snapsStart
+		}
+		pending := append([]engine.Snapshot(nil), j.snaps[next-j.snapsStart:]...)
+		next = j.snapsStart + len(j.snaps)
+		finished := j.status != "running"
+		changed := j.changed
+		j.mu.Unlock()
+
+		for _, snap := range pending {
+			emit(snap)
+		}
+		if finished {
+			return
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleJobSnapshots streams a job's snapshots as NDJSON: the full
+// history first, then live mid-flight snapshots until the job finishes,
+// closing with a status line. Any number of followers may attach to the
+// same running job.
+func (s *server) handleJobSnapshots(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	j.follow(r.Context(), func(snap engine.Snapshot) {
+		_ = enc.Encode(snap)
 		if flusher != nil {
 			flusher.Flush()
 		}
-	}
-	res, err := run.Result()
-
+	})
 	j.mu.Lock()
-	if err != nil {
-		j.status = "failed"
-		j.errMsg = err.Error()
-	} else {
-		j.status = "done"
-		j.result = res
-	}
+	status, errMsg := j.status, j.errMsg
 	j.mu.Unlock()
+	if status != "running" {
+		_ = enc.Encode(map[string]string{"status": status, "error": errMsg})
+	}
+}
 
-	if err != nil {
-		_ = enc.Encode(line{Job: j.id, Error: err.Error()})
+// handleCancelJob cancels a running replay mid-stream. Cancellation is
+// idempotent; a finished job reports its settled status unchanged. A
+// prompt unwind (the usual case) is reflected in the response — the
+// wait is bounded, so a Source stuck inside Next still gets an answer:
+// the in-flight view, with status "cancelled" arriving via polling once
+// the pipeline releases.
+func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
 		return
 	}
-	_ = enc.Encode(line{Job: j.id, Summary: summarize(res)})
-}
-
-// consumeStream builds a scanner over the request body and starts the
-// engine.
-func consumeStream(r *http.Request, cfg engine.Config) (*engine.Run, error) {
-	sc, err := trace.NewScanner(r.Body)
-	if err != nil {
-		return nil, err
+	j.replay.Cancel()
+	// A sync replay may be blocked reading a stalled client's body,
+	// where cancellation is not observed; cut the read so the slot is
+	// actually freed.
+	j.mu.Lock()
+	if j.status == "running" && j.interrupt != nil {
+		j.interrupt()
 	}
-	return engine.Stream(sc, cfg)
-}
-
-func (s *server) register(name string, meta trace.Meta) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j := &job{
-		id:      s.nextID,
-		name:    name,
-		started: time.Now().UTC(),
-		status:  "running",
-		meta:    meta,
+	j.mu.Unlock()
+	deadline := time.After(time.Second)
+	for {
+		j.mu.Lock()
+		settled := j.status != "running"
+		changed := j.changed
+		j.mu.Unlock()
+		if settled {
+			break
+		}
+		select {
+		case <-changed:
+		case <-deadline:
+			// Still unwinding (e.g. a Source blocked in Next); report the
+			// in-flight view rather than hanging the client.
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		case <-r.Context().Done():
+			return
+		}
 	}
-	if j.name == "" {
-		j.name = meta.Name
-	}
-	s.nextID++
-	s.jobs[j.id] = j
-	s.evictLocked()
-	return j
+	writeJSON(w, http.StatusOK, j.view())
 }
 
 // evictLocked drops the oldest finished jobs once the registry exceeds
@@ -348,7 +864,10 @@ func (s *server) handleJobEnergy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	tally := j.snapshot.Cumulative
+	var tally sim.Tally
+	if n := len(j.snaps); n > 0 {
+		tally = j.snaps[n-1].Cumulative
+	}
 	if j.result != nil {
 		tally = j.result.Total
 	}

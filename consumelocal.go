@@ -8,20 +8,24 @@
 // that transferring the CDN's savings to users as carbon credits can make
 // most users carbon positive.
 //
-// The library exposes four layers:
+// The public API has three layers (see README.md for the finer-grained
+// internal package layering):
 //
 //   - The closed-form analytical model (Model): energy savings S(c),
 //     traffic offload G, and carbon credit transfer CCT as functions of
 //     swarm capacity, upload/bitrate ratio, energy parameters (Table IV)
 //     and ISP topology (Table III).
-//   - The trace-driven simulator (Simulate): replays a session trace,
-//     matches peers locality-first inside ISP metropolitan trees, and
-//     accounts every delivered bit by source and network layer.
-//   - The streaming replay engine (Stream): the simulator's out-of-core
-//     twin — consumes a trace as an arrival-ordered event stream, keeps
-//     only the active-session working set in memory, and reports live
-//     windowed tallies while producing the same result as Simulate. It
-//     also powers the long-running consumelocald service.
+//   - The unified replay pipeline (Replay): one context-aware
+//     source→engine→sink API for every trace-driven study. A Source
+//     yields sessions in start order (an in-memory trace, a streamed
+//     CSV, or the synthetic generator run live); Options pick the
+//     engine (batch, parallel, or the out-of-core streaming engine),
+//     worker count, reporting window and attached Sinks (NDJSON
+//     snapshots, TSV tallies, Prometheus-style metrics); the returned
+//     Job reports windowed progress, supports cancellation, and
+//     produces per-swarm results bit-for-bit identical across all
+//     three engines. It also powers the long-running consumelocald
+//     job-manager service.
 //   - The experiment harnesses (package internal/experiments, reachable
 //     through the consumelocal CLI and the root benchmarks): regenerate
 //     every table and figure of the paper's evaluation.
@@ -33,15 +37,24 @@
 //	if err != nil { ... }
 //	s := model.Savings(10, 1.0) // savings of a 10-user swarm at q/β = 1
 //
-// For trace-driven studies, generate a synthetic workload (or load your
-// own CSV) and run the simulator:
+// For trace-driven studies, build a Source and replay it:
 //
-//	tr, err := consumelocal.GenerateTrace(consumelocal.DefaultTraceConfig(0.01))
-//	res, err := consumelocal.Simulate(tr, consumelocal.DefaultSimConfig(1.0))
+//	src, err := consumelocal.GeneratorSource(consumelocal.DefaultTraceConfig(0.01))
+//	job, err := consumelocal.Replay(ctx, src,
+//	    consumelocal.WithUploadRatio(1.0),
+//	    consumelocal.WithWindow(3600))
+//	for snap := range job.Snapshots() {
+//	    // live windowed progress; job.Cancel() aborts mid-stream
+//	}
+//	res, err := job.Result()
 //	report := consumelocal.EvaluateEnergy(res.Total, consumelocal.Baliga())
+//
+// The pre-Replay entry points — Simulate, SimulateParallel, Stream and
+// StreamTrace — remain as thin deprecated wrappers.
 package consumelocal
 
 import (
+	"context"
 	"io"
 
 	"consumelocal/internal/carbon"
@@ -105,9 +118,14 @@ type (
 	// replay.
 	StreamSnapshot = engine.Snapshot
 	// StreamRun is a streaming replay in progress.
+	//
+	// Deprecated: replays started through Replay are tracked by Job,
+	// which adds cancellation and sink support.
 	StreamRun = engine.Run
 	// StreamSource yields sessions in start order for the streaming
 	// engine; *TraceScanner satisfies it.
+	//
+	// Deprecated: use the equivalent Source alias.
 	StreamSource = engine.Source
 )
 
@@ -171,14 +189,33 @@ func DefaultSimConfig(uploadRatio float64) SimConfig {
 
 // Simulate replays a trace under the configuration and returns the
 // delivered-traffic accounting.
-func Simulate(t *Trace, cfg SimConfig) (*SimResult, error) { return sim.Run(t, cfg) }
+//
+// Deprecated: Simulate is a thin wrapper over Replay with EngineBatch;
+// use Replay directly to gain cancellation, sinks and windowed
+// progress. Results are bit-for-bit identical.
+func Simulate(t *Trace, cfg SimConfig) (*SimResult, error) {
+	job, err := Replay(context.Background(), TraceSource(t),
+		WithSimConfig(cfg), WithEngine(EngineBatch))
+	if err != nil {
+		return nil, err
+	}
+	return job.Result()
+}
 
 // SimulateParallel is Simulate on a worker pool: swarms are processed
 // concurrently and merged deterministically. Per-swarm statistics are
 // bit-for-bit identical to Simulate; cross-swarm aggregates agree within
 // floating-point associativity.
+//
+// Deprecated: SimulateParallel is a thin wrapper over Replay with
+// EngineParallel and WithWorkers; use Replay directly.
 func SimulateParallel(t *Trace, cfg SimConfig, workers int) (*SimResult, error) {
-	return sim.RunParallel(t, cfg, workers)
+	job, err := Replay(context.Background(), TraceSource(t),
+		WithSimConfig(cfg), WithEngine(EngineParallel), WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	return job.Result()
 }
 
 // NewTraceScanner opens a streaming iterator over a CSV trace: the
@@ -199,6 +236,10 @@ func DefaultStreamConfig(uploadRatio float64) StreamConfig {
 // StreamRun.Result. Consumers must drain Snapshots (or call Result,
 // which drains internally); the bounded pipeline otherwise stalls by
 // design, propagating backpressure to r.
+//
+// Deprecated: use Replay with CSVSource — the same streaming engine
+// with cancellation (an abandoned Stream run stalls its pipeline
+// goroutines forever; a cancelled Replay job releases them).
 func Stream(r io.Reader, cfg StreamConfig) (*StreamRun, error) {
 	sc, err := trace.NewScanner(r)
 	if err != nil {
@@ -209,6 +250,8 @@ func Stream(r io.Reader, cfg StreamConfig) (*StreamRun, error) {
 
 // StreamTrace replays an in-memory trace through the streaming engine —
 // useful for cross-checking against Simulate and for tests.
+//
+// Deprecated: use Replay with TraceSource.
 func StreamTrace(t *Trace, cfg StreamConfig) (*StreamRun, error) {
 	return engine.Stream(engine.TraceSource(t), cfg)
 }

@@ -1,12 +1,14 @@
-// Streaming: replay a trace out-of-core through the streaming engine
-// with live windowed energy reporting.
+// Streaming: replay a live synthetic workload through the unified
+// Replay pipeline with windowed energy reporting and a metrics sink.
 //
-// The example writes a synthetic trace to a temporary CSV file, then
-// replays it through consumelocal.Stream: the file is consumed as a
-// stream — only the active-session working set is ever in memory — while
-// hourly snapshots report cumulative offload and energy savings as the
-// replay progresses, the way the consumelocald service reports a live
-// job.
+// The example streams the synthetic generator straight into the
+// out-of-core engine — no trace file, no materialised session list;
+// sessions are drawn in start order as the replay consumes them, the
+// way a live ingest endpoint would feed the consumelocald service.
+// Hourly snapshots report cumulative offload and energy savings while
+// the replay runs, a Prometheus-style metrics sink tracks the same
+// state for scraping, and cancelling the job (ctrl-C) unwinds the whole
+// pipeline.
 //
 // Run with:
 //
@@ -14,10 +16,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"os/signal"
 
 	"consumelocal"
 )
@@ -29,46 +32,31 @@ func main() {
 }
 
 func run() error {
-	// Generate a two-day workload and persist it as CSV: the on-disk
-	// interchange format a real deployment would replay from.
+	// A two-day workload, streamed live: the generator is a Source, so
+	// the full trace never exists in memory or on disk.
 	traceCfg := consumelocal.DefaultTraceConfig(0.002)
 	traceCfg.Days = 2
-	tr, err := consumelocal.GenerateTrace(traceCfg)
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(os.TempDir(), "consumelocal-streaming-example.csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := consumelocal.WriteTraceCSV(tr, f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	defer os.Remove(path)
-
-	// Replay the file out-of-core: the engine pulls sessions from the
-	// CSV stream as it needs them, and windowed snapshots arrive on a
-	// bounded channel while the replay is still consuming input.
-	in, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-
-	streamCfg := consumelocal.DefaultStreamConfig(1.0)
-	streamCfg.WindowSec = 4 * 3600
-	run, err := consumelocal.Stream(in, streamCfg)
+	src, err := consumelocal.GeneratorSource(traceCfg)
 	if err != nil {
 		return err
 	}
 
-	meta := run.Meta()
-	fmt.Printf("replaying %q out-of-core from %s\n\n", meta.Name, path)
+	// ctrl-C cancels the job; the replay returns context.Canceled and
+	// every pipeline goroutine exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	metrics := consumelocal.NewMetricsSink()
+	job, err := consumelocal.Replay(ctx, src,
+		consumelocal.WithUploadRatio(1.0),
+		consumelocal.WithWindow(4*3600),
+		consumelocal.WithSink(metrics))
+	if err != nil {
+		return err
+	}
+
+	meta := job.Meta()
+	fmt.Printf("replaying %q live from the synthetic generator (%s engine)\n\n", meta.Name, job.Mode())
 	models := consumelocal.BothEnergyModels()
 	fmt.Printf("%8s %10s %9s %9s", "window", "sessions", "active", "offload")
 	for _, p := range models {
@@ -76,7 +64,7 @@ func run() error {
 	}
 	fmt.Println()
 
-	for snap := range run.Snapshots() {
+	for snap := range job.Snapshots() {
 		label := fmt.Sprintf("%dh", snap.ToSec/3600)
 		if snap.Final {
 			label = "final"
@@ -89,7 +77,7 @@ func run() error {
 		fmt.Println()
 	}
 
-	res, err := run.Result()
+	res, err := job.Result()
 	if err != nil {
 		return err
 	}
@@ -99,5 +87,9 @@ func run() error {
 		report := consumelocal.EvaluateEnergy(res.Total, p)
 		fmt.Printf("energy savings (%s): %.1f%%\n", p.Name, 100*report.Savings)
 	}
-	return nil
+
+	// The metrics sink saw the same replay; dump the gauges a scraper
+	// would read from a live /metrics endpoint.
+	fmt.Println("\nprometheus exposition:")
+	return metrics.WritePrometheus(os.Stdout)
 }

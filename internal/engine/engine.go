@@ -27,6 +27,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -143,8 +144,19 @@ func (r *Run) Result() (*sim.Result, error) {
 // Stream starts replaying src under cfg. It validates the configuration
 // and metadata synchronously, then runs the shard pipeline in the
 // background; progress arrives on Run.Snapshots and the final outcome
-// through Run.Result.
+// through Run.Result. The pipeline is never cancelled: consumers must
+// drain it. Use StreamContext when the replay should be abortable.
 func Stream(src Source, cfg Config) (*Run, error) {
+	return StreamContext(context.Background(), src, cfg)
+}
+
+// StreamContext is Stream under a context: when ctx is cancelled the
+// feed loop stops reading the source, stops emitting snapshots, closes
+// the worker inputs and unwinds, so every pipeline goroutine exits even
+// if the snapshot consumer has walked away. Run.Result then reports
+// ctx.Err(). Cancellation is observed between sessions and at every
+// channel hand-off; it cannot interrupt a Source blocked inside Next.
+func StreamContext(ctx context.Context, src Source, cfg Config) (*Run, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Sim.Validate(); err != nil {
 		return nil, err
@@ -158,7 +170,7 @@ func Stream(src Source, cfg Config) (*Run, error) {
 		snapshots: make(chan Snapshot, cfg.SnapshotBuffer),
 		done:      make(chan struct{}),
 	}
-	go r.feed(src, cfg)
+	go r.feed(ctx, src, cfg)
 	return r, nil
 }
 
@@ -196,7 +208,15 @@ type report struct {
 // shards them across workers by swarm key, broadcasts window marks as
 // the arrival watermark crosses boundaries, merges worker deltas into
 // snapshots, and assembles the final result in deterministic key order.
-func (r *Run) feed(src Source, cfg Config) {
+//
+// Liveness invariant: the acks and reports channels are buffered to the
+// worker count and a worker sends at most one ack per mark it has
+// received (and one report, on the final mark), so worker sends never
+// block. Workers therefore always drain their inputs and exit when the
+// feed closes them — the only goroutine that can stall is the feed
+// itself, on a worker input or the snapshot channel, and both of those
+// sends select on ctx so cancellation unwinds the whole pipeline.
+func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 	defer close(r.done)
 	defer close(r.snapshots)
 
@@ -221,14 +241,27 @@ func (r *Run) feed(src Source, cfg Config) {
 
 	// flush broadcasts a mark, merges the worker acks in worker order
 	// (deterministic for a fixed worker count) and emits a snapshot.
-	// It reports false once any worker has failed.
+	// It reports false once any worker has failed or ctx is done.
 	flush := func(until int64, final bool) bool {
 		msg := wmsg{mark: true, final: final, until: until}
+		sent := 0
 		for i := range inputs {
-			inputs[i] <- msg
+			select {
+			case inputs[i] <- msg:
+				sent++
+			case <-ctx.Done():
+				if ferr == nil {
+					ferr = ctx.Err()
+				}
+			}
+			if ferr != nil {
+				break
+			}
 		}
 		var active, swarms int
-		for n := 0; n < cfg.Workers; n++ {
+		for n := 0; n < sent; n++ {
+			// Safe to receive unconditionally: every worker that got the
+			// mark replies, and its send never blocks (buffered channel).
 			a := <-acks
 			deltas[a.worker] = a.delta
 			active += a.active
@@ -253,7 +286,7 @@ func (r *Run) feed(src Source, cfg Config) {
 				to = from
 			}
 		}
-		r.snapshots <- Snapshot{
+		snap := Snapshot{
 			Index:         windowIdx,
 			FromSec:       from,
 			ToSec:         to,
@@ -264,16 +297,34 @@ func (r *Run) feed(src Source, cfg Config) {
 			Cumulative:    cum,
 			Final:         final,
 		}
-		return true
+		select {
+		case r.snapshots <- snap:
+			return true
+		case <-ctx.Done():
+			// The consumer has walked away and cancelled: stop emitting.
+			ferr = ctx.Err()
+			return false
+		}
 	}
 
 	for ferr == nil {
+		if err := ctx.Err(); err != nil {
+			ferr = err
+			break
+		}
 		s, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			ferr = fmt.Errorf("engine: read source: %w", err)
+			// Cancellation often surfaces as a source read error first
+			// (e.g. an HTTP body closed by the disconnecting client);
+			// report the cancellation, not the secondary error.
+			if cerr := ctx.Err(); cerr != nil {
+				ferr = cerr
+			} else {
+				ferr = fmt.Errorf("engine: read source: %w", err)
+			}
 			break
 		}
 		if err := r.meta.ValidateSession(sessionsSeen, s); err != nil {
@@ -308,7 +359,11 @@ func (r *Run) feed(src Source, cfg Config) {
 		if ferr != nil {
 			break
 		}
-		inputs[shardOf(key, cfg.Workers)] <- wmsg{sess: s, key: key, origDur: origDur}
+		select {
+		case inputs[shardOf(key, cfg.Workers)] <- wmsg{sess: s, key: key, origDur: origDur}:
+		case <-ctx.Done():
+			ferr = ctx.Err()
+		}
 	}
 
 	// Final mark: settle everything pending (including activity past the
@@ -316,25 +371,23 @@ func (r *Run) feed(src Source, cfg Config) {
 	// snapshot, unless the run already failed.
 	if ferr == nil {
 		flush(math.MaxInt64, true)
-	} else {
-		// Workers still need the final mark to flush their reports.
-		msg := wmsg{mark: true, final: true, until: math.MaxInt64}
-		for i := range inputs {
-			inputs[i] <- msg
-		}
-		for n := 0; n < cfg.Workers; n++ {
-			<-acks
-		}
 	}
 	for i := range inputs {
 		close(inputs[i])
+	}
+	if ferr != nil {
+		// Failed or cancelled: workers drain their queues and exit on the
+		// input close without reporting (their ack/report sends are
+		// buffered, so none of them can stall). Discard the run.
+		r.err = ferr
+		return
 	}
 
 	shards := make([]report, cfg.Workers)
 	for n := 0; n < cfg.Workers; n++ {
 		rep := <-reports
 		shards[rep.worker] = rep
-		if rep.err != nil && ferr == nil {
+		if rep.err != nil {
 			ferr = rep.err
 		}
 	}

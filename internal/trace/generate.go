@@ -141,6 +141,10 @@ func (c GeneratorConfig) Validate() error {
 		return errors.New("trace: config needs positive population sizes")
 	case c.ZipfExponent <= 1:
 		return errors.New("trace: zipf exponent must exceed 1")
+	case c.UserActivityExponent <= 1:
+		// rand.NewZipf returns nil for s <= 1; catching it here turns a
+		// would-be panic on the first draw into a validation error.
+		return errors.New("trace: user activity exponent must exceed 1")
 	case c.ZipfOffset < 1:
 		return errors.New("trace: zipf offset must be >= 1")
 	case len(c.ISPShares) == 0:
@@ -205,32 +209,7 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 		return nil, errors.New("trace: diurnal profile has no mass")
 	}
 
-	bitrates, bitrateCum := cumulativeBitrates(cfg.BitrateWeights)
-	ispCum := make([]float64, len(cfg.ISPShares))
-	var ispTotal float64
-	for i, s := range cfg.ISPShares {
-		ispTotal += s
-		ispCum[i] = ispTotal
-	}
-
-	// Fixed per-user attributes: home ISP, home exchange and a preferred
-	// bitrate class (devices rarely change between sessions).
-	var exchangeZipf *rand.Zipf
-	if cfg.ExchangeSkew > 0 {
-		exchangeZipf = rand.NewZipf(rng, 1+cfg.ExchangeSkew, 1, uint64(cfg.ExchangesPerISP-1))
-	}
-	userISP := make([]uint8, cfg.NumUsers)
-	userExchange := make([]uint16, cfg.NumUsers)
-	userBitrate := make([]BitrateClass, cfg.NumUsers)
-	for u := 0; u < cfg.NumUsers; u++ {
-		userISP[u] = uint8(sampleCumulative(ispCum, ispTotal, rng))
-		if exchangeZipf != nil {
-			userExchange[u] = uint16(exchangeZipf.Uint64())
-		} else {
-			userExchange[u] = uint16(rng.Intn(cfg.ExchangesPerISP))
-		}
-		userBitrate[u] = bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)]
-	}
+	users := buildUserAttributes(cfg, rng)
 
 	// Cumulative day weights implementing the weekend uplift.
 	dayCum := make([]float64, cfg.Days)
@@ -255,31 +234,11 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 		sec := rng.Intn(3600)
 		start := int64(day)*24*3600 + int64(hour)*3600 + int64(sec)
 
-		duration := sampleDuration(rng, cfg)
-		// Sessions may cross the horizon end; clip so the trace closes.
-		if start+int64(duration) > horizon {
-			duration = int32(horizon - start)
-			if duration < cfg.MinDurationSec {
-				continue
-			}
+		s, ok := drawSession(rng, cfg, users, user, content, start, horizon)
+		if !ok {
+			continue
 		}
-
-		// Sessions occasionally stream at a different class than the
-		// user's usual device (e.g. on the move): 15% re-draw.
-		bitrate := userBitrate[user]
-		if rng.Float64() < 0.15 {
-			bitrate = bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)]
-		}
-
-		sessions = append(sessions, Session{
-			UserID:      user,
-			ContentID:   content,
-			ISP:         userISP[user],
-			Exchange:    userExchange[user],
-			StartSec:    start,
-			DurationSec: duration,
-			Bitrate:     bitrate,
-		})
+		sessions = append(sessions, s)
 	}
 
 	sort.Slice(sessions, func(i, j int) bool {
@@ -298,6 +257,81 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 		NumISPs:    len(cfg.ISPShares),
 		Sessions:   sessions,
 	}, nil
+}
+
+// userAttributes are the fixed per-user draws shared by Generate and
+// the streaming Generator: home ISP, home exchange and a preferred
+// bitrate class (devices rarely change between sessions), plus the
+// bitrate tables session draws re-sample from.
+type userAttributes struct {
+	isp        []uint8
+	exchange   []uint16
+	bitrate    []BitrateClass
+	bitrates   []BitrateClass
+	bitrateCum []float64
+}
+
+// buildUserAttributes draws the per-user tables. Both generators call
+// it at the same point in their rng stream; the draw order in here is
+// part of the seed-determinism contract.
+func buildUserAttributes(cfg GeneratorConfig, rng *rand.Rand) userAttributes {
+	bitrates, bitrateCum := cumulativeBitrates(cfg.BitrateWeights)
+	ispCum := make([]float64, len(cfg.ISPShares))
+	var ispTotal float64
+	for i, s := range cfg.ISPShares {
+		ispTotal += s
+		ispCum[i] = ispTotal
+	}
+	var exchangeZipf *rand.Zipf
+	if cfg.ExchangeSkew > 0 {
+		exchangeZipf = rand.NewZipf(rng, 1+cfg.ExchangeSkew, 1, uint64(cfg.ExchangesPerISP-1))
+	}
+	users := userAttributes{
+		isp:        make([]uint8, cfg.NumUsers),
+		exchange:   make([]uint16, cfg.NumUsers),
+		bitrate:    make([]BitrateClass, cfg.NumUsers),
+		bitrates:   bitrates,
+		bitrateCum: bitrateCum,
+	}
+	for u := 0; u < cfg.NumUsers; u++ {
+		users.isp[u] = uint8(sampleCumulative(ispCum, ispTotal, rng))
+		if exchangeZipf != nil {
+			users.exchange[u] = uint16(exchangeZipf.Uint64())
+		} else {
+			users.exchange[u] = uint16(rng.Intn(cfg.ExchangesPerISP))
+		}
+		users.bitrate[u] = bitrates[sampleCumulative(bitrateCum, bitrateCum[len(bitrateCum)-1], rng)]
+	}
+	return users
+}
+
+// drawSession completes a session draw shared by Generate and the
+// streaming Generator, given the (user, content, start) already chosen:
+// a log-normal duration, horizon clipping (sessions clipped below the
+// plausible minimum are dropped — ok is false), and the 15% chance a
+// session streams at a different class than the user's usual device
+// (e.g. on the move).
+func drawSession(rng *rand.Rand, cfg GeneratorConfig, users userAttributes, user, content uint32, start, horizon int64) (Session, bool) {
+	duration := sampleDuration(rng, cfg)
+	if start+int64(duration) > horizon {
+		duration = int32(horizon - start)
+		if duration < cfg.MinDurationSec {
+			return Session{}, false
+		}
+	}
+	bitrate := users.bitrate[user]
+	if rng.Float64() < 0.15 {
+		bitrate = users.bitrates[sampleCumulative(users.bitrateCum, users.bitrateCum[len(users.bitrateCum)-1], rng)]
+	}
+	return Session{
+		UserID:      user,
+		ContentID:   content,
+		ISP:         users.isp[user],
+		Exchange:    users.exchange[user],
+		StartSec:    start,
+		DurationSec: duration,
+		Bitrate:     bitrate,
+	}, true
 }
 
 // isWeekend reports whether day offset d from the epoch falls on a

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generator streams a synthetic workload session by session, in start
+// order, without ever materialising the full trace: the live counterpart
+// of Generate, and the simplest of the "live trace sources" the
+// streaming engine is built to consume. It satisfies the engine's Source
+// interface (Meta and Next) structurally.
+//
+// Where Generate draws every session independently and sorts the whole
+// list afterwards, the Generator walks the horizon hour by hour: the
+// per-hour session counts follow the same day-weight × diurnal-profile
+// law (a sequential multinomial split of TargetSessions across hour
+// buckets), and within each hour sessions are drawn from the identical
+// per-session distributions and sorted locally. Memory is bounded by the
+// per-user attribute tables plus one hour of sessions — for the paper's
+// full-scale workload that is megabytes instead of the gigabytes the
+// materialised session list costs.
+//
+// The stream is deterministic per seed, but it is a different (equally
+// distributed) realisation than Generate with the same configuration:
+// the two consume randomness in different orders.
+type Generator struct {
+	cfg  GeneratorConfig
+	meta Meta
+	rng  *rand.Rand
+
+	contentZipf *rand.Zipf
+	userZipf    *rand.Zipf
+
+	users userAttributes
+
+	// hourW holds the weight of every hour bucket of the horizon;
+	// remaining/remW drive the sequential multinomial split.
+	hourW     []float64
+	bucket    int
+	remaining int
+	remW      float64
+
+	pending []Session
+	pos     int
+	emitted int64
+}
+
+// GeneratorSource validates cfg and returns a Generator streaming the
+// synthetic workload it describes.
+func GeneratorSource(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg: cfg,
+		meta: Meta{
+			Name:       cfg.Name,
+			Epoch:      cfg.Epoch,
+			HorizonSec: int64(cfg.Days) * 24 * 3600,
+			NumUsers:   cfg.NumUsers,
+			NumContent: cfg.NumContent,
+			NumISPs:    len(cfg.ISPShares),
+		},
+		rng:         rng,
+		contentZipf: rand.NewZipf(rng, cfg.ZipfExponent, cfg.ZipfOffset, uint64(cfg.NumContent-1)),
+		userZipf:    rand.NewZipf(rng, cfg.UserActivityExponent, 20, uint64(cfg.NumUsers-1)),
+		remaining:   cfg.TargetSessions,
+	}
+	g.users = buildUserAttributes(cfg, rng)
+
+	// Per-hour bucket weights: day weight (weekend uplift) × diurnal
+	// profile, the same joint law Generate samples per session.
+	g.hourW = make([]float64, cfg.Days*24)
+	for d := 0; d < cfg.Days; d++ {
+		dw := 1.0
+		if cfg.WeekendMultiplier > 0 && isWeekend(cfg.Epoch, d) {
+			dw = cfg.WeekendMultiplier
+		}
+		for h := 0; h < 24; h++ {
+			hw := cfg.DiurnalProfile[h]
+			if hw < 0 {
+				hw = 0
+			}
+			w := dw * hw
+			g.hourW[d*24+h] = w
+			g.remW += w
+		}
+	}
+	if g.remW <= 0 {
+		// Mirrors Generate: without mass the multinomial split would dump
+		// every session into the final hour instead of erroring.
+		return nil, errors.New("trace: diurnal profile has no mass")
+	}
+	return g, nil
+}
+
+// Meta returns the trace-level metadata of the stream.
+func (g *Generator) Meta() Meta { return g.meta }
+
+// Emitted returns the number of sessions produced so far.
+func (g *Generator) Emitted() int64 { return g.emitted }
+
+// Next returns the next session in start order, or io.EOF once the
+// horizon is exhausted.
+func (g *Generator) Next() (Session, error) {
+	for g.pos >= len(g.pending) {
+		if g.bucket >= len(g.hourW) || g.remaining <= 0 {
+			return Session{}, io.EOF
+		}
+		g.fillBucket()
+	}
+	s := g.pending[g.pos]
+	g.pos++
+	g.emitted++
+	return s, nil
+}
+
+// fillBucket draws the next hour's share of the remaining sessions and
+// materialises just that hour, sorted by (start, user).
+func (g *Generator) fillBucket() {
+	w := g.hourW[g.bucket]
+	n := g.remaining
+	if g.bucket < len(g.hourW)-1 {
+		p := 0.0
+		if g.remW > 0 {
+			p = w / g.remW
+		}
+		n = binomial(g.rng, g.remaining, p)
+	}
+	g.remaining -= n
+	g.remW -= w
+	day := g.bucket / 24
+	hour := g.bucket % 24
+	g.bucket++
+
+	g.pending = g.pending[:0]
+	g.pos = 0
+	for i := 0; i < n; i++ {
+		user := uint32(g.userZipf.Uint64())
+		content := uint32(g.contentZipf.Uint64())
+		start := int64(day)*24*3600 + int64(hour)*3600 + int64(g.rng.Intn(3600))
+
+		s, ok := drawSession(g.rng, g.cfg, g.users, user, content, start, g.meta.HorizonSec)
+		if !ok {
+			continue
+		}
+		g.pending = append(g.pending, s)
+	}
+	sort.Slice(g.pending, func(i, j int) bool {
+		if g.pending[i].StartSec != g.pending[j].StartSec {
+			return g.pending[i].StartSec < g.pending[j].StartSec
+		}
+		return g.pending[i].UserID < g.pending[j].UserID
+	})
+}
+
+// binomial draws from Binomial(n, p): exactly for small n, by clamped
+// normal approximation for large n — plenty for partitioning a synthetic
+// workload across thousands of hour buckets, and deterministic per rng
+// state either way.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n < 128 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + sd*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

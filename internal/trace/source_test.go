@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"io"
+	"math"
+	"testing"
+)
+
+func testGenCfg() GeneratorConfig {
+	cfg := DefaultGeneratorConfig(0.001)
+	cfg.Days = 5
+	return cfg
+}
+
+// drainGenerator consumes the full stream, checking per-session
+// invariants along the way.
+func drainGenerator(t *testing.T, g *Generator) []Session {
+	t.Helper()
+	meta := g.Meta()
+	if err := meta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		sessions  []Session
+		prevStart int64 = -1
+	)
+	for {
+		s, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := meta.ValidateSession(int64(len(sessions)), s); err != nil {
+			t.Fatal(err)
+		}
+		if s.StartSec < prevStart {
+			t.Fatalf("session %d out of start order: %d after %d", len(sessions), s.StartSec, prevStart)
+		}
+		prevStart = s.StartSec
+		sessions = append(sessions, s)
+	}
+	return sessions
+}
+
+func TestGeneratorSourceStreamsValidOrderedSessions(t *testing.T) {
+	cfg := testGenCfg()
+	g, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := drainGenerator(t, g)
+
+	// The multinomial split partitions TargetSessions exactly; only
+	// horizon-clipped sessions are dropped, as in Generate.
+	if len(sessions) > cfg.TargetSessions {
+		t.Fatalf("generated %d sessions, target %d", len(sessions), cfg.TargetSessions)
+	}
+	if len(sessions) < cfg.TargetSessions*95/100 {
+		t.Fatalf("generated only %d of %d target sessions", len(sessions), cfg.TargetSessions)
+	}
+	if g.Emitted() != int64(len(sessions)) {
+		t.Fatalf("Emitted() = %d, want %d", g.Emitted(), len(sessions))
+	}
+	if _, err := g.Next(); err != io.EOF {
+		t.Fatalf("Next after drain = %v, want io.EOF", err)
+	}
+}
+
+func TestGeneratorSourceDeterministic(t *testing.T) {
+	cfg := testGenCfg()
+	g1, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drainGenerator(t, g1)
+	b := drainGenerator(t, g2)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("session %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGeneratorSourceMatchesGenerateStatistics checks the stream follows
+// the same laws as the materialised generator: identical metadata, a
+// prime-time-heavy diurnal shape, and the popularity skew that puts item
+// 0 far ahead of the catalogue tail.
+func TestGeneratorSourceMatchesGenerateStatistics(t *testing.T) {
+	cfg := testGenCfg()
+	g, err := GeneratorSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Meta() != tr.Meta() {
+		t.Fatalf("metadata differs: %+v vs %+v", g.Meta(), tr.Meta())
+	}
+	sessions := drainGenerator(t, g)
+
+	// Session volume within a few percent of the materialised trace.
+	ratio := float64(len(sessions)) / float64(len(tr.Sessions))
+	if math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("streamed %d sessions vs %d materialised (ratio %.3f)", len(sessions), len(tr.Sessions), ratio)
+	}
+
+	// Evening prime time (18-23h) must dominate early morning (02-07h),
+	// as the shared diurnal profile dictates.
+	var evening, morning int
+	for _, s := range sessions {
+		switch h := s.StartSec / 3600 % 24; {
+		case h >= 18:
+			evening++
+		case h >= 2 && h < 8:
+			morning++
+		}
+	}
+	if evening < 3*morning {
+		t.Errorf("diurnal shape off: %d evening vs %d morning sessions", evening, morning)
+	}
+
+	// Zipf popularity: the most popular item beats the median item by a
+	// wide margin.
+	counts := make(map[uint32]int)
+	for _, s := range sessions {
+		counts[s.ContentID]++
+	}
+	if counts[0] < len(sessions)/20 {
+		t.Errorf("item 0 drew only %d of %d sessions; expected a strong Zipf head", counts[0], len(sessions))
+	}
+}
+
+func TestGeneratorSourceRejectsInvalidConfig(t *testing.T) {
+	cfg := testGenCfg()
+	cfg.Days = 0
+	if _, err := GeneratorSource(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	g, err := GeneratorSource(testGenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := g.rng
+	for _, n := range []int{0, 1, 50, 1000, 100000} {
+		for _, p := range []float64{-0.1, 0, 0.01, 0.5, 0.99, 1, 1.5} {
+			k := binomial(rng, n, p)
+			if k < 0 || k > n {
+				t.Fatalf("binomial(%d, %v) = %d out of range", n, p, k)
+			}
+		}
+	}
+	// Mean sanity on the approximated branch.
+	const n, p, rounds = 10000, 0.3, 200
+	sum := 0
+	for i := 0; i < rounds; i++ {
+		sum += binomial(rng, n, p)
+	}
+	mean := float64(sum) / rounds
+	if math.Abs(mean-n*p) > 0.02*n*p {
+		t.Fatalf("binomial mean = %.1f, want ~%v", mean, n*p)
+	}
+}
+
+func TestGeneratorSourceRejectsZeroDiurnalProfile(t *testing.T) {
+	cfg := testGenCfg()
+	cfg.DiurnalProfile = [24]float64{}
+	if _, err := GeneratorSource(cfg); err == nil {
+		t.Fatal("GeneratorSource accepted a diurnal profile with no mass; Generate rejects it")
+	}
+}
+
+func TestGeneratorSourceRejectsLowUserActivityExponent(t *testing.T) {
+	cfg := testGenCfg()
+	cfg.UserActivityExponent = 1.0 // rand.NewZipf would return nil
+	if _, err := GeneratorSource(cfg); err == nil {
+		t.Fatal("GeneratorSource accepted a user activity exponent <= 1")
+	}
+}

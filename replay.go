@@ -1,0 +1,435 @@
+package consumelocal
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"consumelocal/internal/engine"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/trace"
+)
+
+// Source yields trace sessions in start order, together with the
+// trace-level metadata the replay needs before the first session
+// arrives. Build one with TraceSource, CSVSource or GeneratorSource, or
+// implement the interface directly for live ingest.
+type Source = engine.Source
+
+// TraceSource adapts an in-memory trace into a Source. Batch and
+// parallel replays recognise it and reuse the trace directly instead of
+// re-collecting the sessions.
+func TraceSource(t *Trace) Source { return &memSource{Source: engine.TraceSource(t), tr: t} }
+
+// memSource remembers the backing trace so batch-mode replays skip the
+// collect step — which is what makes Simulate over Replay bit-for-bit
+// free of overhead.
+type memSource struct {
+	Source
+	tr *Trace
+}
+
+// CSVSource opens a streaming Source over a CSV trace: the out-of-core
+// entry point. Any reader works — a file, an HTTP body, a pipe.
+func CSVSource(r io.Reader) (Source, error) { return trace.NewScanner(r) }
+
+// GeneratorSource streams the synthetic workload described by cfg
+// directly into a replay, session by session in start order, without
+// materialising the trace: the library's live trace source. The stream
+// is deterministic per seed but is a different (equally distributed)
+// realisation than GenerateTrace with the same configuration.
+func GeneratorSource(cfg TraceConfig) (Source, error) { return trace.GeneratorSource(cfg) }
+
+// EngineMode selects which replay engine a Job runs on.
+type EngineMode int
+
+const (
+	// EngineStreaming (the default) replays out-of-core on the windowed
+	// streaming engine: bounded memory, live snapshots, full
+	// cancellation support.
+	EngineStreaming EngineMode = iota
+	// EngineBatch materialises the source and runs the serial batch
+	// simulator — the reference implementation. One final snapshot is
+	// emitted; cancellation is observed while collecting the source and
+	// between phases, not inside the sweep.
+	EngineBatch
+	// EngineParallel is EngineBatch on a worker pool (swarms processed
+	// concurrently, merged deterministically).
+	EngineParallel
+)
+
+// ParseEngineMode inverts EngineMode.String: it resolves the mode names
+// accepted by the CLI's -engine flag and the daemon's engine query
+// parameter.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "streaming":
+		return EngineStreaming, nil
+	case "batch":
+		return EngineBatch, nil
+	case "parallel":
+		return EngineParallel, nil
+	default:
+		return 0, fmt.Errorf("unknown engine mode %q (want streaming, batch or parallel)", s)
+	}
+}
+
+// String returns the mode's short name.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineStreaming:
+		return "streaming"
+	case EngineBatch:
+		return "batch"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("mode-%d", int(m))
+	}
+}
+
+// replayOptions collects the Option knobs; the zero value plus defaults
+// reproduces DefaultStreamConfig(1.0) on the streaming engine.
+type replayOptions struct {
+	cfg   engine.Config
+	mode  EngineMode
+	sinks []Sink
+}
+
+// Option configures a Replay call.
+type Option func(*replayOptions)
+
+// WithSimConfig replaces the simulation configuration (policy, swarm
+// formation, upload model, quantization, seeding, participation, user
+// tracking) shared by every engine mode.
+func WithSimConfig(cfg SimConfig) Option {
+	return func(o *replayOptions) { o.cfg.Sim = cfg }
+}
+
+// WithUploadRatio is shorthand for WithSimConfig(DefaultSimConfig(r)):
+// the paper's configuration at upload-to-bitrate ratio q/β = r.
+func WithUploadRatio(r float64) Option {
+	return func(o *replayOptions) { o.cfg.Sim = sim.DefaultConfig(r) }
+}
+
+// WithEngine selects the engine mode. The default is EngineStreaming.
+func WithEngine(mode EngineMode) Option {
+	return func(o *replayOptions) { o.mode = mode }
+}
+
+// WithWorkers sets the worker count: shard workers for the streaming
+// engine, pool size for EngineParallel. Zero means the engine default.
+func WithWorkers(n int) Option {
+	return func(o *replayOptions) { o.cfg.Workers = n }
+}
+
+// WithWindow sets the reporting window in seconds for streaming replays
+// (default 3600). Batch replays emit a single final snapshot regardless.
+func WithWindow(sec int64) Option {
+	return func(o *replayOptions) { o.cfg.WindowSec = sec }
+}
+
+// WithSnapshotBuffer bounds the Job's snapshot channel (default 4): a
+// consumer lagging further than this stalls a streaming pipeline by
+// design, propagating backpressure to the source.
+func WithSnapshotBuffer(n int) Option {
+	return func(o *replayOptions) { o.cfg.SnapshotBuffer = n }
+}
+
+// WithSink attaches a Sink to the job. Sinks observe every snapshot
+// before it is forwarded to Job.Snapshots, and the final outcome. Sinks
+// are part of the pipeline, not a lossy tap: when the snapshot channel
+// backs up, sink delivery pauses with it, so consume the job through
+// Result (which drains internally) or by ranging Snapshots. May be
+// repeated.
+func WithSink(s Sink) Option {
+	return func(o *replayOptions) { o.sinks = append(o.sinks, s) }
+}
+
+// Job is a replay in progress, started by Replay.
+//
+// Snapshots delivers windowed progress; consumers that fall behind by
+// more than the snapshot buffer stall a streaming pipeline by design
+// (backpressure). Consumers that only want the final outcome call
+// Result, which drains internally so attached Sinks still observe every
+// snapshot; a job that is neither drained nor cancelled stalls once the
+// buffer fills. Cancel (or cancelling the parent context) releases
+// every pipeline goroutine regardless of consumer behaviour.
+type Job struct {
+	meta   TraceMeta
+	mode   EngineMode
+	cancel context.CancelFunc
+
+	snapshots chan StreamSnapshot
+	done      chan struct{}
+
+	mu     sync.Mutex
+	result *SimResult
+	err    error
+}
+
+// Meta returns the metadata of the trace being replayed.
+func (j *Job) Meta() TraceMeta { return j.meta }
+
+// Mode returns the engine mode the job runs on.
+func (j *Job) Mode() EngineMode { return j.mode }
+
+// Snapshots returns the windowed progress channel. It is closed after
+// the final snapshot — or early, when the job is cancelled or fails.
+func (j *Job) Snapshots() <-chan StreamSnapshot { return j.snapshots }
+
+// Done returns a channel closed when the job has fully unwound and
+// Result/Err are final.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the replay: the pipeline unwinds promptly, Snapshots
+// closes, and Result reports context.Canceled. Safe to call repeatedly
+// and after completion.
+func (j *Job) Cancel() { j.cancel() }
+
+// Err returns the job's terminal error once it has finished — nil on
+// success, context.Canceled after Cancel — and nil while it still runs.
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.err
+	default:
+		return nil
+	}
+}
+
+// Result blocks until the replay finishes and returns the complete
+// outcome. Remaining snapshots are drained internally, so Result may be
+// called with or without a concurrent Snapshots consumer.
+func (j *Job) Result() (*SimResult, error) {
+	for range j.snapshots {
+	}
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// finish records the terminal outcome, notifies the sinks and releases
+// the job. Called exactly once, as the caller's last act before its
+// defers close j.snapshots and then j.done — so Sink.Finish runs while
+// Snapshots is still open, and must not try to drain it. Cancelling the
+// derived context here unregisters the finished job from its parent, so
+// a long-lived parent context does not accumulate completed children.
+func (j *Job) finish(sinks []Sink, res *SimResult, err error) {
+	defer j.cancel()
+	// Every sink observes the replay's own outcome; a sink failing in
+	// Finish must not change what the remaining sinks see, it only
+	// fails an otherwise-successful job afterwards.
+	var sinkErr error
+	for _, s := range sinks {
+		if ferr := s.Finish(res, err); ferr != nil && sinkErr == nil {
+			sinkErr = ferr
+		}
+	}
+	if err == nil && sinkErr != nil {
+		res, err = nil, sinkErr
+	}
+	j.mu.Lock()
+	j.result, j.err = res, err
+	j.mu.Unlock()
+}
+
+// Replay starts one replay of src under ctx and returns the running Job.
+//
+// Replay is the single entry point every other replay API is a veneer
+// over: the engine mode (streaming by default; batch and parallel for
+// the in-memory reference paths), the reporting window, worker count and
+// attached sinks are all Options, and the three modes produce per-swarm
+// results bit-for-bit identical to one another and to the deprecated
+// Simulate/SimulateParallel/Stream entry points. Configuration and
+// metadata are validated synchronously; a ctx already cancelled returns
+// ctx.Err() immediately.
+func Replay(ctx context.Context, src Source, opts ...Option) (*Job, error) {
+	o := &replayOptions{cfg: engine.DefaultConfig(1.0)}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Fill defaulted sim fields before validating, the way every engine
+	// does internally, so a sparse custom SimConfig is accepted here too.
+	o.cfg.Sim = o.cfg.Sim.WithDefaults()
+	if err := o.cfg.Sim.Validate(); err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	buffer := o.cfg.SnapshotBuffer
+	if buffer <= 0 {
+		buffer = 4
+	}
+	j := &Job{
+		meta:      meta,
+		mode:      o.mode,
+		cancel:    cancel,
+		snapshots: make(chan StreamSnapshot, buffer),
+		done:      make(chan struct{}),
+	}
+
+	switch o.mode {
+	case EngineStreaming:
+		run, err := engine.StreamContext(ctx, src, o.cfg)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		go j.pumpStream(ctx, run, o.sinks)
+	case EngineBatch, EngineParallel:
+		go j.runBatch(ctx, src, o)
+	default:
+		cancel()
+		return nil, fmt.Errorf("replay: unknown engine mode %d", int(o.mode))
+	}
+	return j, nil
+}
+
+// pumpStream relays engine snapshots to the sinks and the Job channel,
+// then settles the outcome. It always drains the engine run, so the
+// pipeline can never stall on the Job consumer alone — only deliberate
+// backpressure (forwarding to an undrained channel under a live context)
+// blocks, and cancellation breaks exactly that wait.
+func (j *Job) pumpStream(ctx context.Context, run *engine.Run, sinks []Sink) {
+	defer close(j.done)
+	defer close(j.snapshots)
+
+	var sinkErr error
+	forward := true
+	for snap := range run.Snapshots() {
+		for _, s := range sinks {
+			if err := s.Snapshot(snap); err != nil && sinkErr == nil {
+				if ctx.Err() == nil {
+					// A failing sink aborts the replay; remember its error
+					// since the engine will only report context.Canceled.
+					sinkErr = fmt.Errorf("replay: sink: %w", err)
+					j.cancel()
+				}
+				// A sink failing after cancellation (e.g. a response
+				// writer broken by the same disconnect that cancelled
+				// the job) is secondary: the run reports ctx.Err().
+			}
+		}
+		if forward {
+			select {
+			case j.snapshots <- snap:
+			case <-ctx.Done():
+				forward = false
+			}
+		}
+	}
+	res, err := run.Result()
+	if sinkErr != nil {
+		res, err = nil, sinkErr
+	}
+	j.finish(sinks, res, err)
+}
+
+// runBatch materialises the source and runs the in-memory simulator —
+// serial or parallel — emitting one final snapshot so sinks and channel
+// consumers see a uniform shape across modes.
+func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
+	defer close(j.done)
+	defer close(j.snapshots)
+
+	tr, err := materialize(ctx, src, j.meta)
+	if err != nil {
+		j.finish(o.sinks, nil, err)
+		return
+	}
+	var res *SimResult
+	if o.mode == EngineParallel {
+		// Zero means the engine default, as WithWorkers documents (and
+		// as the streaming engine resolves it); per-swarm results are
+		// identical at any worker count, so defaulting is safe.
+		workers := o.cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		res, err = sim.RunParallel(tr, o.cfg.Sim, workers)
+	} else {
+		res, err = sim.Run(tr, o.cfg.Sim)
+	}
+	if err == nil && ctx.Err() != nil {
+		res, err = nil, ctx.Err()
+	}
+	if err != nil {
+		j.finish(o.sinks, nil, err)
+		return
+	}
+
+	snap := StreamSnapshot{
+		FromSec:      0,
+		ToSec:        j.meta.HorizonSec,
+		SessionsSeen: int64(len(tr.Sessions)),
+		Swarms:       len(res.Swarms),
+		Delta:        res.Total,
+		Cumulative:   res.Total,
+		Final:        true,
+	}
+	var sinkErr error
+	for _, s := range o.sinks {
+		if err := s.Snapshot(snap); err != nil && sinkErr == nil {
+			sinkErr = fmt.Errorf("replay: sink: %w", err)
+		}
+	}
+	if sinkErr != nil {
+		j.finish(o.sinks, nil, sinkErr)
+		return
+	}
+	// The snapshot buffer is at least one deep, so this send never
+	// blocks on an absent consumer.
+	select {
+	case j.snapshots <- snap:
+	case <-ctx.Done():
+	}
+	j.finish(o.sinks, res, nil)
+}
+
+// materialize collects a Source into an in-memory trace for the batch
+// engines, checking ctx between sessions. A TraceSource short-circuits
+// to its backing trace.
+func materialize(ctx context.Context, src Source, meta TraceMeta) (*Trace, error) {
+	if ms, ok := src.(*memSource); ok {
+		return ms.tr, nil
+	}
+	tr := &Trace{
+		Name:       meta.Name,
+		Epoch:      meta.Epoch,
+		HorizonSec: meta.HorizonSec,
+		NumUsers:   meta.NumUsers,
+		NumContent: meta.NumContent,
+		NumISPs:    meta.NumISPs,
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := src.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			// As in the streaming engine: a cancellation that surfaces as
+			// a source read error is reported as the cancellation.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("replay: read source: %w", err)
+		}
+		tr.Sessions = append(tr.Sessions, s)
+	}
+}

@@ -1,0 +1,166 @@
+package consumelocal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Sink observes a replay job from the side: every windowed snapshot, and
+// then the final outcome exactly once. Sinks run on the job's pump
+// goroutine — a slow sink slows the replay (that is the point: sinks are
+// part of the pipeline, not a lossy tap), and a sink error aborts it.
+type Sink interface {
+	// Snapshot consumes one windowed progress report.
+	Snapshot(StreamSnapshot) error
+	// Finish is called once, after the last snapshot, with the final
+	// outcome: (result, nil) on success, (nil, err) on failure or
+	// cancellation.
+	Finish(*SimResult, error) error
+}
+
+// NDJSONSink streams every snapshot as one JSON line to w — the format
+// consumelocald serves — and, on success, a closing summary line:
+//
+//	{"summary":{"swarms":…,"total":{…},"offload":…}}
+func NDJSONSink(w io.Writer) Sink { return &ndjsonSink{enc: json.NewEncoder(w)} }
+
+type ndjsonSink struct{ enc *json.Encoder }
+
+func (s *ndjsonSink) Snapshot(snap StreamSnapshot) error { return s.enc.Encode(snap) }
+
+func (s *ndjsonSink) Finish(res *SimResult, err error) error {
+	if err != nil || res == nil {
+		return nil
+	}
+	type summary struct {
+		Swarms  int     `json:"swarms"`
+		Total   Tally   `json:"total"`
+		Offload float64 `json:"offload"`
+	}
+	return s.enc.Encode(struct {
+		Summary summary `json:"summary"`
+	}{summary{Swarms: len(res.Swarms), Total: res.Total, Offload: res.Total.Offload()}})
+}
+
+// TSVSink writes one gnuplot-ready tab-separated row per snapshot:
+// window bounds, sessions seen, active members, swarm count, cumulative
+// traffic split and offload. The header row is written lazily before the
+// first snapshot.
+func TSVSink(w io.Writer) Sink { return &tsvSink{w: w} }
+
+type tsvSink struct {
+	w      io.Writer
+	header bool
+}
+
+func (s *tsvSink) Snapshot(snap StreamSnapshot) error {
+	if !s.header {
+		s.header = true
+		if _, err := fmt.Fprintln(s.w, "window\tfrom_sec\tto_sec\tsessions\tactive\tswarms\ttotal_bits\tserver_bits\tpeer_bits\toffload"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.w, "%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.6f\n",
+		snap.Index, snap.FromSec, snap.ToSec, snap.SessionsSeen, snap.ActiveMembers,
+		snap.Swarms, snap.Cumulative.TotalBits, snap.Cumulative.ServerBits,
+		snap.Cumulative.PeerBits(), snap.Cumulative.Offload())
+	return err
+}
+
+func (s *tsvSink) Finish(*SimResult, error) error { return nil }
+
+// MetricsSink exposes the latest replay state as Prometheus-style
+// gauges. It is safe for concurrent use: the job's pump goroutine writes
+// while any number of scrapers read, so one sink can back a live
+// /metrics endpoint for a running replay (it implements http.Handler).
+type MetricsSink struct {
+	mu      sync.Mutex
+	snap    StreamSnapshot
+	windows int
+	done    bool
+	fail    string
+}
+
+// NewMetricsSink returns an empty metrics sink.
+func NewMetricsSink() *MetricsSink { return &MetricsSink{} }
+
+// Snapshot implements Sink.
+func (m *MetricsSink) Snapshot(snap StreamSnapshot) error {
+	m.mu.Lock()
+	m.snap = snap
+	m.windows++
+	m.mu.Unlock()
+	return nil
+}
+
+// Finish implements Sink.
+func (m *MetricsSink) Finish(res *SimResult, err error) error {
+	m.mu.Lock()
+	m.done = true
+	if err != nil {
+		m.fail = err.Error()
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Gauges returns the current gauge values by metric name.
+func (m *MetricsSink) Gauges() map[string]float64 {
+	m.mu.Lock()
+	snap, windows, done, fail := m.snap, m.windows, m.done, m.fail
+	m.mu.Unlock()
+	g := map[string]float64{
+		"consumelocal_replay_windows_total":  float64(windows),
+		"consumelocal_replay_sessions_seen":  float64(snap.SessionsSeen),
+		"consumelocal_replay_active_members": float64(snap.ActiveMembers),
+		"consumelocal_replay_swarms":         float64(snap.Swarms),
+		"consumelocal_replay_total_bits":     snap.Cumulative.TotalBits,
+		"consumelocal_replay_server_bits":    snap.Cumulative.ServerBits,
+		"consumelocal_replay_peer_bits":      snap.Cumulative.PeerBits(),
+		"consumelocal_replay_offload":        snap.Cumulative.Offload(),
+		"consumelocal_replay_done":           0,
+		"consumelocal_replay_failed":         0,
+	}
+	if done {
+		g["consumelocal_replay_done"] = 1
+	}
+	if fail != "" {
+		g["consumelocal_replay_failed"] = 1
+	}
+	return g
+}
+
+// metricsOrder fixes the exposition order of the gauges.
+var metricsOrder = []string{
+	"consumelocal_replay_windows_total",
+	"consumelocal_replay_sessions_seen",
+	"consumelocal_replay_active_members",
+	"consumelocal_replay_swarms",
+	"consumelocal_replay_total_bits",
+	"consumelocal_replay_server_bits",
+	"consumelocal_replay_peer_bits",
+	"consumelocal_replay_offload",
+	"consumelocal_replay_done",
+	"consumelocal_replay_failed",
+}
+
+// WritePrometheus renders the gauges in Prometheus text exposition
+// format.
+func (m *MetricsSink) WritePrometheus(w io.Writer) error {
+	gauges := m.Gauges()
+	for _, name := range metricsOrder {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP makes the sink a drop-in /metrics handler.
+func (m *MetricsSink) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = m.WritePrometheus(w)
+}
