@@ -2,8 +2,17 @@
 # CI gate: every PR must build cleanly, pass vet and the formatting
 # check, pass the tier-1 test suite, and race-check the concurrent
 # subsystems: the streaming engine, the Replay API layer (root package)
-# and the consumelocald job manager.
+# and the consumelocald job manager. It also refuses committed build
+# artifacts: a PR once shipped an 8.9 MB consumelocald binary at the
+# repo root, and that class of mistake must never land again.
 set -eux
+
+# Guard: no tracked built binaries (by name) and no tracked file over
+# 1 MB — source files are orders of magnitude smaller.
+tracked_binaries="$(git ls-files | grep -E '(^|/)(consumelocal|consumelocald)$|\.(test|exe|o|a|so)$' || true)"
+test -z "$tracked_binaries"
+oversized="$(git ls-files -z | xargs -0 -r du -b -- | awk '$1 > 1048576 {print $2}')"
+test -z "$oversized"
 
 go build ./...
 go vet ./...

@@ -15,16 +15,19 @@ import (
 )
 
 // runReplay implements the `replay` subcommand on the unified Replay
-// pipeline: pick a source (-trace file, stdin, or -generate for the
-// live synthetic generator), an engine mode, and print live windowed
-// reports followed by the same summary the simulate subcommand
-// produces. -ndjson swaps the table for the NDJSON snapshot sink.
+// pipeline: pick a source (-trace file, stdin, -generate for the live
+// synthetic generator, or -live for the evening-TV broadcast schedule
+// replayed through a live ingest stream), an engine mode, and print
+// live windowed reports followed by the same summary the simulate
+// subcommand produces. -ndjson swaps the table for the NDJSON snapshot
+// sink.
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	tracePath := fs.String("trace", "", "trace CSV path (default: read stdin)")
 	generate := fs.Float64("generate", 0, "stream the synthetic generator live at this scale instead of reading a trace")
+	liveScale := fs.Float64("live", 0, "replay the evening-TV live broadcast schedule at this audience scale, fed through a live ingest stream with hourly watermarks")
 	genDays := fs.Int("days", 7, "generator horizon in days (with -generate)")
-	genSeed := fs.Int64("seed", 1, "generator seed (with -generate)")
+	genSeed := fs.Int64("seed", 1, "generator seed (with -generate or -live)")
 	mode := fs.String("engine", "streaming", "engine mode: streaming, batch or parallel")
 	ratio := fs.Float64("ratio", 1.0, "upload-to-bitrate ratio q/beta")
 	window := fs.Int64("window", 3600, "reporting window in seconds")
@@ -41,28 +44,42 @@ func runReplay(args []string, out io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("replay: unexpected arguments %q", fs.Args())
 	}
-	var generateSet, daysSet, seedSet bool
+	var generateSet, liveSet, daysSet, seedSet bool
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "generate":
 			generateSet = true
+		case "live":
+			liveSet = true
 		case "days":
 			daysSet = true
 		case "seed":
 			seedSet = true
 		}
 	})
-	// An explicit non-positive -generate must not silently fall through
-	// to the stdin/trace path (DefaultTraceConfig would also treat 0 as
-	// full paper scale, which no typo should launch).
+	// An explicit non-positive -generate or -live must not silently fall
+	// through to the stdin/trace path (DefaultTraceConfig would also
+	// treat 0 as full paper scale, which no typo should launch).
 	if generateSet && *generate <= 0 {
 		return fmt.Errorf("replay: -generate must be a positive scale, got %g", *generate)
 	}
-	if *generate > 0 && *tracePath != "" {
-		return fmt.Errorf("replay: -generate and -trace are mutually exclusive")
+	if liveSet && *liveScale <= 0 {
+		return fmt.Errorf("replay: -live must be a positive scale, got %g", *liveScale)
 	}
-	if !generateSet && (daysSet || seedSet) {
-		return fmt.Errorf("replay: -days and -seed only apply with -generate")
+	sources := 0
+	for _, set := range []bool{*generate > 0, *liveScale > 0, *tracePath != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return fmt.Errorf("replay: -generate, -live and -trace are mutually exclusive")
+	}
+	if daysSet && !generateSet {
+		return fmt.Errorf("replay: -days only applies with -generate")
+	}
+	if seedSet && !generateSet && !liveSet {
+		return fmt.Errorf("replay: -seed only applies with -generate or -live")
 	}
 
 	engineMode, err := consumelocal.ParseEngineMode(*mode)
@@ -80,6 +97,39 @@ func runReplay(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	case *liveScale > 0:
+		// The live demo drives the ingest path end to end: the evening-TV
+		// schedule is generated up front, but the replay consumes it the
+		// way a broadcast happens — pushed session by session into an
+		// IngestSource, the watermark advanced each simulated hour, the
+		// stream sealed when the evening ends.
+		lcfg := consumelocal.DefaultLiveTraceConfig(*liveScale)
+		lcfg.Seed = *genSeed
+		tr, err := consumelocal.GenerateLiveTrace(lcfg)
+		if err != nil {
+			return err
+		}
+		ing, err := consumelocal.NewIngestSource(tr.Meta(), 0)
+		if err != nil {
+			return err
+		}
+		go func() {
+			watermark := int64(0)
+			for _, s := range tr.Sessions {
+				for next := watermark + 3600; next <= s.StartSec; next += 3600 {
+					if ing.Advance(next) != nil {
+						return
+					}
+					watermark = next
+				}
+				if ing.Push(s) != nil {
+					return
+				}
+			}
+			_ = ing.Advance(tr.HorizonSec)
+			_ = ing.Close()
+		}()
+		src = ing
 	default:
 		in := io.Reader(os.Stdin)
 		if *tracePath != "" {

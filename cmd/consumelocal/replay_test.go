@@ -129,6 +129,53 @@ func TestRunReplayGeneratorSource(t *testing.T) {
 	}
 }
 
+// TestRunReplayLiveIngest replays the evening-TV broadcast schedule
+// through the live ingest path and checks the report reflects a
+// watermarked, windowed live replay whose outcome matches a direct
+// replay of the materialised schedule.
+func TestRunReplayLiveIngest(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"replay", "-live", "0.001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"replaying \"live-evening\" (streaming engine)",
+		"1-day horizon",
+		"final",
+		"of traffic served by peers (policy locality-first)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("live replay output missing %q:\n%s", want, got)
+		}
+	}
+	// The evening is quiet until 18:00 and the watermark advances every
+	// hour regardless, so the table must contain idle windowed rows
+	// before the first broadcast: at least 18 hourly rows plus final.
+	if rows := regexp.MustCompile(`(?m)^\s*\d+h\s`).FindAllString(got, -1); len(rows) < 18 {
+		t.Errorf("live replay printed %d windowed rows, want hourly rows across the evening:\n%s", len(rows), got)
+	}
+
+	// Same outcome as replaying the materialised schedule directly.
+	tr, err := consumelocal.GenerateLiveTrace(consumelocal.DefaultLiveTraceConfig(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := consumelocal.Replay(context.Background(), consumelocal.TraceSource(tr),
+		consumelocal.WithUploadRatio(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%.1f%% of traffic served by peers", 100*res.Total.Offload())
+	if !strings.Contains(got, want) {
+		t.Fatalf("live replay output missing %q:\n%s", want, got)
+	}
+}
+
 // TestRunReplayEngineModesAgree replays the same trace on all three
 // engines and checks the reported summaries agree.
 func TestRunReplayEngineModesAgree(t *testing.T) {
@@ -164,16 +211,21 @@ func TestRunReplayEngineModesAgree(t *testing.T) {
 func TestRunReplayFlagValidation(t *testing.T) {
 	path := writeTestTrace(t)
 	for name, args := range map[string][]string{
-		"bad flag":           {"replay", "-bogus"},
-		"bad ratio":          {"replay", "-ratio", "nope"},
-		"unknown engine":     {"replay", "-trace", path, "-engine", "quantum"},
-		"missing trace":      {"replay", "-trace", "/nonexistent/trace.csv"},
-		"positional args":    {"replay", "-trace", path, "extra"},
-		"generate and trace": {"replay", "-generate", "0.001", "-trace", path},
-		"invalid generate":   {"replay", "-generate", "0.001", "-days", "0"},
-		"zero generate":      {"replay", "-generate", "0"},
-		"negative generate":  {"replay", "-generate", "-0.5"},
-		"negative ratio":     {"replay", "-trace", path, "-ratio", "-2"},
+		"bad flag":            {"replay", "-bogus"},
+		"bad ratio":           {"replay", "-ratio", "nope"},
+		"unknown engine":      {"replay", "-trace", path, "-engine", "quantum"},
+		"missing trace":       {"replay", "-trace", "/nonexistent/trace.csv"},
+		"positional args":     {"replay", "-trace", path, "extra"},
+		"generate and trace":  {"replay", "-generate", "0.001", "-trace", path},
+		"invalid generate":    {"replay", "-generate", "0.001", "-days", "0"},
+		"zero generate":       {"replay", "-generate", "0"},
+		"negative generate":   {"replay", "-generate", "-0.5"},
+		"negative ratio":      {"replay", "-trace", path, "-ratio", "-2"},
+		"zero live":           {"replay", "-live", "0"},
+		"live and trace":      {"replay", "-live", "0.001", "-trace", path},
+		"live and generate":   {"replay", "-live", "0.001", "-generate", "0.001"},
+		"days with live":      {"replay", "-live", "0.001", "-days", "2"},
+		"seed without source": {"replay", "-trace", path, "-seed", "7"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			var out bytes.Buffer

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	consumelocald [-addr :8377] [-max-jobs 4]
+//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m]
 //
 // API:
 //
@@ -15,12 +15,24 @@
 //	                                Body: trace CSV (spooled), or
 //	                                ?source=generator with scale, days,
 //	                                seed to stream the synthetic workload
-//	                                live. Shared query: ratio, window,
+//	                                live, or ?source=ingest with horizon,
+//	                                users, content, isps (and optional
+//	                                epoch, capacity) to open a live ingest
+//	                                stream fed through the sessions
+//	                                endpoint. Shared query: ratio, window,
 //	                                workers, engine (streaming|batch|
-//	                                parallel), participation, tick,
-//	                                seed_retention, city_wide,
-//	                                mixed_bitrates, track_users, name.
+//	                                parallel; ingest is streaming-only),
+//	                                participation, tick, seed_retention,
+//	                                city_wide, mixed_bitrates,
+//	                                track_users, name.
 //	                                429 once max-jobs replays run.
+//	POST   /v1/jobs/{id}/sessions   append a session batch to a live
+//	                                ingest job (CSV rows or JSON
+//	                                {"sessions":[...]}), optionally
+//	                                advancing the arrival watermark
+//	                                (?watermark= or "watermark_sec")
+//	POST   /v1/jobs/{id}/finish     seal a live ingest stream; the job
+//	                                drains and completes
 //	GET    /v1/jobs                 list replay jobs
 //	GET    /v1/jobs/{id}            one job's status and latest snapshot
 //	GET    /v1/jobs/{id}/snapshots  follow snapshots as NDJSON mid-flight
@@ -45,6 +57,7 @@ func main() {
 	addr := flag.String("addr", ":8377", "listen address")
 	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "concurrent replay quota (excess submissions get 429)")
 	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "largest trace CSV a replay submission may upload, in bytes (must be positive; excess gets 413)")
+	ingestIdle := flag.Duration("ingest-idle", defaultIngestIdle, "cancel a live ingest job whose producer stays silent this long (0 disables the watchdog)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "consumelocald: unexpected arguments")
@@ -59,8 +72,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *ingestIdle < 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: -ingest-idle must be non-negative")
+		os.Exit(2)
+	}
+
 	srv := newServer(*maxJobs)
 	srv.maxBody = *maxBody
+	srv.ingestIdle = *ingestIdle
 	// No global Read/WriteTimeout: /v1/replay legitimately reads its body
 	// and writes snapshots for the whole replay. Slow-loris protection is
 	// the header timeout here plus per-request read deadlines covering

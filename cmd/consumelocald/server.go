@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,16 +49,34 @@ const defaultMaxBodyBytes = 4 << 30
 // combinations that settle tens of thousands of windows.
 const maxJobSnapshots = 4096
 
+// defaultIngestIdle is how long an ingest job may go without a
+// successful sessions/finish call before the daemon concludes the
+// producer is gone and cancels the job: a broadcast system that crashed
+// mid-stream must not pin a quota slot forever.
+const defaultIngestIdle = 5 * time.Minute
+
+// defaultIngestCapacity bounds an ingest job's session queue: deep
+// enough to absorb a batch per request, shallow enough that a replay
+// falling behind backpressures the pushing client promptly.
+const defaultIngestCapacity = 4096
+
+// maxIngestBatchBytes caps one sessions push. Unlike trace uploads
+// (spooled to disk under -max-body), a batch is parsed into memory
+// before pushing, so it must stay RAM-sized; ~8 MiB is a few hundred
+// thousand CSV sessions, far more than a live producer batches.
+const maxIngestBatchBytes = 8 << 20
+
 // server is the daemon's shared state: an async job manager over
 // consumelocal.Replay. Every replay — submitted through the async
 // /v1/jobs API or the synchronous /v1/replay stream — is a registered
 // job with live snapshot history, cancellation and a quota slot.
 type server struct {
-	mu      sync.Mutex
-	jobs    map[int]*job
-	nextID  int
-	maxJobs int
-	maxBody int64
+	mu         sync.Mutex
+	jobs       map[int]*job
+	nextID     int
+	maxJobs    int
+	maxBody    int64
+	ingestIdle time.Duration
 	// pending counts submissions that claimed a quota slot but are not
 	// yet published in jobs — the gap while Replay starts. Keeping them
 	// out of the registry means a job is only ever visible with its
@@ -79,10 +99,26 @@ type job struct {
 	meta    trace.Meta
 	replay  *consumelocal.Job
 	cleanup func()
+	// ingest is set for live ingest jobs: the queue the sessions/finish
+	// endpoints feed. idleTimer cancels the job when the producer goes
+	// silent; every successful ingest call re-arms it.
+	ingest    *consumelocal.IngestSource
+	idleTimer *time.Timer
 
 	mu sync.Mutex
 	// status is "running", "done", "failed" or "cancelled".
 	status string
+	// idleFired records that the ingest idle watchdog cancelled the job,
+	// so pump reports why instead of a bare "context canceled".
+	idleFired bool
+	// lastActive is the time of the last successful producer activity on
+	// an ingest job; the watchdog measures idleness against it, so a
+	// long batch re-arms it session by session as pushes land.
+	lastActive time.Time
+	// watchdogDisarmed stops the watchdog once the stream is sealed: no
+	// producer activity is expected while a sealed queue drains, however
+	// long the replay takes over it.
+	watchdogDisarmed bool
 	// interrupt, when set (sync /v1/replay jobs), unblocks a body read
 	// the replay may be stalled inside, so DELETE can free the quota
 	// slot of a client that stopped sending. Only called while status
@@ -115,11 +151,15 @@ type jobView struct {
 	Meta      trace.Meta      `json:"meta"`
 	Snapshots int             `json:"snapshots"`
 	Snapshot  engine.Snapshot `json:"snapshot"`
+	// Ingest marks a live ingest job; Pushed and Watermark then report
+	// the stream's producer-side progress.
+	Ingest    bool  `json:"ingest,omitempty"`
+	Pushed    int64 `json:"pushed,omitempty"`
+	Watermark int64 `json:"watermark_sec,omitempty"`
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	v := jobView{
 		ID:        j.id,
 		Name:      j.name,
@@ -133,6 +173,14 @@ func (j *job) view() jobView {
 	if n := len(j.snaps); n > 0 {
 		v.Snapshot = j.snaps[n-1]
 	}
+	j.mu.Unlock()
+	// The ingest queue has its own lock; read it outside j.mu to keep
+	// the lock order trivial.
+	if j.ingest != nil {
+		v.Ingest = true
+		v.Pushed = j.ingest.Pushed()
+		v.Watermark = j.ingest.Watermark()
+	}
 	return v
 }
 
@@ -140,7 +188,13 @@ func newServer(maxJobs int) *server {
 	if maxJobs <= 0 {
 		maxJobs = defaultMaxJobs
 	}
-	return &server{jobs: make(map[int]*job), nextID: 1, maxJobs: maxJobs, maxBody: defaultMaxBodyBytes}
+	return &server{
+		jobs:       make(map[int]*job),
+		nextID:     1,
+		maxJobs:    maxJobs,
+		maxBody:    defaultMaxBodyBytes,
+		ingestIdle: defaultIngestIdle,
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -150,6 +204,8 @@ func (s *server) routes() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/sessions", s.handleIngestSessions)
+	mux.HandleFunc("POST /v1/jobs/{id}/finish", s.handleIngestFinish)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/snapshots", s.handleJobSnapshots)
@@ -324,6 +380,32 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 		cfg.Seed = seed
 		src, err := consumelocal.GeneratorSource(cfg)
 		return src, nil, err
+	case "ingest":
+		meta, err := ingestMeta(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		capacity := defaultIngestCapacity
+		if raw := q.Get("capacity"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query capacity: %w", err)
+			}
+			// Bound the queue so one job cannot buffer an unbounded burst
+			// in memory; backpressure, not buffering, absorbs a slow replay.
+			if n < 1 || n > 1<<20 {
+				return nil, nil, fmt.Errorf("query capacity: must be in [1, %d], got %d", 1<<20, n)
+			}
+			capacity = n
+		}
+		ing, err := consumelocal.NewIngestSource(meta, capacity)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The cleanup runs once the job settles: tear the queue down so
+		// producers blocked in a push unblock and later pushes are
+		// refused with a closed-stream conflict.
+		return ing, func() { ing.Abort(errIngestJobOver) }, nil
 	case "", "body":
 		f, err := os.CreateTemp("", "consumelocald-job-*.csv")
 		if err != nil {
@@ -372,6 +454,71 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 	default:
 		return nil, nil, fmt.Errorf("query source: unknown source %q", v)
 	}
+}
+
+// Upper bounds on ingest stream metadata. Every streaming worker
+// allocates a Days()×NumISPs day grid up front, so an unauthenticated
+// request must not be able to declare a geological horizon or a
+// thousand ISPs and OOM (or panic) the daemon — the generator path
+// bounds days to [1, 365] for the same reason. A year-long broadcast
+// over every ISP of a large market fits comfortably.
+const (
+	maxIngestHorizonSec = 366 * 24 * 3600
+	maxIngestISPs       = 256
+	maxIngestPopulation = 1 << 30
+)
+
+// ingestMeta assembles the stream metadata of an ingest job from query
+// parameters. The replay needs the horizon and population sizes before
+// the first session arrives, so all four are required up front — they
+// are what Push validates each live session against.
+func ingestMeta(q url.Values) (trace.Meta, error) {
+	meta := trace.Meta{Name: q.Get("name")}
+	if meta.Name == "" {
+		meta.Name = "ingest"
+	}
+	for _, p := range []struct {
+		key string
+		max int
+		dst *int
+	}{
+		{"users", maxIngestPopulation, &meta.NumUsers},
+		{"content", maxIngestPopulation, &meta.NumContent},
+		{"isps", maxIngestISPs, &meta.NumISPs},
+	} {
+		raw := q.Get(p.key)
+		if raw == "" {
+			return meta, fmt.Errorf("source=ingest needs query %s (stream metadata is required up front)", p.key)
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return meta, fmt.Errorf("query %s: %w", p.key, err)
+		}
+		if n > p.max {
+			return meta, fmt.Errorf("query %s: must be at most %d, got %d", p.key, p.max, n)
+		}
+		*p.dst = n
+	}
+	raw := q.Get("horizon")
+	if raw == "" {
+		return meta, fmt.Errorf("source=ingest needs query horizon (stream metadata is required up front)")
+	}
+	horizon, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return meta, fmt.Errorf("query horizon: %w", err)
+	}
+	if horizon > maxIngestHorizonSec {
+		return meta, fmt.Errorf("query horizon: must be at most %d seconds (366 days), got %d", maxIngestHorizonSec, horizon)
+	}
+	meta.HorizonSec = horizon
+	if raw := q.Get("epoch"); raw != "" {
+		epoch, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			return meta, fmt.Errorf("query epoch: %w", err)
+		}
+		meta.Epoch = epoch
+	}
+	return meta, meta.Validate()
 }
 
 // runningLocked counts in-flight replays. Callers hold s.mu.
@@ -449,6 +596,42 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 	if j.name == "" {
 		j.name = j.meta.Name
 	}
+	// An ingest-sourced job keeps its queue handle: the sessions/finish
+	// endpoints feed it, and the idle watchdog cancels the job when the
+	// producer goes silent (a crashed broadcast system must not pin a
+	// quota slot forever). Successful ingest calls re-arm the watchdog.
+	j.ingest, _ = src.(*consumelocal.IngestSource)
+	if j.ingest != nil && s.ingestIdle > 0 {
+		idle := s.ingestIdle
+		fire := func() {
+			j.mu.Lock()
+			if j.watchdogDisarmed || j.status != "running" {
+				j.mu.Unlock()
+				return
+			}
+			// A producer blocked in backpressure is not idle: its queued
+			// sessions are still draining through the replay. Nor is one
+			// whose last successful push was under the deadline ago —
+			// re-arm for the remainder instead of trusting timer resets
+			// to have raced correctly.
+			remaining := idle - time.Since(j.lastActive)
+			if j.ingest.Pending() > 0 || remaining > 0 {
+				if remaining < idle/10 {
+					remaining = idle / 10
+				}
+				j.idleTimer.Reset(remaining)
+				j.mu.Unlock()
+				return
+			}
+			j.idleFired = true
+			j.mu.Unlock()
+			j.replay.Cancel()
+		}
+		j.mu.Lock()
+		j.lastActive = time.Now()
+		j.idleTimer = time.AfterFunc(idle, fire)
+		j.mu.Unlock()
+	}
 	s.mu.Lock()
 	s.pending--
 	j.id = s.nextID
@@ -489,6 +672,9 @@ func (j *job) pump() {
 	case errors.Is(err, context.Canceled):
 		j.status = "cancelled"
 		j.errMsg = err.Error()
+		if j.idleFired {
+			j.errMsg = "ingest stream idle: the producer pushed nothing before the idle deadline; job cancelled"
+		}
 	default:
 		j.status = "failed"
 		j.errMsg = err.Error()
@@ -500,6 +686,9 @@ func (j *job) pump() {
 	j.broadcastLocked()
 	j.mu.Unlock()
 
+	if j.idleTimer != nil {
+		j.idleTimer.Stop()
+	}
 	if j.cleanup != nil {
 		j.cleanup()
 		j.cleanup = nil
@@ -514,6 +703,16 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	sp, err := parseSpec(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A live ingest replay must run on the streaming engine: the batch
+	// engines materialise the whole source before simulating, which for
+	// an unsealed stream means blocking until the broadcast ends — and
+	// their materialise step cannot be interrupted while the producer is
+	// silent.
+	if r.URL.Query().Get("source") == "ingest" && sp.mode != consumelocal.EngineStreaming {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("source=ingest requires engine=streaming; the %s engine cannot follow an unsealed stream", sp.mode))
 		return
 	}
 	// Claim the quota slot before spooling the body, so over-quota
@@ -539,6 +738,180 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// errIngestJobOver is the abort cause recorded when an ingest job
+// settles (done, failed or cancelled) and its queue is torn down: the
+// diagnosis a producer sees when it keeps pushing afterwards.
+var errIngestJobOver = errors.New("the replay job is no longer running")
+
+// ingestBatch is the JSON form of one sessions push: a batch of
+// sessions in start order, optionally advancing the watermark after the
+// batch lands.
+type ingestBatch struct {
+	Sessions     []trace.Session `json:"sessions"`
+	WatermarkSec *int64          `json:"watermark_sec,omitempty"`
+}
+
+// ingestJob resolves {id} to an ingest job, writing the error response
+// itself otherwise.
+func (s *server) ingestJob(w http.ResponseWriter, r *http.Request) *job {
+	j := s.lookup(w, r)
+	if j == nil {
+		return nil
+	}
+	if j.ingest == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %d is not an ingest job", j.id))
+		return nil
+	}
+	return j
+}
+
+// touchIngest records successful producer activity. The watchdog
+// measures idleness against the last touch (and against queue depth),
+// so touching per accepted session keeps a long-running batch alive
+// without racing timer resets against a concurrent fire.
+func (j *job) touchIngest() {
+	if j.idleTimer == nil {
+		return
+	}
+	j.mu.Lock()
+	j.lastActive = time.Now()
+	j.mu.Unlock()
+}
+
+// handleIngestSessions appends a batch of sessions to a live ingest
+// job: CSV rows (the interchange columns, header optional) or a JSON
+// {"sessions": [...]} document by Content-Type. The watermark advances
+// when the JSON carries watermark_sec or the request a ?watermark=
+// query. Pushes block while the replay's queue is full — backpressure
+// on the producer — and a batch rejected part-way reports how many
+// sessions landed so the producer can resume without double-pushing.
+func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
+	j := s.ingestJob(w, r)
+	if j == nil {
+		return
+	}
+	var (
+		sessions  []trace.Session
+		watermark *int64
+	)
+	// The batch is materialised before pushing (so ordering failures can
+	// report an exact resume point), so cap it well below -max-body —
+	// which was sized for disk-spooled trace uploads, not for RAM. A
+	// producer with more than a few hundred thousand sessions per push
+	// splits the batch; that is the protocol's shape anyway.
+	limit := s.maxBody
+	if limit > maxIngestBatchBytes {
+		limit = maxIngestBatchBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var batch ingestBatch
+		if err := json.NewDecoder(body).Decode(&batch); err != nil {
+			writeError(w, batchErrStatus(err), fmt.Errorf("decode session batch: %w", err))
+			return
+		}
+		sessions, watermark = batch.Sessions, batch.WatermarkSec
+	} else {
+		var err error
+		if sessions, err = trace.ReadSessionsCSV(body); err != nil {
+			writeError(w, batchErrStatus(err), err)
+			return
+		}
+	}
+	if raw := r.URL.Query().Get("watermark"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query watermark: %w", err))
+			return
+		}
+		watermark = &n
+	}
+
+	pushed := 0
+	for _, sess := range sessions {
+		if err := j.ingest.PushContext(r.Context(), sess); err != nil {
+			writeIngestError(w, r, j, pushed, err)
+			return
+		}
+		pushed++
+		// Touch per accepted session, not per batch: a large batch
+		// draining through backpressure for longer than the idle
+		// deadline is a live producer, not a silent one.
+		j.touchIngest()
+	}
+	if watermark != nil {
+		if err := j.ingest.AdvanceContext(r.Context(), *watermark); err != nil {
+			writeIngestError(w, r, j, pushed, err)
+			return
+		}
+		j.touchIngest()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":           j.id,
+		"pushed":        pushed,
+		"total_pushed":  j.ingest.Pushed(),
+		"watermark_sec": j.ingest.Watermark(),
+	})
+}
+
+// batchErrStatus distinguishes an oversized batch (413, the cap is the
+// server's) from a malformed one (400, the bytes are the producer's).
+func batchErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeIngestError maps a push/advance failure onto an HTTP status:
+// ordering violations and a stream that no longer accepts input are
+// state conflicts (409), a producer that disconnected mid-push gets no
+// response (nobody is listening), anything else — malformed or
+// out-of-range sessions — is a bad request. The response carries how
+// many sessions of the batch landed before the failure.
+func writeIngestError(w http.ResponseWriter, r *http.Request, j *job, pushed int, err error) {
+	if r.Context().Err() != nil {
+		// The push failed because this producer went away, not because
+		// the stream refused it.
+		return
+	}
+	status := http.StatusBadRequest
+	if errors.Is(err, consumelocal.ErrOutOfOrder) || errors.Is(err, consumelocal.ErrIngestClosed) {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]any{
+		"error":  err.Error(),
+		"job":    j.id,
+		"pushed": pushed,
+	})
+}
+
+// handleIngestFinish seals an ingest stream: no further sessions are
+// accepted, the queued ones drain, the final windows settle and the job
+// completes ("done"). Sealing an already-sealed stream is a no-op;
+// sealing a cancelled or failed job reports the conflict.
+func (s *server) handleIngestFinish(w http.ResponseWriter, r *http.Request) {
+	j := s.ingestJob(w, r)
+	if j == nil {
+		return
+	}
+	if err := j.ingest.Close(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	// The stream is sealed: no further producer activity is expected or
+	// possible, so disarm the watchdog — a large queued backlog may
+	// legitimately take longer than the idle deadline to drain.
+	if j.idleTimer != nil {
+		j.mu.Lock()
+		j.watchdogDisarmed = true
+		j.mu.Unlock()
+		j.idleTimer.Stop()
+	}
+	writeJSON(w, http.StatusOK, j.view())
 }
 
 // handleReplay is the synchronous form: it consumes a trace CSV from

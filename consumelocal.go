@@ -18,7 +18,9 @@
 //   - The unified replay pipeline (Replay): one context-aware
 //     source→engine→sink API for every trace-driven study. A Source
 //     yields sessions in start order (an in-memory trace, a streamed
-//     CSV, or the synthetic generator run live); Options pick the
+//     CSV, the synthetic generator run live, or an IngestSource fed
+//     session by session as a broadcast happens, with watermark-driven
+//     window settlement); Options pick the
 //     engine (batch, parallel, or the out-of-core streaming engine),
 //     worker count, reporting window and attached Sinks (NDJSON
 //     snapshots, TSV tallies, Prometheus-style metrics); the returned
@@ -90,6 +92,11 @@ type (
 	Session = trace.Session
 	// TraceConfig parameterises the synthetic trace generator.
 	TraceConfig = trace.GeneratorConfig
+	// LiveTraceConfig parameterises the live-broadcast workload
+	// generator (the paper's future-work live-streaming scenario).
+	LiveTraceConfig = trace.LiveConfig
+	// LiveEvent is one scheduled broadcast in a LiveTraceConfig.
+	LiveEvent = trace.LiveEvent
 	// TraceSummary is the Table I row of a trace.
 	TraceSummary = trace.Summary
 	// BitrateClass buckets sessions by streaming bitrate.
@@ -173,6 +180,16 @@ func DefaultTraceConfig(scale float64) TraceConfig {
 
 // GenerateTrace builds a deterministic synthetic trace.
 func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// DefaultLiveTraceConfig returns an evening of live television — three
+// broadcasts of growing audience — scaled like DefaultTraceConfig.
+func DefaultLiveTraceConfig(scale float64) LiveTraceConfig {
+	return trace.DefaultLiveConfig(scale)
+}
+
+// GenerateLiveTrace builds a deterministic live-broadcast trace: the
+// materialised form of the schedule a live ingest replays as it happens.
+func GenerateLiveTrace(cfg LiveTraceConfig) (*Trace, error) { return trace.GenerateLive(cfg) }
 
 // ReadTraceCSV loads a trace previously written with WriteTraceCSV.
 func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }

@@ -1,0 +1,188 @@
+// Live ingest: shadow a broadcast as it happens. Where examples/liveevent
+// materialises the evening-TV schedule and simulates it offline, this
+// client drives the consumelocald live ingest API the way a broadcast
+// system would: it opens a long-running ingest replay job, pushes each
+// hour's tune-ins as a session batch while advancing the arrival
+// watermark, and seals the stream when the evening ends — all in
+// accelerated real time, with the daemon's windowed snapshots following
+// along mid-broadcast.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/consumelocald
+//	go run ./examples/liveingest [-addr http://localhost:8377] [-scale 0.002] [-speedup 3600]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"consumelocal"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8377", "consumelocald base URL")
+	scale := flag.Float64("scale", 0.002, "audience scale relative to a city-sized broadcast")
+	speedup := flag.Float64("speedup", 3600, "broadcast acceleration: simulated seconds per wall-clock second")
+	flag.Parse()
+	if err := run(*addr, *scale, *speedup); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, scale, speedup float64) error {
+	if speedup <= 0 {
+		return fmt.Errorf("liveingest: -speedup must be positive")
+	}
+	tr, err := consumelocal.GenerateLiveTrace(consumelocal.DefaultLiveTraceConfig(scale))
+	if err != nil {
+		return err
+	}
+
+	// Open the long-running ingest job: stream metadata up front, hourly
+	// reporting windows.
+	q := url.Values{}
+	q.Set("source", "ingest")
+	q.Set("name", tr.Name)
+	q.Set("horizon", fmt.Sprint(tr.HorizonSec))
+	q.Set("users", fmt.Sprint(tr.NumUsers))
+	q.Set("content", fmt.Sprint(tr.NumContent))
+	q.Set("isps", fmt.Sprint(tr.NumISPs))
+	q.Set("window", "3600")
+	var job struct {
+		ID int `json:"id"`
+	}
+	if err := postJSON(addr+"/v1/jobs?"+q.Encode(), "", nil, &job); err != nil {
+		return fmt.Errorf("open ingest job: %w", err)
+	}
+	fmt.Printf("ingest job %d opened: %d sessions to broadcast at %gx\n", job.ID, len(tr.Sessions), speedup)
+
+	// Follow the job's snapshots concurrently: this is the mid-broadcast
+	// view an operator dashboard would render.
+	followDone := make(chan error, 1)
+	go func() { followDone <- follow(addr, job.ID) }()
+
+	// Broadcast hour by hour: push the hour's tune-ins as one CSV batch,
+	// advance the watermark to the hour boundary, sleep the accelerated
+	// hour. Quiet hours still advance the watermark — that is what lets
+	// the daemon settle their empty windows.
+	sessions := tr.Sessions
+	for hour := int64(0); hour*3600 < tr.HorizonSec; hour++ {
+		boundary := (hour + 1) * 3600
+		if boundary > tr.HorizonSec {
+			boundary = tr.HorizonSec
+		}
+		var batch strings.Builder
+		for len(sessions) > 0 && sessions[0].StartSec < boundary {
+			s := sessions[0]
+			fmt.Fprintf(&batch, "%d,%d,%d,%d,%d,%d,%d\n",
+				s.UserID, s.ContentID, s.ISP, s.Exchange, s.StartSec, s.DurationSec, s.Bitrate)
+			sessions = sessions[1:]
+		}
+		pushURL := fmt.Sprintf("%s/v1/jobs/%d/sessions?watermark=%d", addr, job.ID, boundary)
+		var out struct {
+			Pushed int `json:"pushed"`
+		}
+		if err := postJSON(pushURL, "text/csv", strings.NewReader(batch.String()), &out); err != nil {
+			return fmt.Errorf("hour %d: %w", hour, err)
+		}
+		if out.Pushed > 0 {
+			fmt.Printf("hour %2d: pushed %d sessions, watermark %ds\n", hour, out.Pushed, boundary)
+		}
+		time.Sleep(time.Duration(3600 / speedup * float64(time.Second)))
+	}
+
+	// The evening is over: seal the stream and let the replay finish.
+	if err := postJSON(fmt.Sprintf("%s/v1/jobs/%d/finish", addr, job.ID), "", nil, nil); err != nil {
+		return fmt.Errorf("finish: %w", err)
+	}
+	if err := <-followDone; err != nil {
+		return err
+	}
+
+	// Price the finished broadcast under both Table IV energy models.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/energy", addr, job.ID))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var energy struct {
+		Offload float64 `json:"offload"`
+		Energy  []struct {
+			Model   string  `json:"Model"`
+			Savings float64 `json:"Savings"`
+		} `json:"energy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&energy); err != nil {
+		return err
+	}
+	fmt.Printf("\nbroadcast complete: %.1f%% of traffic served by peers\n", 100*energy.Offload)
+	for _, e := range energy.Energy {
+		fmt.Printf("energy savings (%s): %.1f%%\n", e.Model, 100*e.Savings)
+	}
+	return nil
+}
+
+// follow streams the job's NDJSON snapshots, printing one line per
+// settled window until the job finishes.
+func follow(addr string, id int) error {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/snapshots", addr, id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			ToSec      int64  `json:"to_sec"`
+			Sessions   int64  `json:"sessions_seen"`
+			Active     int    `json:"active_members"`
+			Status     string `json:"status"`
+			Cumulative *struct {
+				TotalBits float64 `json:"total_bits"`
+			} `json:"cumulative"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("follow: %w", err)
+		}
+		switch {
+		case line.Status != "":
+			fmt.Printf("  job settled: %s\n", line.Status)
+		case line.Cumulative != nil && line.Cumulative.TotalBits > 0:
+			fmt.Printf("  window to %2dh: %6d sessions seen, %5d active, %.2f GB delivered\n",
+				line.ToSec/3600, line.Sessions, line.Active, line.Cumulative.TotalBits/8/1e9)
+		}
+	}
+	return sc.Err()
+}
+
+// postJSON posts body (may be nil) and decodes the JSON response into
+// out (may be nil), treating any non-2xx status as an error carrying
+// the server's diagnosis.
+func postJSON(rawURL, contentType string, body io.Reader, out any) error {
+	resp, err := http.Post(rawURL, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

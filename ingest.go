@@ -1,0 +1,331 @@
+package consumelocal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"consumelocal/internal/engine"
+)
+
+// LiveSource is a Source for unsealed, watermarked streams: sessions
+// are pushed as the broadcast happens rather than read from a finished
+// trace. IngestSource is the library's implementation; the streaming
+// engine prefers a LiveSource's ctx-aware NextEvent over Next, so live
+// replays settle reporting windows on watermark advances and unwind on
+// cancellation even while the producer is silent.
+type LiveSource = engine.LiveSource
+
+// SourceEvent is one item of a live stream: a session, or a
+// watermark-only progress mark.
+type SourceEvent = engine.Event
+
+// Errors reported by IngestSource. Producers distinguish a session
+// rejected for ordering (the push is wrong) from a stream that no
+// longer accepts input (the job is over).
+var (
+	// ErrIngestClosed is returned by Push, Advance and Close once the
+	// stream is sealed or aborted.
+	ErrIngestClosed = errors.New("consumelocal: ingest source closed")
+	// ErrOutOfOrder is wrapped by Push when a session would violate the
+	// stream's ordering contract (non-decreasing start times, never
+	// behind the watermark) and by Advance on a watermark regression.
+	ErrOutOfOrder = errors.New("out of order")
+)
+
+// defaultIngestCapacity bounds an IngestSource's queue when the caller
+// does not: enough to absorb a burst of arrivals, small enough that a
+// lagging engine backpressures the producer promptly.
+const defaultIngestCapacity = 1024
+
+// IngestSource is a bounded, concurrency-safe session queue implementing
+// LiveSource: the live-ingest counterpart of CSVSource. A producer —
+// typically an HTTP handler fed by a broadcast system — Pushes sessions
+// as they occur and Advances the arrival watermark as the broadcast
+// clock moves; the replay engine consumes the queue concurrently,
+// settling reporting windows as the watermark passes them. When the
+// engine lags, Push blocks once the queue is full (backpressure); when
+// the broadcast ends, Close seals the stream and the replay completes
+// after draining it.
+//
+// Ordering contract (trace.Scanner's, extended to watermarks): session
+// start times are non-decreasing, and no session may start before the
+// current watermark. Violating pushes are rejected with ErrOutOfOrder
+// and leave the stream usable; the offending session is simply refused.
+//
+// Any number of goroutines may Push, Advance and Close concurrently,
+// though the ordering contract is easiest to uphold from one producer.
+type IngestSource struct {
+	meta     TraceMeta
+	capacity int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is a FIFO of sessions and watermark marks; head indexes the
+	// next event to deliver so pops are O(1), and the consumed prefix is
+	// compacted away once it dominates the slice.
+	queue []SourceEvent
+	head  int
+	// watermark and lastStart enforce the ordering contract at the
+	// producer edge, before an invalid session can poison the replay.
+	watermark int64
+	lastStart int64
+	pushed    int64
+	sealed    bool
+	abortErr  error
+}
+
+// NewIngestSource returns an ingest queue for a stream with the given
+// metadata, which is validated eagerly — the replay needs it before the
+// first session arrives. capacity bounds the queue (sessions and
+// watermark marks together); zero or negative means the default (1024).
+func NewIngestSource(meta TraceMeta, capacity int) (*IngestSource, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		capacity = defaultIngestCapacity
+	}
+	s := &IngestSource{meta: meta, capacity: capacity, lastStart: -1}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Meta returns the stream's trace metadata.
+func (s *IngestSource) Meta() TraceMeta { return s.meta }
+
+// Pushed returns the number of sessions accepted so far.
+func (s *IngestSource) Pushed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushed
+}
+
+// Watermark returns the current arrival watermark.
+func (s *IngestSource) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Pending returns the number of queued events not yet consumed by the
+// replay — producer-side lag, the backpressure signal.
+func (s *IngestSource) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.len()
+}
+
+// Push appends one session to the stream, blocking while the queue is
+// full — backpressure from a replay that cannot keep up. It fails with
+// ErrOutOfOrder (wrapped, with detail) when the session violates the
+// ordering contract, a validation error when it violates the stream
+// metadata, and ErrIngestClosed once the stream is sealed or aborted.
+func (s *IngestSource) Push(sess Session) error {
+	return s.PushContext(context.Background(), sess)
+}
+
+// PushContext is Push bounded by a context: a producer whose client has
+// disconnected stops waiting for queue space and returns ctx.Err().
+func (s *IngestSource) PushContext(ctx context.Context, sess Session) error {
+	defer s.wakeOnDone(ctx)()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := s.closedLocked(); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.len() < s.capacity {
+			break
+		}
+		s.cond.Wait()
+	}
+	// Validate under the lock, after any wait: the floor (lastStart,
+	// watermark) only ever rises, so a session admitted here is ordered
+	// against everything already queued.
+	if sess.StartSec < s.lastStart {
+		return fmt.Errorf("consumelocal: ingest session %d: %w: starts at %d, before already-pushed start %d",
+			s.pushed, ErrOutOfOrder, sess.StartSec, s.lastStart)
+	}
+	if sess.StartSec < s.watermark {
+		return fmt.Errorf("consumelocal: ingest session %d: %w: starts at %d, behind watermark %d",
+			s.pushed, ErrOutOfOrder, sess.StartSec, s.watermark)
+	}
+	if err := s.meta.ValidateSession(s.pushed, sess); err != nil {
+		return err
+	}
+	s.queue = append(s.queue, SourceEvent{Session: sess})
+	s.lastStart = sess.StartSec
+	s.pushed++
+	s.cond.Broadcast()
+	return nil
+}
+
+// Advance raises the arrival watermark: a promise that no future session
+// will start before watermarkSec, which lets the replay settle every
+// reporting window the promise closes even while no sessions arrive. A
+// regressing watermark is rejected with ErrOutOfOrder; re-asserting the
+// current one is a no-op. Like Push, Advance blocks while the queue is
+// full — unless the trailing event is already a mark, in which case the
+// two coalesce.
+func (s *IngestSource) Advance(watermarkSec int64) error {
+	return s.AdvanceContext(context.Background(), watermarkSec)
+}
+
+// AdvanceContext is Advance bounded by a context.
+func (s *IngestSource) AdvanceContext(ctx context.Context, watermarkSec int64) error {
+	defer s.wakeOnDone(ctx)()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := s.closedLocked(); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if watermarkSec < s.watermark {
+			return fmt.Errorf("consumelocal: ingest watermark %w: %d regresses behind %d",
+				ErrOutOfOrder, watermarkSec, s.watermark)
+		}
+		if watermarkSec == s.watermark {
+			return nil
+		}
+		if n := len(s.queue); n > s.head && s.queue[n-1].Mark {
+			s.queue[n-1].WatermarkSec = watermarkSec
+			break
+		}
+		if s.len() < s.capacity {
+			s.queue = append(s.queue, SourceEvent{Mark: true, WatermarkSec: watermarkSec})
+			break
+		}
+		s.cond.Wait()
+	}
+	s.watermark = watermarkSec
+	s.cond.Broadcast()
+	return nil
+}
+
+// Close seals the stream: no further Push or Advance is accepted, and
+// once the queued events drain the replay completes normally. Closing a
+// sealed stream is a no-op; closing an aborted one reports the abort.
+func (s *IngestSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abortErr != nil {
+		return s.abortErr
+	}
+	s.sealed = true
+	s.cond.Broadcast()
+	return nil
+}
+
+// Abort tears the stream down: queued events are discarded, blocked
+// producers and the consumer unblock immediately, and every subsequent
+// call fails. The replay consuming the source observes err from
+// NextEvent (a replay already cancelled reports its own ctx.Err()
+// instead). A nil err is recorded as ErrIngestClosed. Abort after Close
+// still discards whatever has not been consumed yet.
+func (s *IngestSource) Abort(err error) {
+	if err == nil {
+		err = ErrIngestClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abortErr != nil {
+		return
+	}
+	s.abortErr = err
+	s.queue = nil
+	s.head = 0
+	s.cond.Broadcast()
+}
+
+// Next implements Source by draining NextEvent, skipping watermark
+// marks. The streaming engine never calls it — it prefers NextEvent —
+// but the batch engines' materialise step and any plain-Source consumer
+// use it; they cannot be unblocked by a context, so pair Next-driven
+// consumption with Close/Abort from the producer side.
+func (s *IngestSource) Next() (Session, error) {
+	for {
+		ev, err := s.NextEvent(context.Background())
+		if err != nil {
+			return Session{}, err
+		}
+		if !ev.Mark {
+			return ev.Session, nil
+		}
+	}
+}
+
+// NextEvent implements LiveSource: it returns the next queued session
+// or watermark mark, blocking until one arrives, the stream is sealed
+// and drained (io.EOF), the stream is aborted (the abort error), or ctx
+// is done (ctx.Err()).
+func (s *IngestSource) NextEvent(ctx context.Context) (SourceEvent, error) {
+	defer s.wakeOnDone(ctx)()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.abortErr != nil {
+			return SourceEvent{}, s.abortErr
+		}
+		if s.head < len(s.queue) {
+			ev := s.queue[s.head]
+			s.queue[s.head] = SourceEvent{}
+			s.head++
+			// Compact once the consumed prefix dominates, keeping the
+			// queue's footprint proportional to what is actually pending.
+			if s.head >= s.capacity && s.head*2 >= len(s.queue) {
+				s.queue = append(s.queue[:0], s.queue[s.head:]...)
+				s.head = 0
+			}
+			s.cond.Broadcast()
+			return ev, nil
+		}
+		if s.sealed {
+			return SourceEvent{}, io.EOF
+		}
+		if err := ctx.Err(); err != nil {
+			return SourceEvent{}, err
+		}
+		s.cond.Wait()
+	}
+}
+
+// len counts pending events. Callers hold s.mu.
+func (s *IngestSource) len() int { return len(s.queue) - s.head }
+
+// closedLocked reports why the stream no longer accepts input, nil while
+// it does. Callers hold s.mu.
+func (s *IngestSource) closedLocked() error {
+	if s.abortErr != nil {
+		return fmt.Errorf("%w: %w", ErrIngestClosed, s.abortErr)
+	}
+	if s.sealed {
+		return ErrIngestClosed
+	}
+	return nil
+}
+
+// wakeOnDone arranges for ctx's cancellation to wake every goroutine
+// waiting on the queue's condition variable, and returns the stop
+// function releasing that arrangement. The broadcast runs under the
+// lock, so a waiter cannot check ctx and then miss the wake-up between
+// its check and its Wait.
+func (s *IngestSource) wakeOnDone(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	return func() { stop() }
+}

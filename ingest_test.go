@@ -1,0 +1,286 @@
+package consumelocal_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"consumelocal"
+)
+
+func liveTestTrace(t testing.TB) *consumelocal.Trace {
+	t.Helper()
+	tr, err := consumelocal.GenerateLiveTrace(consumelocal.DefaultLiveTraceConfig(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// feedIngest replays a materialised trace into an ingest source the way
+// a live producer would: sessions in start order, the watermark advanced
+// to every hour boundary the broadcast clock passes, sealed at the end.
+func feedIngest(t testing.TB, ing *consumelocal.IngestSource, tr *consumelocal.Trace) {
+	t.Helper()
+	watermark := int64(0)
+	for _, s := range tr.Sessions {
+		for next := watermark + 3600; next <= s.StartSec; next += 3600 {
+			if err := ing.Advance(next); err != nil {
+				t.Errorf("Advance(%d): %v", next, err)
+				return
+			}
+			watermark = next
+		}
+		if err := ing.Push(s); err != nil {
+			t.Errorf("Push(start=%d): %v", s.StartSec, err)
+			return
+		}
+	}
+	if err := ing.Advance(tr.HorizonSec); err != nil {
+		t.Errorf("Advance(horizon): %v", err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestIngestReplayMatchesMaterialisedTrace is the live-ingest acceptance
+// test: a replay fed session by session through an IngestSource — with
+// watermark advancement interleaved, exactly as a live broadcast would
+// drive it — must produce per-swarm results bit-for-bit identical to a
+// Replay over the equivalent materialised live trace.
+func TestIngestReplayMatchesMaterialisedTrace(t *testing.T) {
+	tr := liveTestTrace(t)
+
+	wantJob, err := consumelocal.Replay(context.Background(), consumelocal.TraceSource(tr),
+		consumelocal.WithEngine(consumelocal.EngineBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wantJob.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ing, err := consumelocal.NewIngestSource(tr.Meta(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go feedIngest(t, ing, tr)
+
+	job, err := consumelocal.Replay(context.Background(), ing,
+		consumelocal.WithWindow(3600), consumelocal.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Swarms) != len(want.Swarms) {
+		t.Fatalf("swarm counts differ: ingest %d, materialised %d", len(got.Swarms), len(want.Swarms))
+	}
+	if !reflect.DeepEqual(got.Swarms, want.Swarms) {
+		for i := range got.Swarms {
+			if !reflect.DeepEqual(got.Swarms[i], want.Swarms[i]) {
+				t.Fatalf("swarm %d differs:\n got %+v\nwant %+v", i, got.Swarms[i], want.Swarms[i])
+			}
+		}
+		t.Fatal("per-swarm results differ")
+	}
+	if got.Total != want.Total {
+		t.Fatalf("totals differ:\n got %+v\nwant %+v", got.Total, want.Total)
+	}
+}
+
+// TestIngestWatermarkSettlesWindowsMidBroadcast: with the stream still
+// open, advancing the watermark must settle and deliver the windows it
+// passes — the mid-broadcast progress a live dashboard follows.
+func TestIngestWatermarkSettlesWindowsMidBroadcast(t *testing.T) {
+	tr := liveTestTrace(t)
+	ing, err := consumelocal.NewIngestSource(tr.Meta(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := consumelocal.Replay(context.Background(), ing, consumelocal.WithWindow(3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Cancel()
+
+	// Push the first broadcast's opening minutes, then advance the clock
+	// past two window boundaries without sealing the stream.
+	first := tr.Sessions[0].StartSec
+	n := 0
+	for _, s := range tr.Sessions {
+		if s.StartSec >= first+600 {
+			break
+		}
+		if err := ing.Push(s); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("live trace has no opening burst")
+	}
+	boundary := (first/3600 + 2) * 3600
+	if err := ing.Advance(boundary); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	settled := 0
+	for settled < 2 {
+		select {
+		case snap, ok := <-job.Snapshots():
+			if !ok {
+				t.Fatal("snapshot channel closed mid-broadcast")
+			}
+			if snap.Final {
+				t.Fatal("final snapshot before the stream was sealed")
+			}
+			if snap.ToSec > boundary {
+				t.Fatalf("window [%d,%d) settled beyond the watermark %d", snap.FromSec, snap.ToSec, boundary)
+			}
+			settled++
+		case <-deadline:
+			t.Fatalf("only %d windows settled mid-broadcast, want 2", settled)
+		}
+	}
+	if err := job.Err(); err != nil {
+		t.Fatalf("job failed mid-broadcast: %v", err)
+	}
+}
+
+func TestIngestOutOfOrderRejected(t *testing.T) {
+	meta := consumelocal.TraceMeta{Name: "ingest", HorizonSec: 7200, NumUsers: 10, NumContent: 2, NumISPs: 1}
+	sess := func(start int64) consumelocal.Session {
+		return consumelocal.Session{UserID: 1, StartSec: start, DurationSec: 60, Bitrate: consumelocal.BitrateSD}
+	}
+	ing, err := consumelocal.NewIngestSource(meta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ing.Push(sess(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(sess(50)); !errors.Is(err, consumelocal.ErrOutOfOrder) {
+		t.Fatalf("regressing push = %v, want ErrOutOfOrder", err)
+	}
+	if err := ing.Advance(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(sess(150)); !errors.Is(err, consumelocal.ErrOutOfOrder) {
+		t.Fatalf("behind-watermark push = %v, want ErrOutOfOrder", err)
+	}
+	if err := ing.Advance(100); !errors.Is(err, consumelocal.ErrOutOfOrder) {
+		t.Fatalf("regressing watermark = %v, want ErrOutOfOrder", err)
+	}
+	// A rejected push leaves the stream usable.
+	if err := ing.Push(sess(250)); err != nil {
+		t.Fatalf("push after rejection = %v, want nil", err)
+	}
+	// Metadata violations are rejected with the validation error.
+	bad := sess(300)
+	bad.UserID = 99
+	if err := ing.Push(bad); err == nil || errors.Is(err, consumelocal.ErrOutOfOrder) {
+		t.Fatalf("out-of-range user = %v, want a validation error", err)
+	}
+	// Watermarks already passed may be re-asserted (heartbeats).
+	if err := ing.Advance(200); err != nil {
+		t.Fatalf("re-asserting the watermark = %v, want nil", err)
+	}
+}
+
+// TestIngestBackpressure: a full queue blocks Push until the consumer
+// drains it; PushContext unblocks on its own context instead.
+func TestIngestBackpressure(t *testing.T) {
+	meta := consumelocal.TraceMeta{Name: "ingest", HorizonSec: 7200, NumUsers: 10, NumContent: 2, NumISPs: 1}
+	sess := func(start int64) consumelocal.Session {
+		return consumelocal.Session{UserID: 1, StartSec: start, DurationSec: 60, Bitrate: consumelocal.BitrateSD}
+	}
+	ing, err := consumelocal.NewIngestSource(meta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(sess(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := ing.PushContext(ctx, sess(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked push = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Draining one event frees the slot and the same push succeeds.
+	if ev, err := ing.NextEvent(context.Background()); err != nil || ev.Mark {
+		t.Fatalf("NextEvent = %+v, %v", ev, err)
+	}
+	if err := ing.Push(sess(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestCloseAndAbort: Close seals (drain then EOF, pushes refused),
+// Abort tears down (producers and consumer unblock with the error).
+func TestIngestCloseAndAbort(t *testing.T) {
+	meta := consumelocal.TraceMeta{Name: "ingest", HorizonSec: 7200, NumUsers: 10, NumContent: 2, NumISPs: 1}
+	sess := func(start int64) consumelocal.Session {
+		return consumelocal.Session{UserID: 1, StartSec: start, DurationSec: 60, Bitrate: consumelocal.BitrateSD}
+	}
+
+	ing, err := consumelocal.NewIngestSource(meta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(sess(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(sess(1)); !errors.Is(err, consumelocal.ErrIngestClosed) {
+		t.Fatalf("push after close = %v, want ErrIngestClosed", err)
+	}
+	if err := ing.Advance(3600); !errors.Is(err, consumelocal.ErrIngestClosed) {
+		t.Fatalf("advance after close = %v, want ErrIngestClosed", err)
+	}
+	// Sealed stream still drains, then reports a clean end.
+	if _, err := ing.NextEvent(context.Background()); err != nil {
+		t.Fatalf("drain after close = %v", err)
+	}
+	if _, err := ing.Next(); err == nil || err.Error() != "EOF" {
+		t.Fatalf("sealed drained stream = %v, want io.EOF", err)
+	}
+
+	// Abort: a producer blocked on a full queue unblocks with the error.
+	ing2, err := consumelocal.NewIngestSource(meta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Push(sess(0)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	pushErr := make(chan error, 1)
+	go func() { pushErr <- ing2.Push(sess(1)) }()
+	time.Sleep(20 * time.Millisecond)
+	ing2.Abort(boom)
+	select {
+	case err := <-pushErr:
+		if !errors.Is(err, boom) || !errors.Is(err, consumelocal.ErrIngestClosed) {
+			t.Fatalf("aborted push = %v, want both ErrIngestClosed and the abort cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not unblock the producer")
+	}
+	if _, err := ing2.NextEvent(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("aborted NextEvent = %v, want the abort cause", err)
+	}
+}

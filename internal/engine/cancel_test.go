@@ -133,6 +133,62 @@ func (d *disconnectSource) Next() (trace.Session, error) {
 	return trace.Session{}, errors.New("read on closed body")
 }
 
+// idleLiveSource is a live stream whose producer has gone silent: no
+// events ever arrive and the stream is never sealed. Only the ctx wired
+// through NextEvent can release a replay blocked on it.
+type idleLiveSource struct {
+	meta trace.Meta
+}
+
+func (s *idleLiveSource) Meta() trace.Meta { return s.meta }
+
+func (s *idleLiveSource) Next() (trace.Session, error) {
+	ev, err := s.NextEvent(context.Background())
+	return ev.Session, err
+}
+
+func (s *idleLiveSource) NextEvent(ctx context.Context) (Event, error) {
+	<-ctx.Done()
+	return Event{}, ctx.Err()
+}
+
+// TestStreamContextCancelUnblocksIdleLiveSource: cancelling a replay
+// whose live producer is silent must unwind the whole pipeline — the
+// feed is blocked inside NextEvent, where a plain Source could never be
+// interrupted.
+func TestStreamContextCancelUnblocksIdleLiveSource(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	src := &idleLiveSource{meta: trace.Meta{
+		Name:       "idle-live",
+		HorizonSec: 7200,
+		NumUsers:   10,
+		NumContent: 2,
+		NumISPs:    1,
+	}}
+	run, err := StreamContext(ctx, src, DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := run.Result(); !errors.Is(err, context.Canceled) {
+			t.Errorf("Result after cancel = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Result did not return: the idle live source was never unblocked")
+	}
+	waitForGoroutines(t, baseline)
+}
+
 func TestStreamContextPrefersCancellationOverSourceError(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -155,7 +155,9 @@ func Stream(src Source, cfg Config) (*Run, error) {
 // the worker inputs and unwinds, so every pipeline goroutine exits even
 // if the snapshot consumer has walked away. Run.Result then reports
 // ctx.Err(). Cancellation is observed between sessions and at every
-// channel hand-off; it cannot interrupt a Source blocked inside Next.
+// channel hand-off; it cannot interrupt a plain Source blocked inside
+// Next (a LiveSource blocks ctx-aware in NextEvent, so live replays
+// unwind even while the producer is silent).
 func StreamContext(ctx context.Context, src Source, cfg Config) (*Run, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Sim.Validate(); err != nil {
@@ -307,12 +309,46 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 		}
 	}
 
+	// A LiveSource delivers watermark marks interleaved with sessions and
+	// blocks ctx-aware, so a cancelled replay unwinds even while the
+	// producer is silent.
+	live, isLive := src.(LiveSource)
+
 	for ferr == nil {
 		if err := ctx.Err(); err != nil {
 			ferr = err
 			break
 		}
-		s, err := src.Next()
+		var s trace.Session
+		var err error
+		if isLive {
+			var ev Event
+			ev, err = live.NextEvent(ctx)
+			if err == nil && ev.Mark {
+				// The watermark promises no session will start before it:
+				// settle every reporting window the promise closes, then
+				// raise the ordering floor so a later session violating
+				// the promise is rejected like any out-of-order arrival.
+				wm := ev.WatermarkSec
+				if wm > r.meta.HorizonSec {
+					wm = r.meta.HorizonSec
+				}
+				for wm >= boundary {
+					if !flush(boundary, false) {
+						break
+					}
+					windowIdx++
+					boundary += cfg.WindowSec
+				}
+				if ev.WatermarkSec > prevStart {
+					prevStart = ev.WatermarkSec
+				}
+				continue
+			}
+			s = ev.Session
+		} else {
+			s, err = src.Next()
+		}
 		if err == io.EOF {
 			break
 		}

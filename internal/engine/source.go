@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"io"
 
 	"consumelocal/internal/trace"
@@ -17,6 +18,36 @@ type Source interface {
 	Meta() trace.Meta
 	// Next returns the next session, or io.EOF at a clean end of stream.
 	Next() (trace.Session, error)
+}
+
+// Event is one item of a live source's stream: either a session
+// (Mark false) or a watermark-only progress mark (Mark true) promising
+// that no future session will start before WatermarkSec. Watermark
+// marks let the engine settle reporting windows while the stream is
+// idle — the broadcast clock advances even when nobody tunes in.
+type Event struct {
+	// Mark distinguishes a watermark advance from a session.
+	Mark bool
+	// WatermarkSec is the new arrival watermark (valid when Mark).
+	WatermarkSec int64
+	// Session is the arriving session (valid when !Mark).
+	Session trace.Session
+}
+
+// LiveSource is the optional extension of Source for unsealed,
+// watermarked streams — live ingest, where sessions are pushed as the
+// broadcast happens rather than read from a finished trace. NextEvent
+// blocks until the next event arrives, the stream is sealed (io.EOF),
+// or ctx is done (ctx.Err()) — the last is what lets a cancelled replay
+// unwind even while the producer is silent, which plain Next cannot do.
+// The engine prefers NextEvent over Next when a Source implements it.
+//
+// Stream contract: session starts are non-decreasing (the Scanner's
+// ordering invariant), watermarks are non-decreasing, and no session
+// may start before the last watermark delivered ahead of it.
+type LiveSource interface {
+	Source
+	NextEvent(ctx context.Context) (Event, error)
 }
 
 // TraceSource adapts an in-memory trace into a Source.

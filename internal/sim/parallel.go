@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,8 +22,16 @@ import (
 //
 // workers <= 1 falls back to the serial Run.
 func RunParallel(t *trace.Trace, cfg Config, workers int) (*Result, error) {
+	return RunParallelContext(context.Background(), t, cfg, workers)
+}
+
+// RunParallelContext is RunParallel under a context: every pool worker
+// observes cancellation between swarm sweeps, so a very large in-memory
+// run aborts after at most one more swarm per worker. A cancelled run
+// returns ctx.Err() and no result.
+func RunParallelContext(ctx context.Context, t *trace.Trace, cfg Config, workers int) (*Result, error) {
 	if workers <= 1 {
-		return Run(t, cfg)
+		return RunContext(ctx, t, cfg)
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -64,6 +73,10 @@ func RunParallel(t *trace.Trace, cfg Config, workers int) (*Result, error) {
 			// — deterministic and balanced, since swarm.Group returns
 			// swarms in key order with sizes spread across the catalogue.
 			for i := w; i < len(swarms); i += workers {
+				if err := ctx.Err(); err != nil {
+					shards[w].err = err
+					return
+				}
 				if err := eng.runSwarm(swarms[i]); err != nil {
 					shards[w].err = err
 					return

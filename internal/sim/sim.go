@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -294,6 +295,14 @@ type Result struct {
 
 // Run simulates the trace under the configuration.
 func Run(t *trace.Trace, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), t, cfg)
+}
+
+// RunContext is Run under a context: cancellation is observed between
+// swarm sweeps, so a very large in-memory run aborts after at most one
+// more swarm instead of completing the whole trace. A cancelled run
+// returns ctx.Err() and no result.
+func RunContext(ctx context.Context, t *trace.Trace, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -316,6 +325,9 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 
 	eng := &engine{cfg: cfg, trace: t, result: res, booker: Booker{Days: res.Days, Users: res.Users}}
 	for _, sw := range swarms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := eng.runSwarm(sw); err != nil {
 			return nil, err
 		}

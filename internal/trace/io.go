@@ -162,6 +162,39 @@ func parseSession(record []string) (Session, error) {
 	}, nil
 }
 
+// ReadSessionsCSV parses a bare batch of session rows — the CSV
+// interchange columns without the leading #meta line, optionally
+// preceded by the header row — as pushed to the live ingest endpoint in
+// chunks. Sessions are parsed syntactically but not validated against
+// any metadata: a live consumer (the ingest queue) owns that check,
+// since only it knows the stream the batch lands in.
+func ReadSessionsCSV(r io.Reader) ([]Session, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var out []Session
+	first := true
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read session batch: %w", err)
+		}
+		if first {
+			first = false
+			if len(record) > 0 && record[0] == csvHeader[0] {
+				continue
+			}
+		}
+		s, err := parseSession(record)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
 // WriteJSON serialises the whole trace as one JSON document.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -76,6 +76,44 @@ func assertTracesEqual(t *testing.T, a, b *Trace) {
 	}
 }
 
+func TestReadSessionsCSV(t *testing.T) {
+	const batch = "user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"1,0,0,10,100,600,1500\n" +
+		"2,1,1,20,200,300,3000\n"
+	want := []Session{
+		{UserID: 1, ContentID: 0, ISP: 0, Exchange: 10, StartSec: 100, DurationSec: 600, Bitrate: BitrateSD},
+		{UserID: 2, ContentID: 1, ISP: 1, Exchange: 20, StartSec: 200, DurationSec: 300, Bitrate: BitrateHD},
+	}
+	got, err := ReadSessionsCSV(strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d sessions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("session %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// The header row is optional: bare rows parse identically.
+	bare, err := ReadSessionsCSV(strings.NewReader("1,0,0,10,100,600,1500\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare) != 1 || bare[0] != want[0] {
+		t.Fatalf("headerless batch = %+v", bare)
+	}
+
+	if _, err := ReadSessionsCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := ReadSessionsCSV(strings.NewReader("x,0,0,10,100,600,1500\n")); err == nil {
+		t.Fatal("malformed user column accepted")
+	}
+}
+
 func TestReadCSVRejectsMissingMeta(t *testing.T) {
 	input := "user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n"
 	if _, err := ReadCSV(strings.NewReader(input)); err == nil {

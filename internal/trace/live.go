@@ -177,11 +177,32 @@ func GenerateLive(cfg LiveConfig) (*Trace, error) {
 		}
 	}
 
+	// Full tiebreak: the same user can be sampled into one event twice at
+	// the same second, so (StartSec, UserID) alone leaves the output order
+	// under-specified — and sort.Slice is free to emit either permutation.
+	// Breaking ties all the way down to the remaining fields makes the
+	// trace bit-for-bit deterministic regardless of sort internals.
 	sort.Slice(sessions, func(i, j int) bool {
-		if sessions[i].StartSec != sessions[j].StartSec {
-			return sessions[i].StartSec < sessions[j].StartSec
+		a, b := sessions[i], sessions[j]
+		if a.StartSec != b.StartSec {
+			return a.StartSec < b.StartSec
 		}
-		return sessions[i].UserID < sessions[j].UserID
+		if a.UserID != b.UserID {
+			return a.UserID < b.UserID
+		}
+		if a.ContentID != b.ContentID {
+			return a.ContentID < b.ContentID
+		}
+		if a.DurationSec != b.DurationSec {
+			return a.DurationSec < b.DurationSec
+		}
+		if a.ISP != b.ISP {
+			return a.ISP < b.ISP
+		}
+		if a.Exchange != b.Exchange {
+			return a.Exchange < b.Exchange
+		}
+		return a.Bitrate < b.Bitrate
 	})
 
 	return &Trace{

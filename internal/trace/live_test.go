@@ -123,6 +123,44 @@ func TestGenerateLiveHighConcurrency(t *testing.T) {
 	}
 }
 
+// TestGenerateLiveFullyOrdered pins the output order past (StartSec,
+// UserID): with zero join jitter and a tiny population, the same user is
+// sampled into one event many times at the same second, and the old
+// two-field tiebreak left those duplicates in whatever permutation
+// sort.Slice produced. The full comparator must leave the session list
+// totally ordered, so the trace is bit-for-bit deterministic.
+func TestGenerateLiveFullyOrdered(t *testing.T) {
+	cfg := liveConfig()
+	cfg.NumUsers = 5
+	cfg.JoinJitterSec = 0
+	cfg.Events = []LiveEvent{{ContentID: 0, StartSec: 3600, DurationSec: 1800, Viewers: 200}}
+
+	tr, err := GenerateLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ties := 0
+	for i := 1; i < len(tr.Sessions); i++ {
+		a, b := tr.Sessions[i-1], tr.Sessions[i]
+		if a.StartSec == b.StartSec && a.UserID == b.UserID {
+			ties++
+		}
+		after := b.StartSec > a.StartSec ||
+			(b.StartSec == a.StartSec && (b.UserID > a.UserID ||
+				(b.UserID == a.UserID && (b.ContentID > a.ContentID ||
+					(b.ContentID == a.ContentID && (b.DurationSec > a.DurationSec ||
+						(b.DurationSec == a.DurationSec && (b.ISP > a.ISP ||
+							(b.ISP == a.ISP && (b.Exchange > a.Exchange ||
+								(b.Exchange == a.Exchange && b.Bitrate >= a.Bitrate)))))))))))
+		if !after {
+			t.Fatalf("sessions %d and %d out of full-tiebreak order: %+v then %+v", i-1, i, a, b)
+		}
+	}
+	if ties == 0 {
+		t.Fatal("test workload produced no (StartSec, UserID) ties; the tiebreak is not exercised")
+	}
+}
+
 func TestGenerateLiveRejectsInvalid(t *testing.T) {
 	cfg := liveConfig()
 	cfg.Events = nil

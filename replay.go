@@ -14,8 +14,9 @@ import (
 
 // Source yields trace sessions in start order, together with the
 // trace-level metadata the replay needs before the first session
-// arrives. Build one with TraceSource, CSVSource or GeneratorSource, or
-// implement the interface directly for live ingest.
+// arrives. Build one with TraceSource, CSVSource, GeneratorSource or
+// NewIngestSource (live ingest), or implement the interface — or its
+// LiveSource extension — directly.
 type Source = engine.Source
 
 // TraceSource adapts an in-memory trace into a Source. Batch and
@@ -53,7 +54,7 @@ const (
 	// EngineBatch materialises the source and runs the serial batch
 	// simulator — the reference implementation. One final snapshot is
 	// emitted; cancellation is observed while collecting the source and
-	// between phases, not inside the sweep.
+	// between swarm sweeps, not inside one swarm's sweep.
 	EngineBatch
 	// EngineParallel is EngineBatch on a worker pool (swarms processed
 	// concurrently, merged deterministically).
@@ -359,9 +360,9 @@ func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		res, err = sim.RunParallel(tr, o.cfg.Sim, workers)
+		res, err = sim.RunParallelContext(ctx, tr, o.cfg.Sim, workers)
 	} else {
-		res, err = sim.Run(tr, o.cfg.Sim)
+		res, err = sim.RunContext(ctx, tr, o.cfg.Sim)
 	}
 	if err == nil && ctx.Err() != nil {
 		res, err = nil, ctx.Err()
