@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench ci
+.PHONY: all build vet lint test race bench microbench ci
 
 all: build
 
@@ -27,9 +27,18 @@ test:
 race:
 	$(GO) test -race . ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/...
 
-## bench: the reproduction's benchmark report at reduced scale
+## bench: the reproduction's benchmark report at reduced scale, then
+## the replay perf-trajectory harness (writes BENCH_replay.json with
+## sessions/s, B/op and allocs/op per engine — see docs/PERF.md)
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+	$(GO) run ./cmd/consumelocal bench -o BENCH_replay.json
+
+## microbench: the hot-path micro-benchmarks (tracker settlement, CSV
+## fast lane, shard batch feed) at full bench time
+microbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTrackerAdvance|BenchmarkScannerScan|BenchmarkShardBatchFeed' \
+		./internal/swarm/ ./internal/trace/ ./internal/engine/
 
 ## ci: what every PR must pass — see ci.sh
 ci:

@@ -20,3 +20,6 @@ fmt_drift="$(gofmt -l .)"
 test -z "$fmt_drift"
 go test ./...
 go test -race . ./internal/engine/... ./cmd/consumelocald/...
+# Benchmark smoke: one iteration of every benchmark, so the perf
+# harness (make bench, cmd/consumelocal bench) can't bit-rot unnoticed.
+go test -run '^$' -bench . -benchtime 1x ./...

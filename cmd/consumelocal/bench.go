@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"consumelocal"
+)
+
+// runBench is the perf-trajectory harness: it replays one shared
+// synthetic workload through every engine of the unified Replay API
+// under testing.Benchmark and writes the headline numbers — sessions/s,
+// ns/op, B/op, allocs/op per engine — as JSON, so each PR can record
+// its before/after next to the code (see docs/PERF.md).
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("consumelocal bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	scale := fs.Float64("scale", 0.002, "trace scale relative to the paper's dataset")
+	days := fs.Int("days", 14, "trace horizon in days")
+	seed := fs.Int64("seed", 1, "trace generator seed")
+	workers := fs.Int("workers", 4, "parallel/streaming worker count")
+	output := fs.String("o", "", "write the JSON report to this file (default: stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench: unexpected arguments %q", fs.Args())
+	}
+
+	traceCfg := consumelocal.DefaultTraceConfig(*scale)
+	traceCfg.Days = *days
+	traceCfg.Seed = *seed
+	tr, err := consumelocal.GenerateTrace(traceCfg)
+	if err != nil {
+		return err
+	}
+	simCfg := consumelocal.DefaultSimConfig(1.0)
+	simCfg.TrackUsers = false
+
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	report.Trace.Scale = *scale
+	report.Trace.Days = *days
+	report.Trace.Seed = *seed
+	report.Trace.Sessions = len(tr.Sessions)
+
+	engines := []consumelocal.EngineMode{
+		consumelocal.EngineBatch,
+		consumelocal.EngineParallel,
+		consumelocal.EngineStreaming,
+	}
+	fmt.Fprintf(out, "bench: %d sessions over %d days (scale %g, seed %d)\n",
+		len(tr.Sessions), *days, *scale, *seed)
+	for _, mode := range engines {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				job, err := consumelocal.Replay(context.Background(),
+					consumelocal.TraceSource(tr),
+					consumelocal.WithSimConfig(simCfg),
+					consumelocal.WithEngine(mode),
+					consumelocal.WithWindow(24*3600),
+					consumelocal.WithWorkers(*workers),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := job.Result(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eb := engineBench{
+			Engine:         mode.String(),
+			Runs:           res.N,
+			NsPerOp:        res.NsPerOp(),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			AllocsPerOp:    res.AllocsPerOp(),
+			SessionsPerSec: float64(len(tr.Sessions)*res.N) / res.T.Seconds(),
+		}
+		report.Engines = append(report.Engines, eb)
+		fmt.Fprintf(out, "%-10s %12.0f sessions/s %14d ns/op %12d B/op %9d allocs/op\n",
+			eb.Engine, eb.SessionsPerSec, eb.NsPerOp, eb.BytesPerOp, eb.AllocsPerOp)
+	}
+
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return fmt.Errorf("bench: write report: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		fmt.Fprintf(out, "bench: report written to %s\n", *output)
+	}
+	return nil
+}
+
+// benchReport is the BENCH_replay.json schema.
+type benchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Trace       struct {
+		Scale    float64 `json:"scale"`
+		Days     int     `json:"days"`
+		Seed     int64   `json:"seed"`
+		Sessions int     `json:"sessions"`
+	} `json:"trace"`
+	Engines []engineBench `json:"engines"`
+}
+
+// engineBench is one engine's measurement.
+type engineBench struct {
+	Engine         string  `json:"engine"`
+	Runs           int     `json:"runs"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+}

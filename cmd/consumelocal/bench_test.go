@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchWritesReport runs the bench harness at a tiny scale and
+// checks the JSON report: one measurement per engine, with positive
+// throughput, so the perf trajectory file can never silently go stale
+// in shape.
+func TestBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness timing run")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_replay.json")
+	var out bytes.Buffer
+	err := run([]string{"bench", "-scale", "0.0005", "-days", "2", "-o", path}, &out)
+	if err != nil {
+		t.Fatalf("bench: %v\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Trace.Sessions <= 0 {
+		t.Fatalf("report records %d sessions", report.Trace.Sessions)
+	}
+	want := []string{"batch", "parallel", "streaming"}
+	if len(report.Engines) != len(want) {
+		t.Fatalf("report has %d engines, want %d", len(report.Engines), len(want))
+	}
+	for i, eng := range report.Engines {
+		if eng.Engine != want[i] {
+			t.Fatalf("engine %d = %q, want %q", i, eng.Engine, want[i])
+		}
+		if eng.SessionsPerSec <= 0 || eng.Runs <= 0 || eng.NsPerOp <= 0 {
+			t.Fatalf("engine %q has empty measurements: %+v", eng.Engine, eng)
+		}
+	}
+	if !strings.Contains(out.String(), "sessions/s") {
+		t.Fatalf("bench output missing summary table:\n%s", out.String())
+	}
+}
+
+func TestBenchRejectsExtraArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"bench", "extra"}, &out); err == nil {
+		t.Fatal("expected an error for stray arguments")
+	}
+}

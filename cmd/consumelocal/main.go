@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table3, table4, fig2, fig3, fig4, fig5, fig6,
 // ablations, provisioning, live, accounting, simulate, replay,
-// tracegen, all.
+// tracegen, bench, all.
 //
 // Flags:
 //
@@ -46,14 +46,17 @@ func run(args []string, out io.Writer) error {
 	}
 	name := args[0]
 
-	// The simulate and replay subcommands have their own flag sets
-	// (trace path, policy knobs), so they dispatch before the shared
-	// experiment flags parse.
+	// The simulate, replay and bench subcommands have their own flag
+	// sets (trace path, policy knobs, report output), so they dispatch
+	// before the shared experiment flags parse.
 	if name == "simulate" {
 		return runSimulate(args[1:], out)
 	}
 	if name == "replay" {
 		return runReplay(args[1:], out)
+	}
+	if name == "bench" {
+		return runBench(args[1:], out)
 	}
 
 	fs := flag.NewFlagSet("consumelocal", flag.ContinueOnError)
@@ -129,6 +132,8 @@ experiments:
   replay     stream a trace CSV through the out-of-core engine with
              live windowed reports (-trace file, or stdin)
   tracegen   write a synthetic trace as CSV to stdout
+  bench      benchmark every replay engine on one shared workload and
+             record sessions/s, B/op and allocs/op (-o BENCH_replay.json)
   all        run everything
 
 flags: -scale -days -seed -ratio -tsv`)

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m]
+//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-pprof addr]
 //
 // API:
 //
@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 )
@@ -58,6 +59,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "concurrent replay quota (excess submissions get 429)")
 	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "largest trace CSV a replay submission may upload, in bytes (must be positive; excess gets 413)")
 	ingestIdle := flag.Duration("ingest-idle", defaultIngestIdle, "cancel a live ingest job whose producer stays silent this long (0 disables the watchdog)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "consumelocald: unexpected arguments")
@@ -80,6 +82,27 @@ func main() {
 	srv := newServer(*maxJobs)
 	srv.maxBody = *maxBody
 	srv.ingestIdle = *ingestIdle
+
+	// Profiling stays off the service listener: the job API is what
+	// clients reach, the pprof endpoints are an operator tool bound to
+	// their own (typically loopback) address.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("consumelocald pprof listening on %s", *pprofAddr)
+			// -pprof is an explicit opt-in: failing to bind it should be
+			// as fatal as failing to bind -addr, not a scrolled-past log
+			// line under a daemon that looks healthy.
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Fatalf("consumelocald: pprof listener: %v", err)
+			}
+		}()
+	}
 	// No global Read/WriteTimeout: /v1/replay legitimately reads its body
 	// and writes snapshots for the whole replay. Slow-loris protection is
 	// the header timeout here plus per-request read deadlines covering

@@ -33,6 +33,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
@@ -176,16 +177,46 @@ func StreamContext(ctx context.Context, src Source, cfg Config) (*Run, error) {
 	return r, nil
 }
 
-// wmsg is one message on a worker's input channel: either a session
-// assigned to the worker's shard, or a window mark instructing the
-// worker to settle activity up to a boundary and report its delta.
-type wmsg struct {
-	mark    bool
-	final   bool
-	until   int64
+// item is one sharded session in flight to a worker.
+type item struct {
 	sess    trace.Session
 	key     swarm.Key
 	origDur int32
+}
+
+// sessionBatchSize is how many sessions a worker batch carries. Batching
+// the feed→worker hand-off cuts channel operations by roughly two orders
+// of magnitude versus one send per session — channel synchronisation was
+// the dominant pipeline overhead, not the sends' payload.
+const sessionBatchSize = 256
+
+// batchPool recycles batch slices between the feed and the workers, so
+// the steady-state hand-off allocates nothing but the pool's pointer
+// box (one small allocation per batch, ~1/256th of a per-session cost).
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]item, 0, sessionBatchSize)
+		return &b
+	},
+}
+
+func getBatch() []item {
+	return (*batchPool.Get().(*[]item))[:0]
+}
+
+func putBatch(b []item) {
+	b = b[:0]
+	batchPool.Put(&b)
+}
+
+// wmsg is one message on a worker's input channel: either a batch of
+// sessions assigned to the worker's shard, or a window mark instructing
+// the worker to settle activity up to a boundary and report its delta.
+type wmsg struct {
+	mark  bool
+	final bool
+	until int64
+	batch []item
 }
 
 // ack is a worker's reply to one window mark.
@@ -226,7 +257,7 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 	acks := make(chan ack, cfg.Workers)
 	reports := make(chan report, cfg.Workers)
 	for i := range inputs {
-		inputs[i] = make(chan wmsg, 256)
+		inputs[i] = make(chan wmsg, 4)
 		w := newWorker(i, cfg, r.meta)
 		go w.run(inputs[i], acks, reports)
 	}
@@ -239,15 +270,38 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 		cum          sim.Tally
 		ferr         error
 		deltas       = make([]sim.Tally, cfg.Workers)
+		// pend accumulates each shard's in-flight session batch; a batch
+		// is handed off when full or ahead of a window mark.
+		pend = make([][]item, cfg.Workers)
 	)
+
+	// sendBatch hands shard i's pending batch to its worker. It reports
+	// false (and records the cancellation) once ctx is done.
+	sendBatch := func(i int) bool {
+		select {
+		case inputs[i] <- wmsg{batch: pend[i]}:
+			pend[i] = nil
+			return true
+		case <-ctx.Done():
+			if ferr == nil {
+				ferr = ctx.Err()
+			}
+			return false
+		}
+	}
 
 	// flush broadcasts a mark, merges the worker acks in worker order
 	// (deterministic for a fixed worker count) and emits a snapshot.
-	// It reports false once any worker has failed or ctx is done.
+	// Pending batches are handed off first: every session arriving ahead
+	// of the mark must reach its worker ahead of it. It reports false
+	// once any worker has failed or ctx is done.
 	flush := func(until int64, final bool) bool {
 		msg := wmsg{mark: true, final: final, until: until}
 		sent := 0
 		for i := range inputs {
+			if len(pend[i]) > 0 && !sendBatch(i) {
+				break
+			}
 			select {
 			case inputs[i] <- msg:
 				sent++
@@ -395,10 +449,13 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 		if ferr != nil {
 			break
 		}
-		select {
-		case inputs[shardOf(key, cfg.Workers)] <- wmsg{sess: s, key: key, origDur: origDur}:
-		case <-ctx.Done():
-			ferr = ctx.Err()
+		shard := shardOf(key, cfg.Workers)
+		if pend[shard] == nil {
+			pend[shard] = getBatch()
+		}
+		pend[shard] = append(pend[shard], item{sess: s, key: key, origDur: origDur})
+		if len(pend[shard]) == sessionBatchSize && !sendBatch(shard) {
+			break
 		}
 	}
 

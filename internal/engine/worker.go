@@ -11,30 +11,72 @@ import (
 
 // member is one live swarm member: a real session or a post-playback
 // seeding appendix. Member records exist only while the member is active
-// or pending — they are released as soon as the tracker settles the
-// member's end event, which is what keeps the engine out-of-core.
+// or pending — their slots are recycled through a free list as soon as
+// the tracker settles the member's end event, which is what keeps the
+// engine out-of-core.
+//
+// The matching inputs that are constant for the member's lifetime —
+// topology endpoint, upload rate, demand rate (zero for seeders) — are
+// computed once at admission instead of once per activity interval, so
+// interval settlement multiplies cached rates by the interval length and
+// nothing else.
 type member struct {
-	s       trace.Session
-	seeding bool
+	s         trace.Session
+	peer      matching.Peer
+	upBps     float64
+	demandBps float64
 }
 
-// swarmState is one swarm's incremental state on its owning worker.
+// swarmState is one swarm's incremental state on its owning worker. It
+// implements swarm.Sink (interval emission, member release) and
+// sim.SessionSource (member-index resolution for booking) directly, so
+// the settlement hot path runs through method dispatch with no per-swarm
+// closures.
 type swarmState struct {
+	w       *worker
 	key     swarm.Key
-	tracker *swarm.Tracker
-	// members holds live member sessions by tracker index.
-	members map[int]member
-	nextIdx int
+	tracker swarm.Tracker
+	// members holds live member sessions by tracker index; free recycles
+	// released slots, keeping the slice bounded by the swarm's peak
+	// concurrency rather than its total session count. Slot reuse does
+	// not perturb settlement order: the tracker orders active sets by
+	// schedule order, not by index value.
+	members []member
+	free    []int32
+	// activePos is the state's index in the worker's non-idle list, or
+	// -1 while the swarm is idle (no active members, no pending events).
+	activePos int
 	// sessions and durSum accumulate the original (pre-quantization,
 	// non-seeding) membership for the batch-identical capacity figure.
 	sessions int
 	durSum   float64
 	tally    sim.Tally
-	// emit, closed and session are per-state callbacks, bound once to
-	// avoid a closure allocation per event.
-	emit    func(swarm.Interval)
-	closed  func(int)
-	session func(int) trace.Session
+}
+
+// Emit settles one completed activity interval (swarm.Sink).
+func (st *swarmState) Emit(iv swarm.Interval) { st.w.settle(st, iv) }
+
+// Closed releases a settled member's slot (swarm.Sink).
+func (st *swarmState) Closed(index int) {
+	st.free = append(st.free, int32(index))
+	st.w.active--
+}
+
+// SessionAt resolves a tracker member index to its session
+// (sim.SessionSource).
+func (st *swarmState) SessionAt(index int) trace.Session { return st.members[index].s }
+
+// alloc places a member into a recycled or fresh slot and returns its
+// tracker index.
+func (st *swarmState) alloc(m member) int {
+	if n := len(st.free); n > 0 {
+		idx := int(st.free[n-1])
+		st.free = st.free[:n-1]
+		st.members[idx] = m
+		return idx
+	}
+	st.members = append(st.members, m)
+	return len(st.members) - 1
 }
 
 // worker owns one shard of the swarm key space. It processes its input
@@ -44,10 +86,13 @@ type worker struct {
 	id      int
 	cfg     sim.Config
 	horizon int64
-	// states indexes swarms by key; order preserves first-arrival order
-	// so that window marks settle swarms deterministically.
-	states  map[swarm.Key]*swarmState
-	ordered []*swarmState
+	// states indexes swarms by key; ordered preserves first-arrival
+	// order for the final report. activeList holds only non-idle swarms
+	// — the ones a window mark actually needs to settle — so long traces
+	// with many dead swarms don't pay O(total swarms) per window.
+	states     map[swarm.Key]*swarmState
+	ordered    []*swarmState
+	activeList []*swarmState
 
 	delta  sim.Tally
 	booker sim.Booker
@@ -80,7 +125,10 @@ func newWorker(id int, cfg Config, meta trace.Meta) *worker {
 func (w *worker) run(in <-chan wmsg, acks chan<- ack, reports chan<- report) {
 	for msg := range in {
 		if !msg.mark {
-			w.session(msg)
+			for i := range msg.batch {
+				w.session(&msg.batch[i])
+			}
+			putBatch(msg.batch)
 			continue
 		}
 		w.mark(msg.until, msg.final)
@@ -96,70 +144,77 @@ func (w *worker) run(in <-chan wmsg, acks chan<- ack, reports chan<- report) {
 // appendix) on the owning swarm, settling the swarm's activity up to the
 // session's start first so earlier intervals close before the new member
 // opens.
-func (w *worker) session(msg wmsg) {
-	st := w.states[msg.key]
+func (w *worker) session(it *item) {
+	st := w.states[it.key]
 	if st == nil {
-		st = &swarmState{
-			key:     msg.key,
-			tracker: swarm.NewTracker(),
-			members: make(map[int]member),
-		}
-		st.emit = func(iv swarm.Interval) { w.settle(st, iv) }
-		st.closed = func(idx int) {
-			delete(st.members, idx)
-			w.active--
-		}
-		st.session = func(idx int) trace.Session { return st.members[idx].s }
-		w.states[msg.key] = st
+		st = &swarmState{w: w, key: it.key, activePos: -1}
+		w.states[it.key] = st
 		w.ordered = append(w.ordered, st)
 	}
+	if st.activePos < 0 {
+		st.activePos = len(w.activeList)
+		w.activeList = append(w.activeList, st)
+	}
 
-	s := msg.sess
-	st.tracker.Advance(s.StartSec, st.emit, st.closed)
+	s := it.sess
+	st.tracker.Advance(s.StartSec, st)
 
-	idx := st.nextIdx
-	st.nextIdx++
-	st.members[idx] = member{s: s}
-	st.tracker.Open(s.StartSec, idx)
-	st.tracker.Close(s.EndSec(), idx)
+	m := member{
+		s:         s,
+		peer:      w.cfg.PeerEndpoint(s, st.key),
+		upBps:     w.cfg.UploadBpsOf(s),
+		demandBps: s.Bitrate.BitsPerSecond(),
+	}
+	idx := st.alloc(m)
+	st.tracker.Schedule(s.StartSec, s.EndSec(), idx)
 	w.active++
 	st.sessions++
-	st.durSum += float64(msg.origDur)
+	st.durSum += float64(it.origDur)
 
 	// Post-playback seeding appendix, mirroring the batch simulator's
 	// augment step: the member's upload capacity stays available for
 	// SeedRetentionSec after playback while it demands nothing.
 	if retention := w.cfg.SeedRetentionSec; retention > 0 {
-		seeder := s
-		seeder.StartSec = s.EndSec()
-		if seeder.StartSec+retention > w.horizon {
-			retention = w.horizon - seeder.StartSec
+		seeder := m
+		seeder.s.StartSec = s.EndSec()
+		if seeder.s.StartSec+retention > w.horizon {
+			retention = w.horizon - seeder.s.StartSec
 		}
 		if retention > 0 {
-			seeder.DurationSec = int32(retention)
-			sidx := st.nextIdx
-			st.nextIdx++
-			st.members[sidx] = member{s: seeder, seeding: true}
-			st.tracker.Open(seeder.StartSec, sidx)
-			st.tracker.Close(seeder.EndSec(), sidx)
+			seeder.s.DurationSec = int32(retention)
+			seeder.demandBps = 0
+			sidx := st.alloc(seeder)
+			st.tracker.Schedule(seeder.s.StartSec, seeder.s.EndSec(), sidx)
 			w.active++
 		}
 	}
 }
 
-// mark settles every swarm's activity up to a window boundary (or fully,
-// on the final mark), in first-arrival order for determinism.
+// mark settles every non-idle swarm's activity up to a window boundary
+// (or fully, on the final mark), in activation order for determinism.
+// Swarms that drain to idle leave the active list until their next
+// session arrives.
 func (w *worker) mark(until int64, final bool) {
-	for _, st := range w.ordered {
+	live := w.activeList[:0]
+	for _, st := range w.activeList {
+		if final {
+			st.tracker.Finish(st)
+		} else {
+			st.tracker.Advance(until, st)
+		}
 		if st.tracker.Idle() {
+			st.activePos = -1
 			continue
 		}
-		if final {
-			st.tracker.Finish(st.emit, st.closed)
-		} else {
-			st.tracker.Advance(until, st.emit, st.closed)
-		}
+		st.activePos = len(live)
+		live = append(live, st)
 	}
+	// Clear the dropped tail so idle states aren't pinned by the backing
+	// array.
+	for i := len(live); i < len(w.activeList); i++ {
+		w.activeList[i] = nil
+	}
+	w.activeList = live
 }
 
 // settle matches one completed activity interval and books the outcome —
@@ -176,14 +231,10 @@ func (w *worker) settle(st *swarmState, iv swarm.Interval) {
 
 	var sumCaps float64
 	for slot, idx := range iv.Active {
-		m := st.members[idx]
-		w.peers[slot] = w.cfg.PeerEndpoint(m.s, st.key)
-		if m.seeding {
-			w.demands[slot] = 0
-		} else {
-			w.demands[slot] = m.s.Bitrate.BitsPerSecond() * dur
-		}
-		cap := w.cfg.UploadBpsOf(m.s) * dur
+		m := &st.members[idx]
+		w.peers[slot] = m.peer
+		w.demands[slot] = m.demandBps * dur
+		cap := m.upBps * dur
 		w.caps[slot] = cap
 		sumCaps += cap
 	}
@@ -195,7 +246,7 @@ func (w *worker) settle(st *swarmState, iv swarm.Interval) {
 		return
 	}
 
-	ivTally := w.booker.BookInterval(iv, alloc, w.demands, st.session)
+	ivTally := w.booker.BookInterval(iv, alloc, w.demands, st)
 	st.tally.Add(ivTally)
 	w.delta.Add(ivTally)
 }

@@ -1,20 +1,90 @@
 package matching
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"consumelocal/internal/energy"
 )
 
 // LocalityFirst is the paper's managed-swarm matching policy: demand is
 // satisfied from the closest available peers, layer by layer. The zero
-// value is ready to use.
+// value is ready to use and safe for concurrent Match calls (per-call
+// scratch state lives in an internal pool).
 type LocalityFirst struct{}
 
 var _ Policy = LocalityFirst{}
 
 // Name implements Policy.
 func (LocalityFirst) Name() string { return "locality-first" }
+
+// groupPair is one peer in a grouping pass: sorted by (k1, k2, idx),
+// groups are runs of equal k1 and subgroups runs of equal (k1, k2).
+// Sorting replaces the map-bucket grouping of the original
+// implementation: groups still come out in ascending key order with
+// members in ascending index order, so the floating-point operation
+// sequence — and therefore the simulator's bit-for-bit results — is
+// unchanged, while the per-interval map, bucket and key-slice
+// allocations are gone.
+type groupPair struct {
+	k1, k2 int64
+	idx    int32
+}
+
+func cmpGroupPair(a, b groupPair) int {
+	if a.k1 != b.k1 {
+		if a.k1 < b.k1 {
+			return -1
+		}
+		return 1
+	}
+	if a.k2 != b.k2 {
+		if a.k2 < b.k2 {
+			return -1
+		}
+		return 1
+	}
+	if a.idx != b.idx {
+		if a.idx < b.idx {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// lfScratch is the reusable per-Match working state. Matching runs once
+// per activity interval — the single hottest call in both engines — so
+// its temporaries are pooled rather than reallocated per interval.
+type lfScratch struct {
+	residD, residC []float64
+	pairs          []groupPair
+	starts         []int32 // subgroup boundaries of the current cross pass
+	demand         []float64
+	capacity       []float64
+	served         []float64
+	used           []float64
+}
+
+// floats returns a zeroed scratch slice of length n.
+func floats(buf *[]float64, n int) []float64 {
+	s := grown(buf, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// grown returns a scratch slice of length n with arbitrary contents,
+// for callers that overwrite every element themselves.
+func grown(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+var lfPool = sync.Pool{New: func() any { return new(lfScratch) }}
 
 // Match implements Policy. The algorithm runs three passes:
 //
@@ -39,78 +109,65 @@ func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64
 		return alloc, nil
 	}
 
-	// Residual demand/capacity per peer, consumed pass by pass.
-	residDemand := append([]float64(nil), demands...)
-	residCap := append([]float64(nil), caps...)
+	sc := lfPool.Get().(*lfScratch)
+	defer lfPool.Put(sc)
+
+	// Residual demand/capacity per peer, consumed pass by pass; the
+	// copies overwrite every element, so no zeroing pass is needed.
+	residD := grown(&sc.residD, n)
+	residC := grown(&sc.residC, n)
+	copy(residD, demands)
+	copy(residC, caps)
+
+	if cap(sc.pairs) < n {
+		sc.pairs = make([]groupPair, n)
+	}
+	pairs := sc.pairs[:n]
 
 	// Pass 1: within exchange points.
-	byExchange := groupIndices(peers, func(p Peer) int { return p.Exchange })
-	for _, members := range byExchange {
-		if len(members) < 2 {
-			continue
+	for i, p := range peers {
+		pairs[i] = groupPair{k1: int64(p.Exchange), idx: int32(i)}
+	}
+	slices.SortFunc(pairs, cmpGroupPair)
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && pairs[e].k1 == pairs[s].k1 {
+			e++
 		}
-		flow := matchWithin(members, residDemand, residCap)
-		record(&alloc, energy.LayerExchange, flow, members, residDemand, residCap, demands, caps)
+		if e-s >= 2 {
+			flow := matchWithin(pairs[s:e], residD, residC)
+			record(&alloc, energy.LayerExchange, flow, pairs[s:e], residD, residC, demands, caps)
+		}
+		s = e
 	}
 
-	// Pass 2: across exchanges within each PoP.
-	byPoP := groupIndices(peers, func(p Peer) int { return p.PoP })
-	for _, members := range byPoP {
-		groups := subGroups(members, peers, func(p Peer) int { return p.Exchange })
-		flows := crossMatch(groups, residDemand, residCap)
-		record(&alloc, energy.LayerPoP, flows, members, residDemand, residCap, demands, caps)
+	// Pass 2: across exchanges within each PoP. Sorting by (PoP,
+	// exchange, index) makes PoPs runs and their exchange subgroups
+	// sub-runs of the same ordering.
+	for i, p := range peers {
+		pairs[i] = groupPair{k1: int64(p.PoP), k2: int64(p.Exchange), idx: int32(i)}
+	}
+	slices.SortFunc(pairs, cmpGroupPair)
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && pairs[e].k1 == pairs[s].k1 {
+			e++
+		}
+		flows := crossMatch(sc, pairs[s:e], residD, residC)
+		record(&alloc, energy.LayerPoP, flows, pairs[s:e], residD, residC, demands, caps)
+		s = e
 	}
 
 	// Pass 3: across PoPs through the core.
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+	for i, p := range peers {
+		pairs[i] = groupPair{k1: int64(p.PoP), k2: int64(p.PoP), idx: int32(i)}
 	}
-	groups := subGroups(all, peers, func(p Peer) int { return p.PoP })
-	flows := crossMatch(groups, residDemand, residCap)
-	record(&alloc, energy.LayerCore, flows, all, residDemand, residCap, demands, caps)
+	slices.SortFunc(pairs, cmpGroupPair)
+	flows := crossMatch(sc, pairs, residD, residC)
+	record(&alloc, energy.LayerCore, flows, pairs, residD, residC, demands, caps)
 
 	applyBudget(&alloc, budget)
 	return alloc, nil
-}
-
-// groupIndices buckets peer indices by a key function, returning groups in
-// deterministic (ascending key) order.
-func groupIndices(peers []Peer, key func(Peer) int) [][]int {
-	byKey := make(map[int][]int)
-	for i, p := range peers {
-		k := key(p)
-		byKey[k] = append(byKey[k], i)
-	}
-	keys := make([]int, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	out := make([][]int, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, byKey[k])
-	}
-	return out
-}
-
-// subGroups partitions the given member indices by a key function.
-func subGroups(members []int, peers []Peer, key func(Peer) int) [][]int {
-	byKey := make(map[int][]int)
-	for _, i := range members {
-		k := key(peers[i])
-		byKey[k] = append(byKey[k], i)
-	}
-	keys := make([]int, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	out := make([][]int, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, byKey[k])
-	}
-	return out
 }
 
 // matchWithin matches demand against capacity inside one group where every
@@ -118,11 +175,11 @@ func subGroups(members []int, peers []Peer, key func(Peer) int) [][]int {
 // flow is min(total demand, total capacity): a cyclic assignment routes
 // around self-serving. It mutates the residual vectors and returns the
 // flow.
-func matchWithin(members []int, residDemand, residCap []float64) float64 {
+func matchWithin(members []groupPair, residDemand, residCap []float64) float64 {
 	var sumD, sumU float64
-	for _, i := range members {
-		sumD += residDemand[i]
-		sumU += residCap[i]
+	for _, m := range members {
+		sumD += residDemand[m.idx]
+		sumU += residCap[m.idx]
 	}
 	flow := sumD
 	if sumU < flow {
@@ -136,28 +193,44 @@ func matchWithin(members []int, residDemand, residCap []float64) float64 {
 	return flow
 }
 
-// crossMatch matches residual demand of each group against residual
-// capacity of the *other* groups, using a largest-remaining-first greedy
-// that achieves the maximum total flow under the no-same-group constraint.
-// It mutates the residual vectors and returns the total flow.
-func crossMatch(groups [][]int, residDemand, residCap []float64) float64 {
-	k := len(groups)
+// crossMatch matches residual demand of each subgroup (a run of equal k2
+// within the sorted members) against residual capacity of the *other*
+// subgroups, using a largest-remaining-first greedy that achieves the
+// maximum total flow under the no-same-group constraint. It mutates the
+// residual vectors and returns the total flow.
+func crossMatch(sc *lfScratch, members []groupPair, residDemand, residCap []float64) float64 {
+	// Subgroup boundaries: starts[g] is the first member of subgroup g.
+	starts := sc.starts[:0]
+	for i := range members {
+		if i == 0 || members[i].k2 != members[i-1].k2 {
+			starts = append(starts, int32(i))
+		}
+	}
+	sc.starts = starts
+	k := len(starts)
 	if k < 2 {
 		return 0
 	}
-	demand := make([]float64, k)
-	capacity := make([]float64, k)
-	for g, members := range groups {
-		for _, i := range members {
-			demand[g] += residDemand[i]
-			capacity[g] += residCap[i]
+	end := func(g int) int {
+		if g+1 < k {
+			return int(starts[g+1])
+		}
+		return len(members)
+	}
+
+	demand := floats(&sc.demand, k)
+	capacity := floats(&sc.capacity, k)
+	for g := 0; g < k; g++ {
+		for _, m := range members[starts[g]:end(g)] {
+			demand[g] += residDemand[m.idx]
+			capacity[g] += residCap[m.idx]
 		}
 	}
 
 	// served[g] / used[g] accumulate how much of group g's demand was
 	// served and capacity consumed in this pass.
-	served := make([]float64, k)
-	used := make([]float64, k)
+	served := floats(&sc.served, k)
+	used := floats(&sc.used, k)
 	var total float64
 	const eps = 1e-9
 	for {
@@ -184,20 +257,21 @@ func crossMatch(groups [][]int, residDemand, residCap []float64) float64 {
 	}
 
 	// Fold the per-group outcomes back into the per-peer residuals.
-	for g, members := range groups {
+	for g := 0; g < k; g++ {
+		group := members[starts[g]:end(g)]
 		if served[g] > 0 {
 			var sumD float64
-			for _, i := range members {
-				sumD += residDemand[i]
+			for _, m := range group {
+				sumD += residDemand[m.idx]
 			}
-			drainProportional(members, residDemand, sumD, served[g])
+			drainProportional(group, residDemand, sumD, served[g])
 		}
 		if used[g] > 0 {
 			var sumU float64
-			for _, i := range members {
-				sumU += residCap[i]
+			for _, m := range group {
+				sumU += residCap[m.idx]
 			}
-			drainProportional(members, residCap, sumU, used[g])
+			drainProportional(group, residCap, sumU, used[g])
 		}
 	}
 	return total
@@ -205,7 +279,7 @@ func crossMatch(groups [][]int, residDemand, residCap []float64) float64 {
 
 // drainProportional subtracts amount from the members' entries of vec,
 // proportionally to their current values (which sum to sum).
-func drainProportional(members []int, vec []float64, sum, amount float64) {
+func drainProportional(members []groupPair, vec []float64, sum, amount float64) {
 	if sum <= 0 {
 		return
 	}
@@ -213,19 +287,20 @@ func drainProportional(members []int, vec []float64, sum, amount float64) {
 	if scale > 1 {
 		scale = 1
 	}
-	for _, i := range members {
-		vec[i] -= vec[i] * scale
-		if vec[i] < 0 {
-			vec[i] = 0
+	for _, m := range members {
+		vec[m.idx] -= vec[m.idx] * scale
+		if vec[m.idx] < 0 {
+			vec[m.idx] = 0
 		}
 	}
 }
 
 // record books flow at a layer and attributes it to the members' upload
-// and peer-download tallies, proportionally to what each member
-// contributed in this pass (the difference between original and residual,
-// minus previously recorded amounts).
-func record(alloc *Allocation, layer energy.Layer, flow float64, members []int,
+// and peer-download tallies, truing each member up to its cumulative
+// consumed capacity (caps[i] − residCap[i]) and met demand
+// (demands[i] − residDemand[i]). The per-member updates are independent
+// max-assignments, so member order does not affect the outcome.
+func record(alloc *Allocation, layer energy.Layer, flow float64, members []groupPair,
 	residDemand, residCap, demands, caps []float64) {
 	if flow <= 0 {
 		return
@@ -233,9 +308,8 @@ func record(alloc *Allocation, layer energy.Layer, flow float64, members []int,
 	alloc.LayerBits[layer.Index()] += flow
 	alloc.ServerBits -= flow
 
-	// True up each member's tallies to its cumulative consumed capacity
-	// (caps[i] − residCap[i]) and met demand (demands[i] − residDemand[i]).
-	for _, i := range members {
+	for _, m := range members {
+		i := m.idx
 		if upSoFar := caps[i] - residCap[i]; upSoFar > alloc.UploadedBits[i] {
 			alloc.UploadedBits[i] = upSoFar
 		}

@@ -96,11 +96,15 @@ func validate(peers []Peer, demands, caps []float64) (totalDemand float64, err e
 	return totalDemand, nil
 }
 
-// serverOnly builds the no-sharing allocation.
+// serverOnly builds the no-sharing allocation. The two per-peer vectors
+// share one backing allocation: Match runs once per activity interval,
+// so halving its escaping allocations measurably cuts GC pressure on
+// month-scale replays.
 func serverOnly(n int, totalDemand float64) Allocation {
+	buf := make([]float64, 2*n)
 	return Allocation{
-		UploadedBits:     make([]float64, n),
-		PeerReceivedBits: make([]float64, n),
+		UploadedBits:     buf[:n:n],
+		PeerReceivedBits: buf[n:],
 		ServerBits:       totalDemand,
 	}
 }

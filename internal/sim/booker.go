@@ -19,14 +19,29 @@ type Booker struct {
 	Users map[uint32]*UserStats
 }
 
+// SessionSource resolves a swept member index to its session. Both
+// execution modes implement it without closures: the batch simulator
+// over the swarm's session slice, the streaming engine over a worker's
+// live member table.
+type SessionSource interface {
+	SessionAt(idx int) trace.Session
+}
+
+// SessionSlice adapts a plain session list into a SessionSource: member
+// index i is sessions[i], the batch sweep's indexing.
+type SessionSlice []trace.Session
+
+// SessionAt returns the idx-th session.
+func (s SessionSlice) SessionAt(idx int) trace.Session { return s[idx] }
+
 // BookInterval books one matched activity interval: it builds the
 // interval tally from the allocation, attributes each downloader's share
 // to the day grid (peer bits split across layers proportionally to the
 // interval's overall layer mix) and to its user ledger, and returns the
 // interval tally for the caller to accumulate into swarm and run totals.
-// demands is parallel to iv.Active; session resolves a member index to
+// demands is parallel to iv.Active; sessions resolves a member index to
 // its session.
-func (b *Booker) BookInterval(iv swarm.Interval, alloc matching.Allocation, demands []float64, session func(idx int) trace.Session) Tally {
+func (b *Booker) BookInterval(iv swarm.Interval, alloc matching.Allocation, demands []float64, sessions SessionSource) Tally {
 	var ivTally Tally
 	ivTally.ServerBits = alloc.ServerBits
 	ivTally.LayerBits = alloc.LayerBits
@@ -37,7 +52,7 @@ func (b *Booker) BookInterval(iv swarm.Interval, alloc matching.Allocation, dema
 
 	peerTotal := ivTally.PeerBits()
 	for slot, idx := range iv.Active {
-		s := session(idx)
+		s := sessions.SessionAt(idx)
 		demand := demands[slot]
 		received := alloc.PeerReceivedBits[slot]
 		server := demand - received

@@ -476,9 +476,7 @@ func (e *engine) runInterval(sw *swarm.Swarm, seeding []bool, iv swarm.Interval,
 // book accumulates an interval allocation into the swarm stats, the
 // per-day/per-ISP grid and the per-user ledgers.
 func (e *engine) book(sw *swarm.Swarm, iv swarm.Interval, alloc matching.Allocation, stats *SwarmStats) {
-	ivTally := e.booker.BookInterval(iv, alloc, e.demands, func(idx int) trace.Session {
-		return sw.Sessions[idx]
-	})
+	ivTally := e.booker.BookInterval(iv, alloc, e.demands, SessionSlice(sw.Sessions))
 	stats.Tally.Add(ivTally)
 }
 

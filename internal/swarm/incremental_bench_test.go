@@ -1,0 +1,84 @@
+package swarm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"consumelocal/internal/trace"
+)
+
+// nullSink consumes settled output without retaining it, so benchmarks
+// and allocation guards measure only the tracker itself.
+type nullSink struct {
+	intervals int
+	members   int
+}
+
+func (s *nullSink) Emit(iv Interval) {
+	s.intervals++
+	s.members += len(iv.Active)
+}
+
+func (s *nullSink) Closed(int) {}
+
+// trackerWorkload builds a start-ordered synthetic session list with
+// heavy overlap, the shape the streaming engine feeds per swarm.
+func trackerWorkload(n int) []trace.Session {
+	rng := rand.New(rand.NewSource(42))
+	sessions := make([]trace.Session, n)
+	for i := range sessions {
+		sessions[i] = trace.Session{
+			UserID:      uint32(i),
+			StartSec:    int64(rng.Intn(10 * n)),
+			DurationSec: int32(1 + rng.Intn(3600)),
+			Bitrate:     trace.BitrateSD,
+		}
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].StartSec < sessions[j].StartSec })
+	return sessions
+}
+
+// replayTracker drives one full schedule/advance/finish cycle, the
+// engine's per-swarm hot loop.
+func replayTracker(tr *Tracker, sessions []trace.Session, sink Sink) {
+	for i, s := range sessions {
+		tr.Advance(s.StartSec, sink)
+		tr.Schedule(s.StartSec, s.EndSec(), i)
+	}
+	tr.Finish(sink)
+}
+
+// TestTrackerAdvanceAllocs pins the settlement fast path at zero
+// allocations per emitted interval: after one warm-up replay has grown
+// the tracker's event heap, active slice and scratch buffer, further
+// replays of the same workload must not allocate at all.
+func TestTrackerAdvanceAllocs(t *testing.T) {
+	sessions := trackerWorkload(512)
+	tr := NewTracker()
+	sink := &nullSink{}
+	replayTracker(tr, sessions, sink) // warm-up: grow internal buffers
+
+	allocs := testing.AllocsPerRun(10, func() {
+		replayTracker(tr, sessions, sink)
+	})
+	if allocs != 0 {
+		t.Fatalf("tracker replay allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkTrackerAdvance measures the tracker's event settlement:
+// sessions scheduled and settled through one reused tracker, reporting
+// per-session cost over heavily overlapping membership.
+func BenchmarkTrackerAdvance(b *testing.B) {
+	sessions := trackerWorkload(2048)
+	tr := NewTracker()
+	sink := &nullSink{}
+	replayTracker(tr, sessions, sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayTracker(tr, sessions, sink)
+	}
+	b.ReportMetric(float64(len(sessions)), "sessions/op")
+}

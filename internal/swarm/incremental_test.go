@@ -9,20 +9,35 @@ import (
 	"consumelocal/internal/trace"
 )
 
+// collector is the test Sink: it snapshots each emitted interval
+// (copying the borrowed Active slice, which the tracker reuses) and
+// records close order.
+type collector struct {
+	intervals []Interval
+	closes    []int
+}
+
+func (c *collector) Emit(iv Interval) {
+	active := make([]int, len(iv.Active))
+	copy(active, iv.Active)
+	iv.Active = active
+	c.intervals = append(c.intervals, iv)
+}
+
+func (c *collector) Closed(index int) { c.closes = append(c.closes, index) }
+
 // feedTracker replays a session list through a Tracker the way the
 // streaming engine does — advance to each start, then schedule the
 // session — and collects the emitted intervals and close order.
 func feedTracker(sessions []trace.Session) (intervals []Interval, closes []int) {
 	tr := NewTracker()
-	emit := func(iv Interval) { intervals = append(intervals, iv) }
-	closed := func(idx int) { closes = append(closes, idx) }
+	var c collector
 	for i, s := range sessions {
-		tr.Advance(s.StartSec, emit, closed)
-		tr.Open(s.StartSec, i)
-		tr.Close(s.EndSec(), i)
+		tr.Advance(s.StartSec, &c)
+		tr.Schedule(s.StartSec, s.EndSec(), i)
 	}
-	tr.Finish(emit, closed)
-	return intervals, closes
+	tr.Finish(&c)
+	return c.intervals, c.closes
 }
 
 func assertIntervalsEqual(t *testing.T, got, want []Interval) {
@@ -117,24 +132,57 @@ func TestTrackerFutureOpens(t *testing.T) {
 
 		// Streaming: schedule a seeder alongside each real session.
 		tr := NewTracker()
-		var got []Interval
-		emit := func(iv Interval) { got = append(got, iv) }
+		var c collector
 		idx := 0
 		for _, s := range combined {
-			tr.Advance(s.StartSec, emit, nil)
-			tr.Open(s.StartSec, idx)
-			tr.Close(s.EndSec(), idx)
+			tr.Advance(s.StartSec, &c)
+			tr.Schedule(s.StartSec, s.EndSec(), idx)
 			idx++
 			seeder := s
 			seeder.StartSec = s.EndSec()
 			seeder.DurationSec = retention
-			tr.Open(seeder.StartSec, idx)
-			tr.Close(seeder.EndSec(), idx)
+			tr.Schedule(seeder.StartSec, seeder.EndSec(), idx)
 			idx++
 		}
-		tr.Finish(emit, nil)
-		assertIntervalsEqual(t, got, want)
+		tr.Finish(&c)
+		assertIntervalsEqual(t, c.intervals, want)
 	}
+}
+
+// TestTrackerIndexReuse is the free-list contract: once Closed has
+// released a member's index, a later member may reuse it, and emitted
+// Active sets still follow Schedule order — not index order — exactly
+// as the batch sweep orders members by arrival.
+func TestTrackerIndexReuse(t *testing.T) {
+	sessions := []trace.Session{
+		{UserID: 0, StartSec: 0, DurationSec: 10, Bitrate: trace.BitrateSD},  // index 0, closes first
+		{UserID: 1, StartSec: 0, DurationSec: 100, Bitrate: trace.BitrateSD}, // index 1, long-lived
+		{UserID: 2, StartSec: 20, DurationSec: 30, Bitrate: trace.BitrateSD}, // reuses index 0
+	}
+	want := (&Swarm{Sessions: sessions}).Sweep()
+
+	tr := NewTracker()
+	var c collector
+	tr.Advance(0, &c)
+	tr.Schedule(0, 10, 0)
+	tr.Schedule(0, 100, 1)
+	tr.Advance(20, &c)
+	if len(c.closes) != 1 || c.closes[0] != 0 {
+		t.Fatalf("closes after advance to 20 = %v, want [0]", c.closes)
+	}
+	tr.Schedule(20, 50, 0) // recycled index
+	tr.Finish(&c)
+
+	// The batch sweep has the third session at index 2; translate the
+	// reused index back before comparing.
+	for _, iv := range c.intervals {
+		for i, idx := range iv.Active {
+			if iv.From >= 20 && idx == 0 {
+				iv.Active[i] = 2
+			}
+		}
+	}
+	assertIntervalsEqual(t, c.intervals, want)
 }
 
 func TestTrackerIdle(t *testing.T) {
@@ -142,18 +190,17 @@ func TestTrackerIdle(t *testing.T) {
 	if !tr.Idle() {
 		t.Fatal("new tracker should be idle")
 	}
-	tr.Open(0, 0)
-	tr.Close(10, 0)
+	tr.Schedule(0, 10, 0)
 	if tr.Idle() {
 		t.Fatal("tracker with pending events should not be idle")
 	}
-	var n int
-	tr.Finish(func(Interval) { n++ }, nil)
+	var c collector
+	tr.Finish(&c)
 	if !tr.Idle() {
 		t.Fatal("finished tracker should be idle")
 	}
-	if n != 1 {
-		t.Fatalf("emitted %d intervals, want 1", n)
+	if len(c.intervals) != 1 {
+		t.Fatalf("emitted %d intervals, want 1", len(c.intervals))
 	}
 	if tr.ActiveCount() != 0 {
 		t.Fatalf("active count = %d, want 0", tr.ActiveCount())

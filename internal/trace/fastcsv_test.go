@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+const fastCSVMeta = "#meta name=x epoch=2013-09-01T00:00:00Z horizon=86400 users=10 content=10 isps=2\n"
+
+// TestScannerQuotedFallback checks that the fast lane preserves
+// encoding/csv semantics when records carry quotes: quoted fields,
+// quoted fields spanning a comma, CRLF line endings and interleaved
+// blank lines all parse exactly as before.
+func TestScannerQuotedFallback(t *testing.T) {
+	input := fastCSVMeta +
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\r\n" +
+		"\"0\",0,0,0,100,60,1500\n" +
+		"\n" +
+		"1,\"1\",1,2,200,120,3000\r\n" +
+		"2,2,0,3,300,60,800\n"
+	sc, err := NewScanner(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Session{
+		{UserID: 0, ContentID: 0, ISP: 0, Exchange: 0, StartSec: 100, DurationSec: 60, Bitrate: 1500},
+		{UserID: 1, ContentID: 1, ISP: 1, Exchange: 2, StartSec: 200, DurationSec: 120, Bitrate: 3000},
+		{UserID: 2, ContentID: 2, ISP: 0, Exchange: 3, StartSec: 300, DurationSec: 60, Bitrate: 800},
+	}
+	for i, w := range want {
+		if !sc.Scan() {
+			t.Fatalf("session %d did not scan: %v", i, sc.Err())
+		}
+		if sc.Session() != w {
+			t.Fatalf("session %d = %+v, want %+v", i, sc.Session(), w)
+		}
+	}
+	if sc.Scan() {
+		t.Fatal("unexpected extra session")
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}
+
+// TestScannerRejectsMalformedFields checks the fast parser is at least
+// as strict as the strconv-based one it replaced.
+func TestScannerRejectsMalformedFields(t *testing.T) {
+	rows := []string{
+		"x,0,0,0,100,60,1500\n",                   // non-digit
+		"0,0,0,0,100,,1500\n",                     // empty field
+		"0,0,0,0,100,60\n",                        // too few columns
+		"0,0,0,0,100,60,1500,9\n",                 // too many columns
+		"0,0,999,0,100,60,1500\n",                 // isp over 8-bit ceiling
+		"0,0,0,0,100,99999999999999999999,1500\n", // overflow
+		"0,0,0,0,100, 60,1500\n",                  // embedded space
+		"0,0,0,0,-100,60,1500\n",                  // sign not accepted
+		"\"0x\",0,0,0,100,60,1500\n",              // quoted junk via fallback
+		"\"0,0,0,0,100,60,1500\n",                 // unterminated quote
+	}
+	header := "user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n"
+	for i, row := range rows {
+		sc, err := NewScanner(strings.NewReader(fastCSVMeta + header + row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Scan() {
+			t.Fatalf("case %d: malformed row %q scanned as %+v", i, row, sc.Session())
+		}
+		if sc.Err() == nil {
+			t.Fatalf("case %d: expected parse error for %q", i, row)
+		}
+	}
+}
+
+// TestRecordReaderMultilineQuoted drives the record reader directly
+// over a quoted field spanning lines: the record must absorb exactly
+// its own lines (joined with \n, per encoding/csv) and hand the stream
+// back so the following record still parses.
+func TestRecordReaderMultilineQuoted(t *testing.T) {
+	rr := newRecordReader(strings.NewReader("\"ab\ncd\",2,3\n7,8,9\n"))
+	first, err := rr.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 || string(first[0]) != "ab\ncd" || string(first[2]) != "3" {
+		t.Fatalf("multiline record = %q", first)
+	}
+	second, err := rr.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 3 || string(second[0]) != "7" {
+		t.Fatalf("following record = %q", second)
+	}
+	if _, err := rr.next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestRecordReaderUnterminatedQuoteLinear feeds an unterminated quote
+// followed by tens of thousands of lines. The boundary scan examines
+// each line once and parses once, so this completes in milliseconds;
+// the pre-fix per-line reparse loop was quadratic (~seconds to hours),
+// a DoS lever on the daemon's upload endpoints.
+func TestRecordReaderUnterminatedQuoteLinear(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("\"start\n")
+	for i := 0; i < 50000; i++ {
+		sb.WriteString("0,0,0,0,100,60,1500\n")
+	}
+	start := time.Now()
+	rr := newRecordReader(strings.NewReader(sb.String()))
+	if _, err := rr.next(); err == nil {
+		t.Fatal("expected an unterminated-quote error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("unterminated-quote parse took %v; boundary scan has gone super-linear", elapsed)
+	}
+}
+
+// failingReader yields its payload and then a non-EOF read error, like
+// an HTTP body cut mid-line by a disconnecting client.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestScannerDropsTruncatedLineOnReadError checks that a mid-line read
+// failure surfaces the error instead of parsing the truncated prefix
+// as a (numerically wrong) session — only a clean EOF salvages a final
+// unterminated line.
+func TestScannerDropsTruncatedLineOnReadError(t *testing.T) {
+	payload := fastCSVMeta +
+		"user,content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"0,0,0,0,100,60,15" // truncated: the full row ended in 1500
+	sc, err := NewScanner(&failingReader{data: []byte(payload), err: errors.New("connection reset")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Fatalf("truncated row scanned as %+v", sc.Session())
+	}
+	if sc.Err() == nil || !strings.Contains(sc.Err().Error(), "connection reset") {
+		t.Fatalf("expected the read error, got %v", sc.Err())
+	}
+}
+
+// TestRecordReaderQuotedReadError checks that a non-EOF read failure
+// inside a multiline quoted record surfaces the I/O error itself, not
+// an encoding/csv quote-syntax error for the partial buffered record —
+// the daemon must classify a transport failure as such, not as
+// client-fault malformed data.
+func TestRecordReaderQuotedReadError(t *testing.T) {
+	payload := "\"open quote\nstill inside" // reader dies before the quote closes
+	rr := newRecordReader(&failingReader{data: []byte(payload), err: errors.New("connection reset")})
+	_, err := rr.next()
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("expected the read error, got %v", err)
+	}
+}
+
+// TestReadSessionsCSVQuoted mirrors the fallback check for the bare
+// batch parser used by the live ingest endpoint.
+func TestReadSessionsCSVQuoted(t *testing.T) {
+	input := "\"user\",content,isp,exchange,start_sec,duration_sec,bitrate_kbps\n" +
+		"0,0,0,0,100,60,1500\n" +
+		"\"1\",0,1,1,160,30,800\n"
+	sessions, err := ReadSessionsCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("parsed %d sessions, want 2", len(sessions))
+	}
+	if sessions[1].UserID != 1 || sessions[1].Bitrate != 800 {
+		t.Fatalf("session 1 = %+v", sessions[1])
+	}
+}

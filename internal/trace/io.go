@@ -117,64 +117,19 @@ func parseMeta(line string, t *Meta) error {
 	return nil
 }
 
-// parseSession decodes one CSV record.
-func parseSession(record []string) (Session, error) {
-	var s Session
-	if len(record) != len(csvHeader) {
-		return s, fmt.Errorf("trace: record has %d columns, want %d", len(record), len(csvHeader))
-	}
-	user, err := strconv.ParseUint(record[0], 10, 32)
-	if err != nil {
-		return s, fmt.Errorf("trace: user column: %w", err)
-	}
-	content, err := strconv.ParseUint(record[1], 10, 32)
-	if err != nil {
-		return s, fmt.Errorf("trace: content column: %w", err)
-	}
-	isp, err := strconv.ParseUint(record[2], 10, 8)
-	if err != nil {
-		return s, fmt.Errorf("trace: isp column: %w", err)
-	}
-	exchange, err := strconv.ParseUint(record[3], 10, 16)
-	if err != nil {
-		return s, fmt.Errorf("trace: exchange column: %w", err)
-	}
-	start, err := strconv.ParseInt(record[4], 10, 64)
-	if err != nil {
-		return s, fmt.Errorf("trace: start column: %w", err)
-	}
-	duration, err := strconv.ParseInt(record[5], 10, 32)
-	if err != nil {
-		return s, fmt.Errorf("trace: duration column: %w", err)
-	}
-	bitrate, err := strconv.ParseInt(record[6], 10, 32)
-	if err != nil {
-		return s, fmt.Errorf("trace: bitrate column: %w", err)
-	}
-	return Session{
-		UserID:      uint32(user),
-		ContentID:   uint32(content),
-		ISP:         uint8(isp),
-		Exchange:    uint16(exchange),
-		StartSec:    start,
-		DurationSec: int32(duration),
-		Bitrate:     BitrateClass(bitrate),
-	}, nil
-}
-
 // ReadSessionsCSV parses a bare batch of session rows — the CSV
 // interchange columns without the leading #meta line, optionally
 // preceded by the header row — as pushed to the live ingest endpoint in
 // chunks. Sessions are parsed syntactically but not validated against
 // any metadata: a live consumer (the ingest queue) owns that check,
-// since only it knows the stream the batch lands in.
+// since only it knows the stream the batch lands in. Parsing runs
+// through the same fast CSV lane as the Scanner.
 func ReadSessionsCSV(r io.Reader) ([]Session, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	rr := newRecordReader(r)
 	var out []Session
 	first := true
 	for {
-		record, err := cr.Read()
+		fields, err := rr.next()
 		if err == io.EOF {
 			return out, nil
 		}
@@ -183,11 +138,11 @@ func ReadSessionsCSV(r io.Reader) ([]Session, error) {
 		}
 		if first {
 			first = false
-			if len(record) > 0 && record[0] == csvHeader[0] {
+			if len(fields) > 0 && string(fields[0]) == csvHeader[0] {
 				continue
 			}
 		}
-		s, err := parseSession(record)
+		s, err := parseSessionFields(fields)
 		if err != nil {
 			return nil, err
 		}
@@ -215,58 +170,6 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return &t, nil
-}
-
-// lineReader reads one raw line then exposes the rest of the stream as an
-// io.Reader, without buffering past the first line boundary more than
-// necessary.
-type lineReader struct {
-	r   io.Reader
-	buf []byte
-	pos int
-	n   int
-}
-
-func newLineReader(r io.Reader) *lineReader {
-	return &lineReader{r: r, buf: make([]byte, 4096)}
-}
-
-// readLine returns the first line (without the trailing newline).
-func (lr *lineReader) readLine() (string, error) {
-	var line []byte
-	for {
-		if lr.pos == lr.n {
-			n, err := lr.r.Read(lr.buf)
-			if n == 0 {
-				if err == io.EOF && len(line) > 0 {
-					return string(line), nil
-				}
-				if err == nil {
-					continue
-				}
-				return "", err
-			}
-			lr.pos, lr.n = 0, n
-		}
-		for lr.pos < lr.n {
-			b := lr.buf[lr.pos]
-			lr.pos++
-			if b == '\n' {
-				return string(line), nil
-			}
-			line = append(line, b)
-		}
-	}
-}
-
-// Read exposes the remainder of the stream after the consumed line.
-func (lr *lineReader) Read(p []byte) (int, error) {
-	if lr.pos < lr.n {
-		n := copy(p, lr.buf[lr.pos:lr.n])
-		lr.pos += n
-		return n, nil
-	}
-	return lr.r.Read(p)
 }
 
 // truncate shortens s for error messages.

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchTraceCSV materialises a moderately sized trace in the CSV
+// interchange format once, shared by the scanner benchmarks and the
+// allocation guard.
+func benchTraceCSV(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := DefaultGeneratorConfig(0.002)
+	cfg.Days = 2
+	tr, err := Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	if len(tr.Sessions) < 1000 {
+		tb.Fatalf("bench trace too small: %d sessions", len(tr.Sessions))
+	}
+	return buf.Bytes()
+}
+
+// TestScannerScanAllocs pins the fast CSV lane at zero allocations per
+// scanned session: once the scanner exists, stepping through unquoted
+// records must not touch the heap.
+func TestScannerScanAllocs(t *testing.T) {
+	data := benchTraceCSV(t)
+	sc, err := NewScanner(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the first few records so the line buffer has settled.
+	for i := 0; i < 16; i++ {
+		if !sc.Scan() {
+			t.Fatal("bench trace exhausted during warm-up")
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if !sc.Scan() {
+			t.Fatal("bench trace exhausted mid-measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Scanner.Scan allocated %.2f times per session, want 0", allocs)
+	}
+	for sc.Scan() {
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}
+
+// BenchmarkScannerScan measures the fast CSV lane end to end: one full
+// pass over the interchange format, reporting per-session cost.
+func BenchmarkScannerScan(b *testing.B) {
+	data := benchTraceCSV(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sessions int64
+	for i := 0; i < b.N; i++ {
+		sc, err := NewScanner(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for sc.Scan() {
+			sessions++
+		}
+		if sc.Err() != nil {
+			b.Fatal(sc.Err())
+		}
+	}
+	b.ReportMetric(float64(sessions)/float64(b.N), "sessions/op")
+}
