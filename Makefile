@@ -29,16 +29,17 @@ race:
 
 ## bench: the reproduction's benchmark report at reduced scale, then
 ## the replay perf-trajectory harness (writes BENCH_replay.json with
-## sessions/s, B/op and allocs/op per engine — see docs/PERF.md)
+## sessions/s, B/op and allocs/op per engine × worker count — see
+## docs/PERF.md)
 bench:
 	$(GO) test -bench=. -benchtime=1x .
-	$(GO) run ./cmd/consumelocal bench -o BENCH_replay.json
+	$(GO) run ./cmd/consumelocal bench -workers 1,2,4,8 -o BENCH_replay.json
 
-## microbench: the hot-path micro-benchmarks (tracker settlement, CSV
-## fast lane, shard batch feed) at full bench time
+## microbench: the hot-path micro-benchmarks (tracker settlement, batch
+## sweeper, matching, CSV fast lane, shard batch feed) at full bench time
 microbench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTrackerAdvance|BenchmarkScannerScan|BenchmarkShardBatchFeed' \
-		./internal/swarm/ ./internal/trace/ ./internal/engine/
+	$(GO) test -run '^$$' -bench 'BenchmarkTrackerAdvance|BenchmarkSweeper|BenchmarkScannerScan|BenchmarkShardBatchFeed|BenchmarkMatchInto' \
+		./internal/swarm/ ./internal/trace/ ./internal/engine/ ./internal/matching/
 
 ## ci: what every PR must pass — see ci.sh
 ci:

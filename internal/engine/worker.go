@@ -103,6 +103,9 @@ type worker struct {
 	peers   []matching.Peer
 	demands []float64
 	caps    []float64
+	// alloc is the worker-owned matching result, recycled through
+	// Policy.MatchInto each interval.
+	alloc matching.Allocation
 }
 
 func newWorker(id int, cfg Config, meta trace.Meta) *worker {
@@ -240,13 +243,12 @@ func (w *worker) settle(st *swarmState, iv swarm.Interval) {
 	}
 	budget := w.cfg.PeerBudget(sumCaps, n)
 
-	alloc, err := w.cfg.Policy.Match(w.peers[:n], w.demands[:n], w.caps[:n], budget)
-	if err != nil {
+	if err := w.cfg.Policy.MatchInto(&w.alloc, w.peers[:n], w.demands[:n], w.caps[:n], budget); err != nil {
 		w.err = fmt.Errorf("engine: match swarm %+v interval [%d,%d): %w", st.key, iv.From, iv.To, err)
 		return
 	}
 
-	ivTally := w.booker.BookInterval(iv, alloc, w.demands, st)
+	ivTally := w.booker.BookInterval(iv, &w.alloc, w.demands, st)
 	st.tally.Add(ivTally)
 	w.delta.Add(ivTally)
 }

@@ -86,7 +86,17 @@ func grown(buf *[]float64, n int) []float64 {
 
 var lfPool = sync.Pool{New: func() any { return new(lfScratch) }}
 
-// Match implements Policy. The algorithm runs three passes:
+// Match implements Policy, allocating a fresh result per call; the
+// engines recycle one Allocation through MatchInto instead.
+func (p LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+	var a Allocation
+	if err := p.MatchInto(&a, peers, demands, caps, budget); err != nil {
+		return Allocation{}, err
+	}
+	return a, nil
+}
+
+// MatchInto implements Policy. The algorithm runs three passes:
 //
 //  1. Exchange pass: within every exchange point hosting at least two
 //     peers, local demand is matched against local capacity.
@@ -98,15 +108,15 @@ var lfPool = sync.Pool{New: func() any { return new(lfScratch) }}
 // the maximum feasible flow under the no-self-serving constraint. Finally
 // the paper's (L−1)·q budget is applied, trimming least-local traffic
 // first.
-func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+func (LocalityFirst) MatchInto(alloc *Allocation, peers []Peer, demands, caps []float64, budget float64) error {
 	totalDemand, err := validate(peers, demands, caps)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
 	n := len(peers)
-	alloc := serverOnly(n, totalDemand)
+	alloc.reset(n, totalDemand)
 	if n < 2 || budget == 0 {
-		return alloc, nil
+		return nil
 	}
 
 	sc := lfPool.Get().(*lfScratch)
@@ -136,7 +146,7 @@ func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64
 		}
 		if e-s >= 2 {
 			flow := matchWithin(pairs[s:e], residD, residC)
-			record(&alloc, energy.LayerExchange, flow, pairs[s:e], residD, residC, demands, caps)
+			record(alloc, energy.LayerExchange, flow, pairs[s:e], residD, residC, demands, caps)
 		}
 		s = e
 	}
@@ -154,7 +164,7 @@ func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64
 			e++
 		}
 		flows := crossMatch(sc, pairs[s:e], residD, residC)
-		record(&alloc, energy.LayerPoP, flows, pairs[s:e], residD, residC, demands, caps)
+		record(alloc, energy.LayerPoP, flows, pairs[s:e], residD, residC, demands, caps)
 		s = e
 	}
 
@@ -164,10 +174,10 @@ func (LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float64
 	}
 	slices.SortFunc(pairs, cmpGroupPair)
 	flows := crossMatch(sc, pairs, residD, residC)
-	record(&alloc, energy.LayerCore, flows, pairs, residD, residC, demands, caps)
+	record(alloc, energy.LayerCore, flows, pairs, residD, residC, demands, caps)
 
-	applyBudget(&alloc, budget)
-	return alloc, nil
+	applyBudget(alloc, budget)
+	return nil
 }
 
 // matchWithin matches demand against capacity inside one group where every

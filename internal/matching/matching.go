@@ -75,6 +75,15 @@ type Policy interface {
 	// traffic: sum(PeerReceivedBits) + ServerBits == sum(demands), and
 	// sum(UploadedBits) == sum(LayerBits) == sum(PeerReceivedBits).
 	Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error)
+	// MatchInto is Match writing its result into a caller-owned
+	// Allocation, reusing its per-peer vectors when they have capacity.
+	// Matching runs once per activity interval — the hottest call in
+	// every engine — so recycling one Allocation per engine (or per
+	// worker) removes the last per-interval heap allocation from the
+	// replay hot path. On error the Allocation's contents are
+	// unspecified. The caller owns the result until its next MatchInto
+	// call with the same Allocation; implementations must not retain it.
+	MatchInto(a *Allocation, peers []Peer, demands, caps []float64, budget float64) error
 	// Name identifies the policy in reports.
 	Name() string
 }
@@ -96,17 +105,28 @@ func validate(peers []Peer, demands, caps []float64) (totalDemand float64, err e
 	return totalDemand, nil
 }
 
-// serverOnly builds the no-sharing allocation. The two per-peer vectors
-// share one backing allocation: Match runs once per activity interval,
-// so halving its escaping allocations measurably cuts GC pressure on
-// month-scale replays.
-func serverOnly(n int, totalDemand float64) Allocation {
-	buf := make([]float64, 2*n)
-	return Allocation{
-		UploadedBits:     buf[:n:n],
-		PeerReceivedBits: buf[n:],
-		ServerBits:       totalDemand,
+// reset prepares a as the no-sharing allocation over n peers: zeroed
+// layer and per-peer vectors, the whole demand on the server. The
+// per-peer vectors are reused when they have capacity — the whole point
+// of the MatchInto path — and otherwise grown as one shared backing
+// allocation, so the legacy Match path still escapes a single slice per
+// interval rather than two.
+func (a *Allocation) reset(n int, totalDemand float64) {
+	a.LayerBits = [energy.NumLayers]float64{}
+	a.ServerBits = totalDemand
+	if cap(a.UploadedBits) < n || cap(a.PeerReceivedBits) < n {
+		buf := make([]float64, 2*n)
+		a.UploadedBits = buf[:n:n]
+		a.PeerReceivedBits = buf[n:]
+		return
 	}
+	up := a.UploadedBits[:n]
+	down := a.PeerReceivedBits[:n]
+	for i := range up {
+		up[i] = 0
+		down[i] = 0
+	}
+	a.UploadedBits, a.PeerReceivedBits = up, down
 }
 
 // trimOrder is the order in which layers lose traffic when the budget

@@ -1,6 +1,9 @@
 package matching
 
 import (
+	"slices"
+	"sync"
+
 	"consumelocal/internal/energy"
 )
 
@@ -20,20 +23,38 @@ var _ Policy = Random{}
 // Name implements Policy.
 func (Random) Name() string { return "random" }
 
-// Match implements Policy. The total peer flow is min(total demand, total
-// capacity) — achievable for n >= 2 via cyclic assignments — and is
+// rndScratch is the reusable per-MatchInto working state: one sortable
+// key slice for the pair-localisation counting passes.
+type rndScratch struct {
+	pairs []groupPair
+}
+
+var rndPool = sync.Pool{New: func() any { return new(rndScratch) }}
+
+// Match implements Policy, allocating a fresh result per call; the
+// engines recycle one Allocation through MatchInto instead.
+func (p Random) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+	var a Allocation
+	if err := p.MatchInto(&a, peers, demands, caps, budget); err != nil {
+		return Allocation{}, err
+	}
+	return a, nil
+}
+
+// MatchInto implements Policy. The total peer flow is min(total demand,
+// total capacity) — achievable for n >= 2 via cyclic assignments — and is
 // distributed over layers according to the exact probability that a
 // uniformly random ordered pair of distinct peers shares an exchange
 // point or a PoP.
-func (Random) Match(peers []Peer, demands, caps []float64, budget float64) (Allocation, error) {
+func (Random) MatchInto(alloc *Allocation, peers []Peer, demands, caps []float64, budget float64) error {
 	totalDemand, err := validate(peers, demands, caps)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
 	n := len(peers)
-	alloc := serverOnly(n, totalDemand)
+	alloc.reset(n, totalDemand)
 	if n < 2 || budget == 0 {
-		return alloc, nil
+		return nil
 	}
 
 	var totalCap float64
@@ -45,7 +66,7 @@ func (Random) Match(peers []Peer, demands, caps []float64, budget float64) (Allo
 		flow = totalCap
 	}
 	if flow <= 0 {
-		return alloc, nil
+		return nil
 	}
 
 	pExchange, pPoP := pairLocalisation(peers)
@@ -65,31 +86,54 @@ func (Random) Match(peers []Peer, demands, caps []float64, budget float64) (Allo
 		}
 	}
 
-	applyBudget(&alloc, budget)
-	return alloc, nil
+	applyBudget(alloc, budget)
+	return nil
 }
 
 // pairLocalisation returns the probability that a uniformly random ordered
 // pair of distinct peers shares an exchange point, and the probability it
-// shares a PoP (which includes the same-exchange case).
+// shares a PoP (which includes the same-exchange case). Co-location is
+// counted by sorting a pooled key slice and summing k·(k−1) over equal
+// runs — the counts are exact integers, so the result is identical to the
+// former map-based counting regardless of summation order, without the
+// two per-interval map allocations.
 func pairLocalisation(peers []Peer) (sameExchange, samePoP float64) {
 	n := len(peers)
 	if n < 2 {
 		return 0, 0
 	}
-	exchangeCounts := make(map[int]int)
-	popCounts := make(map[int]int)
-	for _, p := range peers {
-		exchangeCounts[p.Exchange]++
-		popCounts[p.PoP]++
+	sc := rndPool.Get().(*rndScratch)
+	defer rndPool.Put(sc)
+	if cap(sc.pairs) < n {
+		sc.pairs = make([]groupPair, n)
 	}
-	pairs := float64(n) * float64(n-1)
-	var exPairs, popPairs float64
-	for _, k := range exchangeCounts {
-		exPairs += float64(k) * float64(k-1)
+	pairs := sc.pairs[:n]
+
+	pairsTotal := float64(n) * float64(n-1)
+	for i, p := range peers {
+		pairs[i] = groupPair{k1: int64(p.Exchange), idx: int32(i)}
 	}
-	for _, k := range popCounts {
-		popPairs += float64(k) * float64(k-1)
+	exPairs := coLocatedPairs(pairs)
+	for i, p := range peers {
+		pairs[i] = groupPair{k1: int64(p.PoP), idx: int32(i)}
 	}
-	return exPairs / pairs, popPairs / pairs
+	popPairs := coLocatedPairs(pairs)
+	return exPairs / pairsTotal, popPairs / pairsTotal
+}
+
+// coLocatedPairs sorts the keys and returns Σ k·(k−1) over equal-key
+// runs: the number of ordered pairs of distinct peers sharing a key.
+func coLocatedPairs(pairs []groupPair) float64 {
+	slices.SortFunc(pairs, cmpGroupPair)
+	var total float64
+	for s := 0; s < len(pairs); {
+		e := s + 1
+		for e < len(pairs) && pairs[e].k1 == pairs[s].k1 {
+			e++
+		}
+		k := float64(e - s)
+		total += k * (k - 1)
+		s = e
+	}
+	return total
 }

@@ -28,11 +28,24 @@ type SessionSource interface {
 }
 
 // SessionSlice adapts a plain session list into a SessionSource: member
-// index i is sessions[i], the batch sweep's indexing.
+// index i is sessions[i], the batch sweep's indexing. Convert through a
+// pointer (or reuse one SliceSource) on hot paths: boxing the slice
+// header itself into the interface heap-allocates per conversion.
 type SessionSlice []trace.Session
 
 // SessionAt returns the idx-th session.
 func (s SessionSlice) SessionAt(idx int) trace.Session { return s[idx] }
+
+// SliceSource is a re-pointable SessionSource over a session list. The
+// batch engine holds one and repoints it at each swarm's sessions, so
+// booking an interval converts a pointer into the interface — one word,
+// no per-interval boxing allocation.
+type SliceSource struct {
+	Sessions []trace.Session
+}
+
+// SessionAt returns the idx-th session.
+func (s *SliceSource) SessionAt(idx int) trace.Session { return s.Sessions[idx] }
 
 // BookInterval books one matched activity interval: it builds the
 // interval tally from the allocation, attributes each downloader's share
@@ -40,8 +53,9 @@ func (s SessionSlice) SessionAt(idx int) trace.Session { return s[idx] }
 // interval's overall layer mix) and to its user ledger, and returns the
 // interval tally for the caller to accumulate into swarm and run totals.
 // demands is parallel to iv.Active; sessions resolves a member index to
-// its session.
-func (b *Booker) BookInterval(iv swarm.Interval, alloc matching.Allocation, demands []float64, sessions SessionSource) Tally {
+// its session. The allocation is read-only and only for the duration of
+// the call, so both engines can recycle one Allocation per interval.
+func (b *Booker) BookInterval(iv swarm.Interval, alloc *matching.Allocation, demands []float64, sessions SessionSource) Tally {
 	var ivTally Tally
 	ivTally.ServerBits = alloc.ServerBits
 	ivTally.LayerBits = alloc.LayerBits

@@ -27,7 +27,13 @@ func (p *cancellingPolicy) Match(peers []matching.Peer, demands, caps []float64,
 	return p.inner.Match(peers, demands, caps, budget)
 }
 
-// countingPolicy counts Match calls without interfering.
+func (p *cancellingPolicy) MatchInto(a *matching.Allocation, peers []matching.Peer, demands, caps []float64, budget float64) error {
+	p.calls.Add(1)
+	p.cancel()
+	return p.inner.MatchInto(a, peers, demands, caps, budget)
+}
+
+// countingPolicy counts matching calls without interfering.
 type countingPolicy struct {
 	inner matching.Policy
 	calls atomic.Int64
@@ -38,6 +44,11 @@ func (p *countingPolicy) Name() string { return p.inner.Name() }
 func (p *countingPolicy) Match(peers []matching.Peer, demands, caps []float64, budget float64) (matching.Allocation, error) {
 	p.calls.Add(1)
 	return p.inner.Match(peers, demands, caps, budget)
+}
+
+func (p *countingPolicy) MatchInto(a *matching.Allocation, peers []matching.Peer, demands, caps []float64, budget float64) error {
+	p.calls.Add(1)
+	return p.inner.MatchInto(a, peers, demands, caps, budget)
 }
 
 func cancelTestTrace(t *testing.T) *trace.Trace {

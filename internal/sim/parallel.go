@@ -44,7 +44,9 @@ func RunParallelContext(ctx context.Context, t *trace.Trace, cfg Config, workers
 		workers = max
 	}
 
-	swarms := swarm.Group(t, cfg.Swarm)
+	grouper := grouperPool.Get().(*swarm.Grouper)
+	defer grouperPool.Put(grouper)
+	swarms := grouper.Group(t, cfg.Swarm)
 	days := t.Days()
 
 	// Each worker accumulates into a private shard; shards are merged in

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation defeats the pool/arena reuse the
+// allocation-ceiling guard pins.
+const raceEnabled = true

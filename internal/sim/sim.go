@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"consumelocal/internal/matching"
 	"consumelocal/internal/swarm"
@@ -311,7 +312,9 @@ func RunContext(ctx context.Context, t *trace.Trace, cfg Config) (*Result, error
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 
-	swarms := swarm.Group(t, cfg.Swarm)
+	grouper := grouperPool.Get().(*swarm.Grouper)
+	defer grouperPool.Put(grouper)
+	swarms := grouper.Group(t, cfg.Swarm)
 	days := t.Days()
 
 	res := &Result{
@@ -344,6 +347,13 @@ func newDayGrid(days, isps int) [][]Tally {
 	return grid
 }
 
+// grouperPool recycles swarm-grouping arenas across runs: a run groups
+// once, but benchmark loops and long-lived services replay many traces,
+// and the grouping map, headers and session arena are the largest
+// per-run allocations left after the sweep and matching scratch became
+// reusable.
+var grouperPool = sync.Pool{New: func() any { return new(swarm.Grouper) }}
+
 // engine carries the per-run state through swarm processing.
 type engine struct {
 	cfg    Config
@@ -351,10 +361,29 @@ type engine struct {
 	result *Result
 	booker Booker
 
+	// sweeper holds the per-swarm sweep scratch (event slice, active
+	// set, interval buffer and arena), reused across every swarm of the
+	// run — per worker in the parallel engine.
+	sweeper swarm.Sweeper
+	// alloc is the engine-owned matching result, recycled through
+	// Policy.MatchInto each interval.
+	alloc matching.Allocation
+	// src is the engine-owned SessionSource, repointed at the current
+	// swarm's sessions so booking never boxes a slice header.
+	src SliceSource
+
 	// scratch buffers reused across intervals to avoid churn.
 	peers   []matching.Peer
 	demands []float64
 	caps    []float64
+
+	// augment/quantize scratch, reused across swarms: rewritten member
+	// lists and the swarm headers wrapping them.
+	members   []trace.Session
+	seeding   []bool
+	quantized []trace.Session
+	augSwarm  swarm.Swarm
+	quantSw   swarm.Swarm
 }
 
 // runSwarm sweeps one swarm and accumulates its intervals.
@@ -366,7 +395,7 @@ func (e *engine) runSwarm(sw *swarm.Swarm) error {
 	}
 
 	sweepSwarm, seeding := e.augment(sw)
-	for _, iv := range sweepSwarm.Sweep() {
+	for _, iv := range e.sweeper.Sweep(sweepSwarm) {
 		if err := e.runInterval(sweepSwarm, seeding, iv, &stats); err != nil {
 			return err
 		}
@@ -387,8 +416,8 @@ func (e *engine) augment(sw *swarm.Swarm) (*swarm.Swarm, []bool) {
 	if e.cfg.SeedRetentionSec <= 0 {
 		return sw, nil
 	}
-	members := make([]trace.Session, 0, 2*len(sw.Sessions))
-	seeding := make([]bool, 0, 2*len(sw.Sessions))
+	members := e.members[:0]
+	seeding := e.seeding[:0]
 	for _, s := range sw.Sessions {
 		members = append(members, s)
 		seeding = append(seeding, false)
@@ -406,7 +435,9 @@ func (e *engine) augment(sw *swarm.Swarm) (*swarm.Swarm, []bool) {
 		members = append(members, seeder)
 		seeding = append(seeding, true)
 	}
-	return &swarm.Swarm{Key: sw.Key, Sessions: members}, seeding
+	e.members, e.seeding = members, seeding
+	e.augSwarm = swarm.Swarm{Key: sw.Key, Sessions: members}
+	return &e.augSwarm, seeding
 }
 
 // quantize snaps session boundaries outward to QuantizeTickSec ticks,
@@ -427,7 +458,10 @@ func (e *engine) quantize(sw *swarm.Swarm) *swarm.Swarm {
 	if aligned {
 		return sw
 	}
-	members := make([]trace.Session, len(sw.Sessions))
+	if cap(e.quantized) < len(sw.Sessions) {
+		e.quantized = make([]trace.Session, len(sw.Sessions))
+	}
+	members := e.quantized[:len(sw.Sessions)]
 	for i, s := range sw.Sessions {
 		start := s.StartSec / tick * tick
 		end := (s.EndSec() + tick - 1) / tick * tick
@@ -435,7 +469,8 @@ func (e *engine) quantize(sw *swarm.Swarm) *swarm.Swarm {
 		s.DurationSec = int32(end - start)
 		members[i] = s
 	}
-	return &swarm.Swarm{Key: sw.Key, Sessions: members}
+	e.quantSw = swarm.Swarm{Key: sw.Key, Sessions: members}
+	return &e.quantSw
 }
 
 // runInterval matches one activity interval and books the outcome.
@@ -464,19 +499,19 @@ func (e *engine) runInterval(sw *swarm.Swarm, seeding []bool, iv swarm.Interval,
 	// partial upload participation).
 	budget := e.cfg.PeerBudget(sumCaps, n)
 
-	alloc, err := e.cfg.Policy.Match(e.peers[:n], e.demands[:n], e.caps[:n], budget)
-	if err != nil {
+	if err := e.cfg.Policy.MatchInto(&e.alloc, e.peers[:n], e.demands[:n], e.caps[:n], budget); err != nil {
 		return fmt.Errorf("sim: match swarm %+v interval [%d,%d): %w", sw.Key, iv.From, iv.To, err)
 	}
 
-	e.book(sw, iv, alloc, stats)
+	e.book(sw, iv, stats)
 	return nil
 }
 
-// book accumulates an interval allocation into the swarm stats, the
+// book accumulates the interval allocation into the swarm stats, the
 // per-day/per-ISP grid and the per-user ledgers.
-func (e *engine) book(sw *swarm.Swarm, iv swarm.Interval, alloc matching.Allocation, stats *SwarmStats) {
-	ivTally := e.booker.BookInterval(iv, alloc, e.demands, SessionSlice(sw.Sessions))
+func (e *engine) book(sw *swarm.Swarm, iv swarm.Interval, stats *SwarmStats) {
+	e.src.Sessions = sw.Sessions
+	ivTally := e.booker.BookInterval(iv, &e.alloc, e.demands, &e.src)
 	stats.Tally.Add(ivTally)
 }
 

@@ -21,8 +21,6 @@
 package swarm
 
 import (
-	"sort"
-
 	"consumelocal/internal/trace"
 )
 
@@ -84,24 +82,11 @@ type Swarm struct {
 // Group partitions the trace's sessions into swarms under the given
 // options. The returned slice is sorted by key (content, ISP, bitrate) so
 // that iteration order — and therefore every downstream aggregate — is
-// deterministic.
+// deterministic. It is a convenience over a throwaway Grouper: callers
+// that group repeatedly (the simulator does it once per run) should hold
+// a Grouper and reuse its arena instead.
 func Group(t *trace.Trace, opts Options) []*Swarm {
-	byKey := make(map[Key]*Swarm)
-	for _, s := range t.Sessions {
-		k := KeyOf(s, opts)
-		sw, ok := byKey[k]
-		if !ok {
-			sw = &Swarm{Key: k}
-			byKey[k] = sw
-		}
-		sw.Sessions = append(sw.Sessions, s)
-	}
-	out := make([]*Swarm, 0, len(byKey))
-	for _, sw := range byKey {
-		out = append(out, sw)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
-	return out
+	return new(Grouper).Group(t, opts)
 }
 
 // Less orders keys lexicographically (content, ISP, bitrate) for
@@ -158,65 +143,14 @@ func (iv Interval) Seconds() float64 { return float64(iv.To - iv.From) }
 
 // Sweep produces the swarm's activity intervals in time order. Intervals
 // with no active sessions are omitted: they contribute neither demand nor
-// peer traffic. The Active slices index into sw.Sessions and are freshly
-// allocated per interval.
+// peer traffic. The Active slices index into sw.Sessions.
+//
+// Deprecated: Sweep allocates a throwaway Sweeper per call. Callers that
+// sweep many swarms (the simulator's shape) should hold a Sweeper and
+// reuse its scratch buffers across the loop; Sweep remains for one-off
+// callers and produces the identical interval sequence.
 func (sw *Swarm) Sweep() []Interval {
-	type event struct {
-		at    int64
-		open  bool
-		index int
-	}
-	events := make([]event, 0, 2*len(sw.Sessions))
-	for i, s := range sw.Sessions {
-		events = append(events,
-			event{at: s.StartSec, open: true, index: i},
-			event{at: s.EndSec(), open: false, index: i},
-		)
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		// Closes sort before opens at the same instant so that
-		// back-to-back sessions do not appear concurrent.
-		return !events[i].open && events[j].open
-	})
-
-	var intervals []Interval
-	active := make(map[int]struct{})
-	var prevAt int64
-	for i := 0; i < len(events); {
-		at := events[i].at
-		if len(active) > 0 && at > prevAt {
-			intervals = append(intervals, Interval{
-				From:   prevAt,
-				To:     at,
-				Active: keysSorted(active),
-			})
-		}
-		// Apply every event at this instant before emitting the next
-		// interval.
-		for i < len(events) && events[i].at == at {
-			if events[i].open {
-				active[events[i].index] = struct{}{}
-			} else {
-				delete(active, events[i].index)
-			}
-			i++
-		}
-		prevAt = at
-	}
-	return intervals
-}
-
-// keysSorted returns the map keys in ascending order.
-func keysSorted(m map[int]struct{}) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
+	return new(Sweeper).Sweep(sw)
 }
 
 // PeakConcurrency returns the maximum number of simultaneously active
