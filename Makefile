@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench microbench ci
+.PHONY: all build vet lint test race bench microbench metrics-smoke ci
 
 all: build
 
@@ -40,6 +40,12 @@ bench:
 microbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTrackerAdvance|BenchmarkSweeper|BenchmarkScannerScan|BenchmarkShardBatchFeed|BenchmarkMatchInto' \
 		./internal/swarm/ ./internal/trace/ ./internal/engine/ ./internal/matching/
+
+## metrics-smoke: boot a real consumelocald, run a generator job via
+## the HTTP API, scrape /metrics and require the documented series,
+## then SIGTERM it and require a clean graceful exit
+metrics-smoke:
+	./metrics-smoke.sh
 
 ## ci: what every PR must pass — see ci.sh
 ci:

@@ -20,6 +20,11 @@ fmt_drift="$(gofmt -l .)"
 test -z "$fmt_drift"
 go test ./...
 go test -race . ./internal/engine/... ./cmd/consumelocald/...
+# Metrics lint: every /metrics scrape must parse under the exposition
+# linter (HELP/TYPE metadata, histogram suffixes, no duplicate series)
+# and expose the documented families — see docs/OBSERVABILITY.md.
+go test -count=1 -run 'TestMetrics|TestHealthzPayload' ./cmd/consumelocald
+go test -count=1 -run 'TestParseExposition|TestObsCounterAllocs|TestScrapeSteadyStateAllocs' ./internal/obs
 # Benchmark smoke: one iteration of every benchmark, so the perf
 # harness (make bench, cmd/consumelocal bench) can't bit-rot unnoticed.
 go test -run '^$' -bench . -benchtime 1x ./...

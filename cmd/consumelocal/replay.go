@@ -10,6 +10,7 @@ import (
 
 	"consumelocal"
 	"consumelocal/internal/energy"
+	"consumelocal/internal/obs"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
 )
@@ -38,6 +39,7 @@ func runReplay(args []string, out io.Writer) error {
 	cityWide := fs.Bool("city-wide", false, "allow swarms to span ISPs")
 	mixedBitrates := fs.Bool("mixed-bitrates", false, "allow swarms to mix bitrate classes")
 	ndjson := fs.Bool("ndjson", false, "emit snapshots as NDJSON instead of a table")
+	stats := fs.Bool("stats", false, "print a per-stage instrumentation summary at exit (stage timings, windows; with -live also peak queue depth, backpressure stalls and watermark lag); with -ndjson it goes to stderr to keep the stream clean")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +90,9 @@ func runReplay(args []string, out io.Writer) error {
 	}
 
 	var src consumelocal.Source
+	// ing keeps the live stream's handle when -live is set, so -stats can
+	// report the queue and backpressure figures at exit.
+	var ing *consumelocal.IngestSource
 	switch {
 	case *generate > 0:
 		gcfg := consumelocal.DefaultTraceConfig(*generate)
@@ -109,7 +114,7 @@ func runReplay(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ing, err := consumelocal.NewIngestSource(tr.Meta(), 0)
+		ing, err = consumelocal.NewIngestSource(tr.Meta(), 0)
 		if err != nil {
 			return err
 		}
@@ -161,6 +166,14 @@ func runReplay(args []string, out io.Writer) error {
 	if *ndjson {
 		opts = append(opts, consumelocal.WithSink(consumelocal.NDJSONSink(out)))
 	}
+	var stages *obs.ReplayMetrics
+	if *stats {
+		stages = obs.NewReplayMetrics(consumelocal.NewMetrics())
+		opts = append(opts, consumelocal.WithReplayMetrics(stages))
+		if ing != nil {
+			ing.Instrument(stages.Ingest)
+		}
+	}
 
 	job, err := consumelocal.Replay(context.Background(), src, opts...)
 	if err != nil {
@@ -210,5 +223,26 @@ func runReplay(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "energy savings (%s): %.1f%%\n", p.Name, 100*report.Savings)
 		}
 	}
+	if stages != nil {
+		w := out
+		if *ndjson {
+			w = os.Stderr
+		}
+		printStats(w, stages, ing)
+	}
 	return nil
+}
+
+// printStats renders the -stats summary: where the replay's wall-clock
+// went, stage by stage, and — for a live ingest replay — how hard the
+// backpressure worked.
+func printStats(w io.Writer, m *obs.ReplayMetrics, ing *consumelocal.IngestSource) {
+	fmt.Fprintf(w, "\nper-stage instrumentation:\n")
+	fmt.Fprintf(w, "  source read  %9.3fs  (%.0f sessions)\n", m.SourceReadSeconds.Value(), m.SourceSessions.Value())
+	fmt.Fprintf(w, "  settle       %9.3fs  (summed across workers)\n", m.SettleSeconds.Value())
+	fmt.Fprintf(w, "  sink emit    %9.3fs  (%.0f windows)\n", m.SinkEmitSeconds.Value(), m.WindowsSettled.Value())
+	if ing != nil {
+		fmt.Fprintf(w, "  ingest       peak queue %d events, producer blocked %.3fs, final watermark lag %ds\n",
+			ing.QueuePeak(), ing.Blocked().Seconds(), ing.WatermarkLag())
+	}
 }

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-pprof addr]
+//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-drain 30s] [-pprof addr]
 //
 // API:
 //
@@ -41,26 +41,51 @@
 //	GET    /v1/jobs/{id}/carbon     per-user carbon credit distribution
 //	POST   /v1/replay               synchronous form: stream a trace CSV in,
 //	                                NDJSON snapshots out on one connection
-//	GET    /healthz                 liveness
+//	GET    /healthz                 liveness, build and uptime info
+//	GET    /metrics                 Prometheus text exposition (see
+//	                                docs/OBSERVABILITY.md for the catalogue)
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: new submissions stop,
+// running replays get -drain to finish (then are cancelled), and both
+// the service and pprof listeners close cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
+
+// daemonConfig is everything runDaemon needs, separated from flag
+// parsing so tests can boot the real serve-and-shutdown path on an
+// ephemeral port.
+type daemonConfig struct {
+	addr       string
+	pprofAddr  string
+	maxJobs    int
+	maxBody    int64
+	ingestIdle time.Duration
+	drain      time.Duration
+	logger     *slog.Logger
+}
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address")
 	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "concurrent replay quota (excess submissions get 429)")
 	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "largest trace CSV a replay submission may upload, in bytes (must be positive; excess gets 413)")
 	ingestIdle := flag.Duration("ingest-idle", defaultIngestIdle, "cancel a live ingest job whose producer stays silent this long (0 disables the watchdog)")
+	drain := flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, give running replays this long to finish before cancelling them")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "consumelocald: unexpected arguments")
 		os.Exit(2)
@@ -73,36 +98,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "consumelocald: -max-jobs must be positive")
 		os.Exit(2)
 	}
-
 	if *ingestIdle < 0 {
 		fmt.Fprintln(os.Stderr, "consumelocald: -ingest-idle must be non-negative")
 		os.Exit(2)
 	}
+	if *drain < 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: -drain must be non-negative")
+		os.Exit(2)
+	}
 
-	srv := newServer(*maxJobs)
-	srv.maxBody = *maxBody
-	srv.ingestIdle = *ingestIdle
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := runDaemon(ctx, daemonConfig{
+		addr:       *addr,
+		pprofAddr:  *pprofAddr,
+		maxJobs:    *maxJobs,
+		maxBody:    *maxBody,
+		ingestIdle: *ingestIdle,
+		drain:      *drain,
+		logger:     logger,
+	}, nil)
+	if err != nil {
+		logger.Error("consumelocald exiting", slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+}
+
+// runDaemon binds the listeners, serves until ctx is cancelled (the
+// signal path) or a listener fails, then shuts down gracefully: running
+// replays get cfg.drain to finish before being cancelled, and both HTTP
+// servers close out their in-flight requests. ready, when non-nil,
+// receives the bound service address once requests can be served — the
+// seam the daemon tests and the metrics smoke target use with addr
+// 127.0.0.1:0.
+func runDaemon(ctx context.Context, cfg daemonConfig, ready func(addr string)) error {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := newServer(cfg.maxJobs)
+	if cfg.maxBody > 0 {
+		srv.maxBody = cfg.maxBody
+	}
+	srv.ingestIdle = cfg.ingestIdle
+	srv.logger = logger
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("bind %s: %w", cfg.addr, err)
+	}
 
 	// Profiling stays off the service listener: the job API is what
 	// clients reach, the pprof endpoints are an operator tool bound to
-	// their own (typically loopback) address.
-	if *pprofAddr != "" {
+	// their own (typically loopback) address. -pprof is an explicit
+	// opt-in, so failing to bind it is as fatal as failing to bind -addr.
+	var pprofSrv *http.Server
+	errc := make(chan error, 2)
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("bind pprof %s: %w", cfg.pprofAddr, err)
+		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("consumelocald pprof listening on %s", *pprofAddr)
-			// -pprof is an explicit opt-in: failing to bind it should be
-			// as fatal as failing to bind -addr, not a scrolled-past log
-			// line under a daemon that looks healthy.
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Fatalf("consumelocald: pprof listener: %v", err)
-			}
-		}()
+		pprofSrv = &http.Server{Handler: mux}
+		logger.Info("pprof listening", slog.String("addr", pln.Addr().String()))
+		go func() { errc <- fmt.Errorf("pprof listener: %w", pprofSrv.Serve(pln)) }()
 	}
+
 	// No global Read/WriteTimeout: /v1/replay legitimately reads its body
 	// and writes snapshots for the whole replay. Slow-loris protection is
 	// the header timeout here plus per-request read deadlines covering
@@ -111,13 +179,39 @@ func main() {
 	// registration holds a visible running job, and DELETE both cancels
 	// it and cuts the stalled body read so the quota slot is freed.
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("consumelocald listening on %s (max %d concurrent jobs)", *addr, *maxJobs)
-	if err := hs.ListenAndServe(); err != nil {
-		log.Fatalf("consumelocald: %v", err)
+	logger.Info("consumelocald listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("max_jobs", srv.maxJobs))
+	go func() { errc <- hs.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr().String())
 	}
+
+	select {
+	case err := <-errc:
+		// A listener died on its own; nothing graceful left to do.
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", slog.Duration("drain", cfg.drain))
+	srv.drainJobs(cfg.drain)
+	// With the jobs settled, in-flight handlers (including sync replay
+	// streams, which block until their job settles) can finish promptly.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Warn("service shutdown incomplete", slog.String("err", err.Error()))
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutCtx); err != nil {
+			logger.Warn("pprof shutdown incomplete", slog.String("err", err.Error()))
+		}
+	}
+	logger.Info("shutdown complete")
+	return nil
 }

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"consumelocal/internal/obs"
+)
+
+// scrapeMetrics fetches GET /metrics and runs the response through the
+// exposition linter, so every scrape in the suite doubles as a format
+// check.
+func scrapeMetrics(t *testing.T, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics does not lint: %v", err)
+	}
+	return exp
+}
+
+// mustValue asserts one series has an exact value.
+func mustValue(t *testing.T, exp *obs.Exposition, series string, want float64) {
+	t.Helper()
+	got, ok := exp.Value(series)
+	if !ok {
+		t.Fatalf("series %s missing from scrape", series)
+	}
+	if got != want {
+		t.Fatalf("%s = %g, want %g", series, got, want)
+	}
+}
+
+// TestMetricsLint pins the contract the CI metrics gate and the
+// OBSERVABILITY.md catalogue rely on: a fresh daemon exposes at least
+// 15 documented families, each with HELP and TYPE metadata (enforced by
+// the parser), and the core series carry sane initial values.
+func TestMetricsLint(t *testing.T) {
+	srv := newServer(0)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	exp := scrapeMetrics(t, ts.URL)
+	if n := len(exp.Families()); n < 15 {
+		t.Fatalf("scrape exposes %d families, want >= 15: %v", n, exp.Families())
+	}
+	for _, family := range []string{
+		"consumelocald_jobs_submitted_total",
+		"consumelocald_jobs_finished_total",
+		"consumelocald_jobs_rejected_total",
+		"consumelocald_jobs_quota",
+		"consumelocald_jobs_running",
+		"consumelocald_jobs_pending",
+		"consumelocald_http_requests_total",
+		"consumelocald_http_request_seconds",
+		"consumelocald_http_inflight_requests",
+		"consumelocald_ingest_sessions_pushed_total",
+		"consumelocald_ingest_batches_total",
+		"consumelocald_ingest_queue_depth",
+		"consumelocald_ingest_watermark_lag_seconds",
+		"consumelocald_ingest_blocked_seconds_total",
+		"consumelocald_spooled_bytes_total",
+		"consumelocald_snapshot_emit_seconds",
+		"consumelocald_build_info",
+		"consumelocald_uptime_seconds",
+		"consumelocal_replay_windows_settled_total",
+		"consumelocal_replay_source_sessions_total",
+	} {
+		if exp.Help[family] == "" || exp.Types[family] == "" {
+			t.Errorf("family %s missing from scrape (or lacks metadata)", family)
+		}
+	}
+	mustValue(t, exp, "consumelocald_jobs_quota", float64(srv.maxJobs))
+	mustValue(t, exp, "consumelocald_jobs_running", 0)
+	mustValue(t, exp, fmt.Sprintf("consumelocald_build_info{go_version=%q}", runtime.Version()), 1)
+	if up, ok := exp.Value("consumelocald_uptime_seconds"); !ok || up < 0 {
+		t.Fatalf("uptime = %g (present %v)", up, ok)
+	}
+}
+
+// TestMetricsJobLifecycle runs a generator job to completion and checks
+// the lifecycle, stage and HTTP series all moved: submitted and
+// finished counters by label, windows settled, snapshot emit latency
+// observations, and the request counter keyed by route pattern and
+// status code.
+func TestMetricsJobLifecycle(t *testing.T) {
+	ts := httptest.NewServer(newServer(0).routes())
+	defer ts.Close()
+
+	resp, v := postJob(t, ts.URL+"/v1/jobs?source=generator&scale=0.001&days=1&window=21600")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	pollJobStatus(t, ts.URL, v.ID, "done")
+
+	exp := scrapeMetrics(t, ts.URL)
+	mustValue(t, exp, `consumelocald_jobs_submitted_total{kind="generator"}`, 1)
+	mustValue(t, exp, `consumelocald_jobs_finished_total{status="done"}`, 1)
+	mustValue(t, exp, `consumelocald_http_requests_total{route="POST /v1/jobs",code="202"}`, 1)
+	mustValue(t, exp, "consumelocald_jobs_running", 0)
+	if got, _ := exp.Value("consumelocal_replay_windows_settled_total"); got < 1 {
+		t.Fatalf("windows settled = %g, want >= 1", got)
+	}
+	if got, _ := exp.Value("consumelocal_replay_source_sessions_total"); got <= 0 {
+		t.Fatalf("source sessions = %g, want > 0", got)
+	}
+	if got, _ := exp.Value("consumelocald_snapshot_emit_seconds_count"); got < 1 {
+		t.Fatalf("snapshot emit observations = %g, want >= 1", got)
+	}
+	// The status-poll GETs all landed on the job route with a 200.
+	series := `consumelocald_http_requests_total{route="GET /v1/jobs/{id}",code="200"}`
+	if got, _ := exp.Value(series); got < 1 {
+		t.Fatalf("%s = %g, want >= 1", series, got)
+	}
+}
+
+// TestMetricsIngestLifecycle drives a live ingest job and checks the
+// backpressure-facing series: batches and sessions counted on push, the
+// watermark-lag gauge reporting trace-time debt while the job runs, and
+// the lag clearing once the stream is sealed and the job settles.
+func TestMetricsIngestLifecycle(t *testing.T) {
+	ts := httptest.NewServer(newServer(0).routes())
+	defer ts.Close()
+
+	resp, v := postJob(t, ingestURL(ts.URL, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	jobURL := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, v.ID)
+
+	// First batch: ten sessions at t=0.., watermark raised to 3600.
+	if resp, _ := postSessions(t, jobURL+"/sessions?watermark=3600", "text/csv", sessionRows(0, 10)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch 1 = %d, want 200", resp.StatusCode)
+	}
+	// Second batch runs ahead of the stalled watermark: newest start is
+	// 7109 against watermark 3600, a 3509-second settlement debt.
+	if resp, _ := postSessions(t, jobURL+"/sessions", "text/csv", sessionRows(7100, 10)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch 2 = %d, want 200", resp.StatusCode)
+	}
+
+	exp := scrapeMetrics(t, ts.URL)
+	mustValue(t, exp, `consumelocald_jobs_submitted_total{kind="ingest"}`, 1)
+	mustValue(t, exp, "consumelocald_ingest_batches_total", 2)
+	mustValue(t, exp, "consumelocald_ingest_sessions_pushed_total", 20)
+	mustValue(t, exp, "consumelocald_jobs_running", 1)
+	mustValue(t, exp, "consumelocald_ingest_watermark_lag_seconds", 7109-3600)
+
+	if resp, err := http.Post(jobURL+"/finish", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("finish = %d, want 200", resp.StatusCode)
+		}
+	}
+	pollJobStatus(t, ts.URL, v.ID, "done")
+
+	exp = scrapeMetrics(t, ts.URL)
+	mustValue(t, exp, `consumelocald_jobs_finished_total{status="done"}`, 1)
+	// Settled jobs drop out of the lag aggregate: the gauge describes
+	// live settlement debt, not history.
+	mustValue(t, exp, "consumelocald_ingest_watermark_lag_seconds", 0)
+	mustValue(t, exp, "consumelocald_ingest_queue_depth", 0)
+}
+
+// TestMetricsCancelAndReject covers the two unhappy lifecycle series: a
+// cancelled job lands in finished{status="cancelled"}, and a submission
+// over quota lands in rejected.
+func TestMetricsCancelAndReject(t *testing.T) {
+	ts := httptest.NewServer(newServer(1).routes())
+	defer ts.Close()
+
+	resp, v := postJob(t, ingestURL(ts.URL, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts.URL+"/v1/jobs?source=generator&scale=0.001&days=1"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d, want 429", resp.StatusCode)
+	}
+	if resp := deleteJob(t, ts.URL, v.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d, want 200", resp.StatusCode)
+	}
+	pollJobStatus(t, ts.URL, v.ID, "cancelled")
+
+	exp := scrapeMetrics(t, ts.URL)
+	mustValue(t, exp, "consumelocald_jobs_rejected_total", 1)
+	mustValue(t, exp, `consumelocald_jobs_finished_total{status="cancelled"}`, 1)
+	mustValue(t, exp, `consumelocald_http_requests_total{route="POST /v1/jobs",code="429"}`, 1)
+}
+
+// TestHealthzPayload checks the extended liveness payload (the bare
+// status-code check lives in main_test.go).
+func TestHealthzPayload(t *testing.T) {
+	srv := newServer(0)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var h struct {
+		Status        string  `json:"status"`
+		GoVersion     string  `json:"go_version"`
+		Started       string  `json:"started"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		JobsRunning   int     `json:"jobs_running"`
+		MaxJobs       int     `json:"max_jobs"`
+	}
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.GoVersion != runtime.Version() {
+		t.Fatalf("go_version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if h.Started == "" || h.UptimeSeconds < 0 {
+		t.Fatalf("started = %q, uptime = %g", h.Started, h.UptimeSeconds)
+	}
+	if h.JobsRunning != 0 || h.MaxJobs != srv.maxJobs {
+		t.Fatalf("jobs_running = %d, max_jobs = %d (want 0, %d)", h.JobsRunning, h.MaxJobs, srv.maxJobs)
+	}
+}
+
+// TestGracefulShutdown boots the real serve path on ephemeral ports,
+// leaves a live ingest job running (its producer deliberately silent),
+// and cancels the context: drainJobs must cancel the straggler inside
+// the drain budget and runDaemon must return cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runDaemon(ctx, daemonConfig{
+			addr:      "127.0.0.1:0",
+			pprofAddr: "127.0.0.1:0",
+			maxJobs:   2,
+			drain:     200 * time.Millisecond,
+			logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+		}, func(addr string) { addrCh <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, v := postJob(t, ingestURL(base, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	pollJobStatus(t, base, v.ID, "running")
+	exp := scrapeMetrics(t, base)
+	mustValue(t, exp, "consumelocald_jobs_running", 1)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runDaemon = %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	// The listener is gone after shutdown.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -82,6 +83,17 @@ type server struct {
 	// out of the registry means a job is only ever visible with its
 	// replay handle attached.
 	pending int
+	// retiredBlockedNanos accumulates the backpressure stall totals of
+	// settled ingest jobs, so the daemon's blocked-seconds counter stays
+	// monotonic as jobs leave the registry. Guarded by mu.
+	retiredBlockedNanos int64
+
+	// met is the daemon's /metrics instrumentation; logger receives the
+	// structured request and job-lifecycle logs. newServer installs a
+	// discard logger — runDaemon (and anyone else hosting the server)
+	// wires the real one.
+	met    *daemonMetrics
+	logger *slog.Logger
 
 	// sourceHook, when set, replaces jobSource for POST /v1/jobs: the
 	// test seam that lets the httptest suite drive jobs from gated
@@ -94,10 +106,12 @@ type server struct {
 type job struct {
 	id      int
 	name    string
+	kind    string // trace | generator | ingest | sync
 	mode    consumelocal.EngineMode
 	started time.Time
 	meta    trace.Meta
 	replay  *consumelocal.Job
+	srv     *server
 	cleanup func()
 	// ingest is set for live ingest jobs: the queue the sessions/finish
 	// endpoints feed. idleTimer cancels the job when the producer goes
@@ -119,6 +133,9 @@ type job struct {
 	// producer activity is expected while a sealed queue drains, however
 	// long the replay takes over it.
 	watchdogDisarmed bool
+	// blockedRetired marks that pump folded this ingest job's stall
+	// total into the server's retired accumulator. Guarded by srv.mu.
+	blockedRetired bool
 	// interrupt, when set (sync /v1/replay jobs), unblocks a body read
 	// the replay may be stalled inside, so DELETE can free the quota
 	// slot of a client that stopped sending. Only called while status
@@ -144,6 +161,7 @@ func (j *job) broadcastLocked() {
 type jobView struct {
 	ID        int             `json:"id"`
 	Name      string          `json:"name"`
+	Kind      string          `json:"kind,omitempty"`
 	Mode      string          `json:"mode"`
 	Started   time.Time       `json:"started"`
 	Status    string          `json:"status"`
@@ -163,6 +181,7 @@ func (j *job) view() jobView {
 	v := jobView{
 		ID:        j.id,
 		Name:      j.name,
+		Kind:      j.kind,
 		Mode:      j.mode.String(),
 		Started:   j.started,
 		Status:    j.status,
@@ -188,20 +207,25 @@ func newServer(maxJobs int) *server {
 	if maxJobs <= 0 {
 		maxJobs = defaultMaxJobs
 	}
-	return &server{
+	s := &server{
 		jobs:       make(map[int]*job),
 		nextID:     1,
 		maxJobs:    maxJobs,
 		maxBody:    defaultMaxBodyBytes,
 		ingestIdle: defaultIngestIdle,
+		logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
+	s.met = newDaemonMetrics(s)
+	return s
 }
 
+// routes returns the daemon's full handler: the route table wrapped in
+// the request-instrumentation middleware (request counts, latency,
+// structured logs).
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	mux.HandleFunc("POST /v1/jobs/{id}/sessions", s.handleIngestSessions)
@@ -212,7 +236,24 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/energy", s.handleJobEnergy)
 	mux.HandleFunc("GET /v1/jobs/{id}/carbon", s.handleJobCarbon)
-	return mux
+	return s.met.instrument(mux, s.logger)
+}
+
+// handleHealthz is the liveness probe, extended with build and uptime
+// information so an operator's first curl answers "what is this and how
+// long has it been up" without reaching for /metrics.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := s.runningLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"go_version":     runtime.Version(),
+		"started":        s.met.start.UTC(),
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+		"jobs_running":   running,
+		"max_jobs":       s.maxJobs,
+	})
 }
 
 // replaySpec is the parsed query-parameter form of a replay request.
@@ -220,6 +261,9 @@ type replaySpec struct {
 	cfg  engine.Config
 	mode consumelocal.EngineMode
 	name string
+	// kind labels the submission for the lifecycle metrics and logs:
+	// trace | generator | ingest | sync.
+	kind string
 }
 
 // options converts the spec into Replay options.
@@ -431,6 +475,7 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 					cleanup()
 					return nil, nil, fmt.Errorf("spool trace: %w", werr)
 				}
+				s.met.spooledBytes.Add(float64(n))
 			}
 			if rerr == io.EOF {
 				break
@@ -534,6 +579,86 @@ func (s *server) runningLocked() int {
 	return running
 }
 
+// running counts in-flight replays (the jobs_running gauge).
+func (s *server) running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runningLocked()
+}
+
+// pendingSlots counts claimed-but-unpublished quota slots (the
+// jobs_pending gauge).
+func (s *server) pendingSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// ingestQueueDepth sums the pending events of every retained ingest
+// stream — settled streams are torn down, so they contribute zero.
+func (s *server) ingestQueueDepth() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	depth := 0
+	for _, j := range s.jobs {
+		if j.ingest != nil {
+			depth += j.ingest.Pending()
+		}
+	}
+	return float64(depth)
+}
+
+// ingestWatermarkLag reports the worst watermark lag across running
+// ingest jobs. Settled jobs are excluded: their lag is frozen at
+// whatever the stream last saw and no longer describes live debt.
+func (s *server) ingestWatermarkLag() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var worst int64
+	for _, j := range s.jobs {
+		if j.ingest == nil {
+			continue
+		}
+		j.mu.Lock()
+		running := j.status == "running"
+		j.mu.Unlock()
+		if !running {
+			continue
+		}
+		if lag := j.ingest.WatermarkLag(); lag > worst {
+			worst = lag
+		}
+	}
+	return float64(worst)
+}
+
+// ingestBlockedSeconds is the monotonic backpressure-stall total: the
+// retired accumulator plus the live totals of not-yet-retired streams.
+func (s *server) ingestBlockedSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nanos := s.retiredBlockedNanos
+	for _, j := range s.jobs {
+		if j.ingest != nil && !j.blockedRetired {
+			nanos += int64(j.ingest.Blocked())
+		}
+	}
+	return time.Duration(nanos).Seconds()
+}
+
+// retireIngest folds a settled ingest job's stall total into the
+// retired accumulator, exactly once, so eviction from the registry
+// cannot make the blocked-seconds counter regress.
+func (s *server) retireIngest(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.ingest == nil || j.blockedRetired {
+		return
+	}
+	j.blockedRetired = true
+	s.retiredBlockedNanos += int64(j.ingest.Blocked())
+}
+
 // quotaExceededLocked returns the 429 error when the quota is
 // exhausted, nil otherwise. Callers hold s.mu.
 func (s *server) quotaExceededLocked() error {
@@ -552,6 +677,7 @@ func (s *server) claimSlot() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.quotaExceededLocked(); err != nil {
+		s.met.jobsRejected.Inc()
 		return err
 	}
 	s.pending++
@@ -571,7 +697,10 @@ func (s *server) releaseSlot() {
 // never observe a half-built one). It returns an HTTP status alongside
 // the error so handlers pass refusals through uniformly.
 func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.Source, cleanup func(), extra ...consumelocal.Option) (*job, int, error) {
-	rep, err := consumelocal.Replay(ctx, src, append(sp.options(), extra...)...)
+	// Every job records into the daemon's shared per-stage set, so
+	// /metrics exposes daemon-wide source/settle/emit totals.
+	opts := append(sp.options(), consumelocal.WithReplayMetrics(s.met.replay))
+	rep, err := consumelocal.Replay(ctx, src, append(opts, extra...)...)
 	if err != nil {
 		s.releaseSlot()
 		if cleanup != nil {
@@ -580,9 +709,15 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 		return nil, http.StatusBadRequest, err
 	}
 
+	kind := sp.kind
+	if kind == "" {
+		kind = "trace"
+	}
 	j := &job{
 		name:    sp.name,
+		kind:    kind,
 		mode:    sp.mode,
+		srv:     s,
 		started: time.Now().UTC(),
 		// rep.Meta was captured synchronously by Replay before the engine
 		// goroutines began consuming src; reading src.Meta() here instead
@@ -640,6 +775,12 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 	s.evictLocked()
 	s.mu.Unlock()
 
+	s.met.jobsSubmitted.With1(kind).Inc()
+	s.logger.Info("job started",
+		slog.Int("job", j.id),
+		slog.String("kind", kind),
+		slog.String("mode", j.mode.String()),
+		slog.String("name", j.name))
 	go j.pump()
 	return j, http.StatusOK, nil
 }
@@ -649,6 +790,7 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 // settled from the replay outcome.
 func (j *job) pump() {
 	for snap := range j.replay.Snapshots() {
+		t0 := time.Now()
 		j.mu.Lock()
 		j.snaps = append(j.snaps, snap)
 		if len(j.snaps) > maxJobSnapshots {
@@ -661,6 +803,7 @@ func (j *job) pump() {
 		}
 		j.broadcastLocked()
 		j.mu.Unlock()
+		j.srv.met.snapshotEmit.Observe(time.Since(t0).Seconds())
 	}
 	res, err := j.replay.Result()
 
@@ -684,6 +827,7 @@ func (j *job) pump() {
 	// retained registry does not keep up to 32 dead connections alive.
 	j.interrupt = nil
 	j.broadcastLocked()
+	status, errMsg := j.status, j.errMsg
 	j.mu.Unlock()
 
 	if j.idleTimer != nil {
@@ -693,6 +837,17 @@ func (j *job) pump() {
 		j.cleanup()
 		j.cleanup = nil
 	}
+	// Fold the stream's stall total into the retired accumulator after
+	// cleanup aborted the queue, so the live sum never counts a stall
+	// that lands between retirement and the abort.
+	j.srv.retireIngest(j)
+	j.srv.met.jobsFinished.With1(status).Inc()
+	j.srv.logger.Info("job finished",
+		slog.Int("job", j.id),
+		slog.String("kind", j.kind),
+		slog.String("status", status),
+		slog.String("err", errMsg),
+		slog.Duration("ran", time.Since(j.started)))
 }
 
 // handleCreateJob starts an asynchronous replay: the request returns as
@@ -714,6 +869,14 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("source=ingest requires engine=streaming; the %s engine cannot follow an unsealed stream", sp.mode))
 		return
+	}
+	switch r.URL.Query().Get("source") {
+	case "generator":
+		sp.kind = "generator"
+	case "ingest":
+		sp.kind = "ingest"
+	default:
+		sp.kind = "trace"
 	}
 	// Claim the quota slot before spooling the body, so over-quota
 	// submissions are refused without writing a byte to disk.
@@ -828,6 +991,7 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 		}
 		watermark = &n
 	}
+	s.met.ingestBatches.Inc()
 
 	pushed := 0
 	for _, sess := range sessions {
@@ -836,6 +1000,7 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pushed++
+		s.met.ingestSessions.Inc()
 		// Touch per accepted session, not per batch: a large batch
 		// draining through backpressure for longer than the idle
 		// deadline is a live producer, not a silent one.
@@ -925,6 +1090,7 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.kind = "sync"
 	// The replay reads the request body while snapshots stream out on
 	// the response: opt in to concurrent read/write on HTTP/1.x, where
 	// the server otherwise closes the body at the first response write.
@@ -1147,6 +1313,44 @@ func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// drainJobs gives running replays up to drain to finish on their own,
+// then cancels the stragglers and waits a bounded moment for their
+// pipelines to unwind. The shutdown path calls it before closing the
+// HTTP server, so in-flight sync replay handlers — which block until
+// their job settles — can complete inside the server's own shutdown
+// deadline.
+func (s *server) drainJobs(drain time.Duration) {
+	deadline := time.Now().Add(drain)
+	for s.running() > 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	running := s.running()
+	if running == 0 {
+		return
+	}
+	s.logger.Info("drain deadline passed; cancelling running jobs", slog.Int("running", running))
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.replay.Cancel()
+		// As in DELETE: a sync replay may be blocked reading a stalled
+		// client's body where cancellation is not observed; cut the read.
+		j.mu.Lock()
+		if j.status == "running" && j.interrupt != nil {
+			j.interrupt()
+		}
+		j.mu.Unlock()
+	}
+	settle := time.Now().Add(5 * time.Second)
+	for s.running() > 0 && time.Now().Before(settle) {
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // evictLocked drops the oldest finished jobs once the registry exceeds

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"consumelocal/internal/engine"
+	"consumelocal/internal/obs"
 )
 
 // LiveSource is a Source for unsealed, watermarked streams: sessions
@@ -75,6 +77,15 @@ type IngestSource struct {
 	pushed    int64
 	sealed    bool
 	abortErr  error
+	// blockedNanos accumulates producer stall time (Push/Advance waiting
+	// on a full queue) and peak records the deepest the queue has been —
+	// always tracked, so Blocked and QueuePeak cost nothing to read and
+	// the clock is touched only when a producer actually blocks.
+	blockedNanos int64
+	peak         int
+	// metrics, when attached via Instrument, mirrors depth, peak, lag and
+	// stall time into an obs gauge set on every queue transition.
+	metrics *obs.IngestMetrics
 }
 
 // NewIngestSource returns an ingest queue for a stream with the given
@@ -118,6 +129,73 @@ func (s *IngestSource) Pending() int {
 	return s.len()
 }
 
+// QueuePeak returns the deepest the queue has been over the stream's
+// lifetime.
+func (s *IngestSource) QueuePeak() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// Blocked returns the cumulative time producers have spent stalled in
+// Push or Advance waiting for queue space — the backpressure the replay
+// has exerted on the broadcast feed. It only ever grows.
+func (s *IngestSource) Blocked() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.blockedNanos)
+}
+
+// WatermarkLag returns how far, in trace seconds, the newest pushed
+// session start runs ahead of the arrival watermark — the settlement
+// debt a stalled watermark accrues. Zero while the watermark keeps up.
+func (s *IngestSource) WatermarkLag() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lagLocked()
+}
+
+// Instrument attaches an ingest instrumentation set: queue depth, peak
+// depth, watermark lag and producer stall time are published on every
+// queue transition from here on. The gauges describe this one stream,
+// so attach a set to a single source only — a daemon aggregating many
+// streams derives its figures from the Pending/Blocked/WatermarkLag
+// accessors instead. Attach before the replay starts consuming.
+func (s *IngestSource) Instrument(m *obs.IngestMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+	s.publishLocked()
+}
+
+// lagLocked computes the watermark lag. Callers hold s.mu.
+func (s *IngestSource) lagLocked() int64 {
+	if s.lastStart > s.watermark {
+		return s.lastStart - s.watermark
+	}
+	return 0
+}
+
+// publishLocked mirrors the queue's state into the attached metrics set,
+// if any. Callers hold s.mu.
+func (s *IngestSource) publishLocked() {
+	if s.metrics == nil {
+		return
+	}
+	depth := float64(s.len())
+	s.metrics.QueueDepth.Set(depth)
+	s.metrics.QueuePeak.SetMax(depth)
+	s.metrics.WatermarkLagSeconds.Set(float64(s.lagLocked()))
+}
+
+// noteBlockedLocked accounts one producer stall. Callers hold s.mu.
+func (s *IngestSource) noteBlockedLocked(d time.Duration) {
+	s.blockedNanos += int64(d)
+	if s.metrics != nil {
+		s.metrics.PushBlockSeconds.Add(d.Seconds())
+	}
+}
+
 // Push appends one session to the stream, blocking while the queue is
 // full — backpressure from a replay that cannot keep up. It fails with
 // ErrOutOfOrder (wrapped, with detail) when the session violates the
@@ -133,6 +211,12 @@ func (s *IngestSource) PushContext(ctx context.Context, sess Session) error {
 	defer s.wakeOnDone(ctx)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var blockStart time.Time
+	defer func() {
+		if !blockStart.IsZero() {
+			s.noteBlockedLocked(time.Since(blockStart))
+		}
+	}()
 	for {
 		if err := s.closedLocked(); err != nil {
 			return err
@@ -142,6 +226,9 @@ func (s *IngestSource) PushContext(ctx context.Context, sess Session) error {
 		}
 		if s.len() < s.capacity {
 			break
+		}
+		if blockStart.IsZero() {
+			blockStart = time.Now()
 		}
 		s.cond.Wait()
 	}
@@ -162,6 +249,10 @@ func (s *IngestSource) PushContext(ctx context.Context, sess Session) error {
 	s.queue = append(s.queue, SourceEvent{Session: sess})
 	s.lastStart = sess.StartSec
 	s.pushed++
+	if n := s.len(); n > s.peak {
+		s.peak = n
+	}
+	s.publishLocked()
 	s.cond.Broadcast()
 	return nil
 }
@@ -182,6 +273,12 @@ func (s *IngestSource) AdvanceContext(ctx context.Context, watermarkSec int64) e
 	defer s.wakeOnDone(ctx)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var blockStart time.Time
+	defer func() {
+		if !blockStart.IsZero() {
+			s.noteBlockedLocked(time.Since(blockStart))
+		}
+	}()
 	for {
 		if err := s.closedLocked(); err != nil {
 			return err
@@ -202,11 +299,18 @@ func (s *IngestSource) AdvanceContext(ctx context.Context, watermarkSec int64) e
 		}
 		if s.len() < s.capacity {
 			s.queue = append(s.queue, SourceEvent{Mark: true, WatermarkSec: watermarkSec})
+			if n := s.len(); n > s.peak {
+				s.peak = n
+			}
 			break
+		}
+		if blockStart.IsZero() {
+			blockStart = time.Now()
 		}
 		s.cond.Wait()
 	}
 	s.watermark = watermarkSec
+	s.publishLocked()
 	s.cond.Broadcast()
 	return nil
 }
@@ -243,6 +347,7 @@ func (s *IngestSource) Abort(err error) {
 	s.abortErr = err
 	s.queue = nil
 	s.head = 0
+	s.publishLocked()
 	s.cond.Broadcast()
 }
 
@@ -285,6 +390,7 @@ func (s *IngestSource) NextEvent(ctx context.Context) (SourceEvent, error) {
 				s.queue = append(s.queue[:0], s.queue[s.head:]...)
 				s.head = 0
 			}
+			s.publishLocked()
 			s.cond.Broadcast()
 			return ev, nil
 		}

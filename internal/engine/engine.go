@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 
+	"consumelocal/internal/obs"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
 	"consumelocal/internal/trace"
@@ -58,6 +59,11 @@ type Config struct {
 	// by more than this many windows the pipeline blocks — backpressure
 	// propagates through the workers to the input reader. Defaults to 4.
 	SnapshotBuffer int
+	// Stats, when non-nil, receives per-stage instrumentation: workers
+	// accumulate settle time per window mark. The counters are atomics,
+	// so recording costs two clock reads per mark — nothing on the
+	// per-session hot path.
+	Stats *obs.ReplayMetrics
 }
 
 // DefaultConfig returns the paper's simulation configuration at the

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"consumelocal/internal/matching"
+	"consumelocal/internal/obs"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
 	"consumelocal/internal/trace"
@@ -98,6 +100,9 @@ type worker struct {
 	booker sim.Booker
 	active int
 	err    error
+	// stats, when non-nil, accumulates settle time per window mark —
+	// mark granularity keeps the clock off the per-interval hot path.
+	stats *obs.ReplayMetrics
 
 	// scratch buffers reused across intervals, as in the batch engine.
 	peers   []matching.Peer
@@ -115,6 +120,7 @@ func newWorker(id int, cfg Config, meta trace.Meta) *worker {
 		horizon: meta.HorizonSec,
 		states:  make(map[swarm.Key]*swarmState),
 		booker:  sim.Booker{Days: make([][]sim.Tally, meta.Days())},
+		stats:   cfg.Stats,
 	}
 	for d := range w.booker.Days {
 		w.booker.Days[d] = make([]sim.Tally, meta.NumISPs)
@@ -134,7 +140,13 @@ func (w *worker) run(in <-chan wmsg, acks chan<- ack, reports chan<- report) {
 			putBatch(msg.batch)
 			continue
 		}
-		w.mark(msg.until, msg.final)
+		if w.stats != nil {
+			t0 := time.Now()
+			w.mark(msg.until, msg.final)
+			w.stats.SettleSeconds.Add(time.Since(t0).Seconds())
+		} else {
+			w.mark(msg.until, msg.final)
+		}
 		acks <- ack{worker: w.id, delta: w.delta, active: w.active, swarms: len(w.ordered), err: w.err}
 		w.delta = sim.Tally{}
 		if msg.final {

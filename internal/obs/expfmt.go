@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed Prometheus text scrape: every sample keyed by
+// its full series name (labels included, as rendered), plus the HELP
+// and TYPE metadata seen per family.
+type Exposition struct {
+	// Samples maps the full series (e.g. `foo_total{kind="ingest"}` or
+	// `bar_bucket{le="+Inf"}`) to its value.
+	Samples map[string]float64
+	// Help and Types map family names to their metadata lines.
+	Help  map[string]string
+	Types map[string]string
+	// order retains first-appearance family order for Families.
+	order []string
+}
+
+// Families returns the family names in exposition order.
+func (e *Exposition) Families() []string { return e.order }
+
+// Value returns the sample for the exact series name, and whether it
+// was present.
+func (e *Exposition) Value(series string) (float64, bool) {
+	v, ok := e.Samples[series]
+	return v, ok
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// format (version 0.0.4) as this package writes it. Beyond syntax, it
+// enforces the lint rules the CI metrics gate relies on: every sample
+// must belong to a family with both a preceding HELP and TYPE line,
+// family metadata must precede its samples, histogram samples must use
+// the _bucket/_sum/_count suffixes consistent with their declared type,
+// and no series may appear twice.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Samples: make(map[string]float64),
+		Help:    make(map[string]string),
+		Types:   make(map[string]string),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseMeta(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := exp.parseSample(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func (e *Exposition) parseMeta(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		// A bare comment is legal exposition; this package never writes
+		// one, so flag it as drift.
+		return fmt.Errorf("unrecognised comment %q", line)
+	}
+	name := fields[2]
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 || fields[3] == "" {
+			return fmt.Errorf("metric %s: empty HELP text", name)
+		}
+		if _, dup := e.Help[name]; dup {
+			return fmt.Errorf("metric %s: duplicate HELP", name)
+		}
+		e.Help[name] = fields[3]
+		e.order = append(e.order, name)
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("metric %s: missing TYPE", name)
+		}
+		switch fields[3] {
+		case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("metric %s: unknown type %q", name, fields[3])
+		}
+		if _, dup := e.Types[name]; dup {
+			return fmt.Errorf("metric %s: duplicate TYPE", name)
+		}
+		e.Types[name] = fields[3]
+	default:
+		return fmt.Errorf("unrecognised comment %q", line)
+	}
+	return nil
+}
+
+func (e *Exposition) parseSample(line string) error {
+	// Split the series (name + optional label set) from the value. The
+	// value separator is the first space outside braces — label values
+	// may themselves contain spaces.
+	depth := 0
+	split := -1
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ' ':
+			if depth == 0 {
+				split = i
+			}
+		}
+		if split >= 0 {
+			break
+		}
+	}
+	if split <= 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	series, rawVal := line[:split], strings.TrimSpace(line[split+1:])
+	name := series
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name = series[:i]
+		if !strings.HasSuffix(series, "}") {
+			return fmt.Errorf("series %s: unterminated label set", name)
+		}
+		if err := checkLabels(series[i+1 : len(series)-1]); err != nil {
+			return fmt.Errorf("series %s: %w", name, err)
+		}
+	}
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	family := e.familyOf(name)
+	if family == "" {
+		return fmt.Errorf("series %s: no preceding HELP/TYPE for its family", series)
+	}
+	if e.Types[family] == TypeHistogram && family == name {
+		return fmt.Errorf("series %s: histogram family exposes bare samples (want _bucket/_sum/_count)", series)
+	}
+	v, err := parseValue(rawVal)
+	if err != nil {
+		return fmt.Errorf("series %s: bad value %q", series, rawVal)
+	}
+	if _, dup := e.Samples[series]; dup {
+		return fmt.Errorf("series %s: duplicate sample", series)
+	}
+	e.Samples[series] = v
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or — for histogram component samples — the name with its
+// _bucket/_sum/_count suffix stripped. Empty when no family with both
+// HELP and TYPE precedes it.
+func (e *Exposition) familyOf(name string) string {
+	if e.declared(name) {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && e.declared(base) && e.Types[base] == TypeHistogram {
+			return base
+		}
+	}
+	return ""
+}
+
+func (e *Exposition) declared(name string) bool {
+	_, hasHelp := e.Help[name]
+	_, hasType := e.Types[name]
+	return hasHelp && hasType
+}
+
+// checkLabels validates the inside of a rendered label set.
+func checkLabels(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty label set")
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		if err := CheckName(s[:eq]); err != nil {
+			return fmt.Errorf("bad label name: %w", err)
+		}
+		rest := s[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		// Scan the quoted value, honouring escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		s = rest[end+1:]
+		if s == "" {
+			break
+		}
+		if s[0] != ',' {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		s = s[1:]
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -6,8 +6,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"consumelocal/internal/engine"
+	"consumelocal/internal/obs"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/trace"
 )
@@ -97,6 +99,9 @@ type replayOptions struct {
 	cfg   engine.Config
 	mode  EngineMode
 	sinks []Sink
+	// stats is the optional instrumentation set WithInstrumentation
+	// attaches; the engine receives it through cfg.Stats as well.
+	stats *obs.ReplayMetrics
 }
 
 // Option configures a Replay call.
@@ -284,12 +289,17 @@ func Replay(ctx context.Context, src Source, opts ...Option) (*Job, error) {
 
 	switch o.mode {
 	case EngineStreaming:
+		if o.stats != nil {
+			// Wrap after Meta was captured: the wrapper forwards Meta, and
+			// the engine re-reads it through the wrapper harmlessly.
+			src = instrumentSource(src, o.stats)
+		}
 		run, err := engine.StreamContext(ctx, src, o.cfg)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		go j.pumpStream(ctx, run, o.sinks)
+		go j.pumpStream(ctx, run, o.sinks, o.stats)
 	case EngineBatch, EngineParallel:
 		go j.runBatch(ctx, src, o)
 	default:
@@ -304,13 +314,17 @@ func Replay(ctx context.Context, src Source, opts ...Option) (*Job, error) {
 // pipeline can never stall on the Job consumer alone — only deliberate
 // backpressure (forwarding to an undrained channel under a live context)
 // blocks, and cancellation breaks exactly that wait.
-func (j *Job) pumpStream(ctx context.Context, run *engine.Run, sinks []Sink) {
+func (j *Job) pumpStream(ctx context.Context, run *engine.Run, sinks []Sink, stats *obs.ReplayMetrics) {
 	defer close(j.done)
 	defer close(j.snapshots)
 
 	var sinkErr error
 	forward := true
 	for snap := range run.Snapshots() {
+		var emitStart time.Time
+		if stats != nil {
+			emitStart = time.Now()
+		}
 		for _, s := range sinks {
 			if err := s.Snapshot(snap); err != nil && sinkErr == nil {
 				if ctx.Err() == nil {
@@ -331,6 +345,13 @@ func (j *Job) pumpStream(ctx context.Context, run *engine.Run, sinks []Sink) {
 				forward = false
 			}
 		}
+		if stats != nil {
+			// Emit time covers sink delivery and the (possibly
+			// backpressured) job-channel hand-off: the consumer-side stall
+			// an operator is usually hunting.
+			stats.SinkEmitSeconds.Add(time.Since(emitStart).Seconds())
+			stats.WindowsSettled.Inc()
+		}
 	}
 	res, err := run.Result()
 	if sinkErr != nil {
@@ -346,11 +367,24 @@ func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
 	defer close(j.done)
 	defer close(j.snapshots)
 
+	// The batch path times its stages wholesale instead of wrapping the
+	// source: materialise is the read stage, the simulator run is the
+	// settle stage, and the single snapshot fan-out below is the emit
+	// stage. Keeping the source unwrapped preserves TraceSource's
+	// in-memory shortcut.
+	readStart := time.Now()
 	tr, err := materialize(ctx, src, j.meta)
+	if o.stats != nil {
+		o.stats.SourceReadSeconds.Add(time.Since(readStart).Seconds())
+	}
 	if err != nil {
 		j.finish(o.sinks, nil, err)
 		return
 	}
+	if o.stats != nil {
+		o.stats.SourceSessions.Add(float64(len(tr.Sessions)))
+	}
+	settleStart := time.Now()
 	var res *SimResult
 	if o.mode == EngineParallel {
 		// Zero means the engine default, as WithWorkers documents (and
@@ -363,6 +397,9 @@ func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
 		res, err = sim.RunParallelContext(ctx, tr, o.cfg.Sim, workers)
 	} else {
 		res, err = sim.RunContext(ctx, tr, o.cfg.Sim)
+	}
+	if o.stats != nil {
+		o.stats.SettleSeconds.Add(time.Since(settleStart).Seconds())
 	}
 	if err == nil && ctx.Err() != nil {
 		res, err = nil, ctx.Err()
@@ -381,6 +418,7 @@ func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
 		Cumulative:   res.Total,
 		Final:        true,
 	}
+	emitStart := time.Now()
 	var sinkErr error
 	for _, s := range o.sinks {
 		if err := s.Snapshot(snap); err != nil && sinkErr == nil {
@@ -396,6 +434,10 @@ func (j *Job) runBatch(ctx context.Context, src Source, o *replayOptions) {
 	select {
 	case j.snapshots <- snap:
 	case <-ctx.Done():
+	}
+	if o.stats != nil {
+		o.stats.SinkEmitSeconds.Add(time.Since(emitStart).Seconds())
+		o.stats.WindowsSettled.Inc()
 	}
 	j.finish(o.sinks, res, nil)
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+
+	"consumelocal/internal/obs"
 )
 
 // Sink observes a replay job from the side: every windowed snapshot, and
@@ -82,6 +84,10 @@ type MetricsSink struct {
 	windows int
 	done    bool
 	fail    string
+	// vals and buf are scrape scratch, reused across WritePrometheus
+	// calls so steady-state scrapes do not allocate.
+	vals []float64
+	buf  []byte
 }
 
 // NewMetricsSink returns an empty metrics sink.
@@ -107,56 +113,78 @@ func (m *MetricsSink) Finish(res *SimResult, err error) error {
 	return nil
 }
 
-// Gauges returns the current gauge values by metric name.
+// metricsSchema is the single definition of the sink's series: name,
+// help and exposition order, shared by Gauges and WritePrometheus so
+// the two can never drift apart.
+var metricsSchema = []struct{ name, help string }{
+	{"consumelocal_replay_windows_total", "Windowed snapshots observed by this sink."},
+	{"consumelocal_replay_sessions_seen", "Sessions admitted by the replay so far."},
+	{"consumelocal_replay_active_members", "Swarm members active at the latest window boundary."},
+	{"consumelocal_replay_swarms", "Distinct swarms seen so far."},
+	{"consumelocal_replay_total_bits", "Cumulative bits demanded."},
+	{"consumelocal_replay_server_bits", "Cumulative bits served by the CDN/server."},
+	{"consumelocal_replay_peer_bits", "Cumulative bits served peer-to-peer."},
+	{"consumelocal_replay_offload", "Cumulative offload fraction (peer bits / total bits)."},
+	{"consumelocal_replay_done", "1 once the replay has finished."},
+	{"consumelocal_replay_failed", "1 if the replay finished with an error."},
+}
+
+// collectLocked appends the gauge values in schema order. Callers hold
+// m.mu.
+func (m *MetricsSink) collectLocked(vals []float64) []float64 {
+	done, failed := 0.0, 0.0
+	if m.done {
+		done = 1
+	}
+	if m.fail != "" {
+		failed = 1
+	}
+	return append(vals,
+		float64(m.windows),
+		float64(m.snap.SessionsSeen),
+		float64(m.snap.ActiveMembers),
+		float64(m.snap.Swarms),
+		m.snap.Cumulative.TotalBits,
+		m.snap.Cumulative.ServerBits,
+		m.snap.Cumulative.PeerBits(),
+		m.snap.Cumulative.Offload(),
+		done,
+		failed,
+	)
+}
+
+// Gauges returns the current gauge values by metric name. The map is
+// built per call — scrape paths use WritePrometheus, which reuses the
+// sink's internal buffer instead.
 func (m *MetricsSink) Gauges() map[string]float64 {
 	m.mu.Lock()
-	snap, windows, done, fail := m.snap, m.windows, m.done, m.fail
+	vals := m.collectLocked(make([]float64, 0, len(metricsSchema)))
 	m.mu.Unlock()
-	g := map[string]float64{
-		"consumelocal_replay_windows_total":  float64(windows),
-		"consumelocal_replay_sessions_seen":  float64(snap.SessionsSeen),
-		"consumelocal_replay_active_members": float64(snap.ActiveMembers),
-		"consumelocal_replay_swarms":         float64(snap.Swarms),
-		"consumelocal_replay_total_bits":     snap.Cumulative.TotalBits,
-		"consumelocal_replay_server_bits":    snap.Cumulative.ServerBits,
-		"consumelocal_replay_peer_bits":      snap.Cumulative.PeerBits(),
-		"consumelocal_replay_offload":        snap.Cumulative.Offload(),
-		"consumelocal_replay_done":           0,
-		"consumelocal_replay_failed":         0,
-	}
-	if done {
-		g["consumelocal_replay_done"] = 1
-	}
-	if fail != "" {
-		g["consumelocal_replay_failed"] = 1
+	g := make(map[string]float64, len(metricsSchema))
+	for i, s := range metricsSchema {
+		g[s.name] = vals[i]
 	}
 	return g
 }
 
-// metricsOrder fixes the exposition order of the gauges.
-var metricsOrder = []string{
-	"consumelocal_replay_windows_total",
-	"consumelocal_replay_sessions_seen",
-	"consumelocal_replay_active_members",
-	"consumelocal_replay_swarms",
-	"consumelocal_replay_total_bits",
-	"consumelocal_replay_server_bits",
-	"consumelocal_replay_peer_bits",
-	"consumelocal_replay_offload",
-	"consumelocal_replay_done",
-	"consumelocal_replay_failed",
-}
-
 // WritePrometheus renders the gauges in Prometheus text exposition
-// format.
+// format. The rendering reuses the sink's scratch buffer, so
+// steady-state scrapes are allocation-free; the sink's lock is held
+// across the write to keep the buffer stable, so concurrent scrapers
+// serialise against each other and against snapshot delivery.
 func (m *MetricsSink) WritePrometheus(w io.Writer) error {
-	gauges := m.Gauges()
-	for _, name := range metricsOrder {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]); err != nil {
-			return err
-		}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vals = m.collectLocked(m.vals[:0])
+	buf := m.buf[:0]
+	for i, s := range metricsSchema {
+		buf = obs.AppendHelp(buf, s.name, s.help)
+		buf = obs.AppendType(buf, s.name, obs.TypeGauge)
+		buf = obs.AppendSample(buf, s.name, "", m.vals[i])
 	}
-	return nil
+	m.buf = buf
+	_, err := w.Write(buf)
+	return err
 }
 
 // ServeHTTP makes the sink a drop-in /metrics handler.
