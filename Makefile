@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench microbench metrics-smoke ci
+.PHONY: all build vet lint test race bench microbench metrics-smoke loadtest loadtest-smoke ci
 
 all: build
 
@@ -31,9 +31,35 @@ race:
 ## the replay perf-trajectory harness (writes BENCH_replay.json with
 ## sessions/s, B/op and allocs/op per engine × worker count — see
 ## docs/PERF.md)
+## The trajectory only means something if every PR commits its numbers,
+## so the target fails loudly when the regenerated report is left
+## uncommitted.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 	$(GO) run ./cmd/consumelocal bench -workers 1,2,4,8 -o BENCH_replay.json
+	@if git rev-parse --is-inside-work-tree >/dev/null 2>&1 && \
+		! git diff --quiet -- BENCH_replay.json; then \
+		echo ""; \
+		echo "bench: BENCH_replay.json differs from the committed copy."; \
+		echo "bench: commit the regenerated report so the perf trajectory"; \
+		echo "bench: tracks this PR — a stale JSON defeats the harness."; \
+		exit 1; \
+	fi
+
+## loadtest: the full-scale daemon hammer — spawns its own consumelocald
+## and drives 256 concurrent clients for 30s, writing BENCH_daemon.json
+## (sessions/s, latency percentiles, error counts, /metrics cross-check;
+## see docs/LOADTEST.md)
+loadtest:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/consumelocald" ./cmd/consumelocald && \
+	$(GO) run ./cmd/consumelocal loadtest -daemon "$$tmp/consumelocald" -o BENCH_daemon.json
+
+## loadtest-smoke: small-fleet end-to-end check of the load harness
+## (64 clients, self-spawned daemon, asserts a well-formed report with
+## zero 5xx) — part of ci
+loadtest-smoke:
+	./loadtest-smoke.sh
 
 ## microbench: the hot-path micro-benchmarks (tracker settlement, batch
 ## sweeper, matching, CSV fast lane, shard batch feed) at full bench time

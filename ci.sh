@@ -28,3 +28,7 @@ go test -count=1 -run 'TestParseExposition|TestObsCounterAllocs|TestScrapeSteady
 # Benchmark smoke: one iteration of every benchmark, so the perf
 # harness (make bench, cmd/consumelocal bench) can't bit-rot unnoticed.
 go test -run '^$' -bench . -benchtime 1x ./...
+# Load-harness smoke: spawn a real consumelocald and drive a small
+# concurrent fleet through the loadtest subcommand; the report must be
+# well-formed with zero 5xx — see docs/LOADTEST.md.
+./loadtest-smoke.sh

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"consumelocal/internal/loadgen"
+)
+
+// runLoadtest is the daemon-side companion to runBench: where bench
+// measures the replay engines in-process, loadtest hammers a real
+// consumelocald over HTTP with a concurrent client fleet — ingest
+// producers (some silent, exercising the watermark=wall fallback),
+// snapshot followers and spooled-trace submitters — and writes the
+// latency/throughput/error report to BENCH_daemon.json. With -addr it
+// drives an already-running daemon; without, it spawns -daemon itself
+// on an ephemeral port and tears it down after the run. See
+// docs/LOADTEST.md for the workload and report schema.
+func runLoadtest(args []string, out io.Writer) error {
+	def := loadgen.DefaultConfig()
+	fs := flag.NewFlagSet("consumelocal loadtest", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "", "base URL of a running consumelocald (e.g. http://localhost:8377); empty spawns -daemon")
+	daemonPath := fs.String("daemon", "", "consumelocald binary to spawn when -addr is empty")
+	clients := fs.Int("clients", def.Clients, "total concurrent clients across the workload mix")
+	duration := fs.Duration("duration", def.Duration, "how long to drive load")
+	rate := fs.Float64("rate", def.Rate, "aggregate offered op rate per second, 0 for unpaced")
+	burst := fs.Int("burst", def.Burst, "token-bucket burst capacity")
+	mixFlag := fs.String("mix", def.Mix, "producers:followers:trace client ratio")
+	wall := fs.Float64("wall", def.WallFraction, "fraction of producers opening jobs with watermark=wall")
+	scale := fs.Float64("scale", def.Scale, "live-trace scale for the shared workload")
+	window := fs.Int64("window", def.Window, "ingest reporting window in trace seconds")
+	seed := fs.Int64("seed", def.Seed, "trace and jitter seed")
+	maxJobs := fs.Int("max-jobs", 0, "-max-jobs for a spawned daemon (0 derives from the fleet)")
+	output := fs.String("o", def.Output, "write the JSON report here (empty skips the file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadtest: unexpected arguments %q", fs.Args())
+	}
+
+	cfg := loadgen.Config{
+		Addr:         *addr,
+		DaemonPath:   *daemonPath,
+		Clients:      *clients,
+		Duration:     *duration,
+		Rate:         *rate,
+		Burst:        *burst,
+		Mix:          *mixFlag,
+		WallFraction: *wall,
+		Scale:        *scale,
+		Window:       *window,
+		Seed:         *seed,
+		MaxJobs:      *maxJobs,
+		Output:       *output,
+		Out:          out,
+	}
+
+	// Ctrl-C ends the run early but still writes the report for what
+	// ran; a second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	_, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return fmt.Errorf("loadtest: %w", err)
+	}
+	fmt.Fprintf(out, "loadtest: completed in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

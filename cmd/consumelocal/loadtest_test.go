@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The loadtest subcommand validates its flags before touching the
+// network or spawning anything — a misconfigured run must fail fast,
+// not hammer the wrong target.
+func TestRunLoadtestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no target", nil, "need -addr"},
+		{"bare addr", []string{"-addr", "localhost:8377"}, "base URL"},
+		{"bad mix", []string{"-addr", "http://localhost:1", "-mix", "4:3"}, "-mix"},
+		{"zero clients", []string{"-addr", "http://localhost:1", "-clients", "0"}, "-clients"},
+		{"bad wall", []string{"-addr", "http://localhost:1", "-wall", "2"}, "-wall"},
+		{"narrow window", []string{"-addr", "http://localhost:1", "-window", "10"}, "-window"},
+		{"positional", []string{"-addr", "http://localhost:1", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(append([]string{"loadtest"}, tc.args...), &out)
+		if err == nil {
+			t.Errorf("%s: loadtest accepted %v", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunLoadtestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"loadtest", "-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestUsageMentionsLoadtest(t *testing.T) {
+	var out strings.Builder
+	run(nil, &out) // prints usage before erroring
+	if !strings.Contains(out.String(), "loadtest") {
+		t.Fatal("usage text does not list the loadtest subcommand")
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table3, table4, fig2, fig3, fig4, fig5, fig6,
 // ablations, provisioning, live, accounting, simulate, replay,
-// tracegen, bench, all.
+// tracegen, bench, loadtest, all.
 //
 // Flags:
 //
@@ -46,9 +46,9 @@ func run(args []string, out io.Writer) error {
 	}
 	name := args[0]
 
-	// The simulate, replay and bench subcommands have their own flag
-	// sets (trace path, policy knobs, report output), so they dispatch
-	// before the shared experiment flags parse.
+	// The simulate, replay, bench and loadtest subcommands have their
+	// own flag sets (trace path, policy knobs, report output), so they
+	// dispatch before the shared experiment flags parse.
 	if name == "simulate" {
 		return runSimulate(args[1:], out)
 	}
@@ -57,6 +57,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if name == "bench" {
 		return runBench(args[1:], out)
+	}
+	if name == "loadtest" {
+		return runLoadtest(args[1:], out)
 	}
 
 	fs := flag.NewFlagSet("consumelocal", flag.ContinueOnError)
@@ -134,6 +137,9 @@ experiments:
   tracegen   write a synthetic trace as CSV to stdout
   bench      benchmark every replay engine on one shared workload and
              record sessions/s, B/op and allocs/op (-o BENCH_replay.json)
+  loadtest   hammer a consumelocald daemon with a concurrent client
+             fleet and record latency percentiles, throughput and
+             error counts (-addr or -daemon, -o BENCH_daemon.json)
   all        run everything
 
 flags: -scale -days -seed -ratio -tsv`)

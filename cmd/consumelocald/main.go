@@ -19,7 +19,11 @@
 //	                                users, content, isps (and optional
 //	                                epoch, capacity) to open a live ingest
 //	                                stream fed through the sessions
-//	                                endpoint. Shared query: ratio, window,
+//	                                endpoint; watermark=wall (with
+//	                                wall_interval, wall_rate) derives
+//	                                watermark advances from the daemon
+//	                                clock for producers that send none.
+//	                                Shared query: ratio, window,
 //	                                workers, engine (streaming|batch|
 //	                                parallel; ingest is streaming-only),
 //	                                participation, tick, seed_retention,

@@ -446,10 +446,25 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 		if err != nil {
 			return nil, nil, err
 		}
+		wall, err := parseWallWatermark(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		stopWall := func() {}
+		if wall.enabled {
+			wallCtx, cancel := context.WithCancel(context.Background())
+			stopWall = cancel
+			go wallWatermark(wallCtx, ing, meta.HorizonSec, wall.interval, wall.rate)
+		}
 		// The cleanup runs once the job settles: tear the queue down so
 		// producers blocked in a push unblock and later pushes are
-		// refused with a closed-stream conflict.
-		return ing, func() { ing.Abort(errIngestJobOver) }, nil
+		// refused with a closed-stream conflict. Aborting also unwinds
+		// the wall-clock watermark goroutine; cancelling its context
+		// first just spares it a doomed Advance.
+		return ing, func() {
+			stopWall()
+			ing.Abort(errIngestJobOver)
+		}, nil
 	case "", "body":
 		f, err := os.CreateTemp("", "consumelocald-job-*.csv")
 		if err != nil {
@@ -564,6 +579,105 @@ func ingestMeta(q url.Values) (trace.Meta, error) {
 		meta.Epoch = epoch
 	}
 	return meta, meta.Validate()
+}
+
+// Bounds on the wall-clock watermark parameters. The interval floor
+// keeps an unauthenticated request from scheduling a busy-loop ticker;
+// the rate ceiling keeps elapsed×rate inside int64 seconds for any
+// plausible daemon uptime (the horizon cap clamps the watermark anyway).
+const (
+	minWallInterval = 10 * time.Millisecond
+	maxWallInterval = time.Hour
+	maxWallRate     = 1e9
+)
+
+// wallConfig is the parsed wall-clock watermark fallback of an ingest
+// job: derive Advance from the daemon clock so a producer that sends
+// sessions but no (or late) watermarks still gets its reporting windows
+// settled — the "silent producer" gap in the durable-service story.
+type wallConfig struct {
+	enabled  bool
+	interval time.Duration
+	rate     float64 // trace-seconds advanced per wall-clock second
+}
+
+// parseWallWatermark parses ?watermark=wall with its wall_interval and
+// wall_rate companions. The default rate of 1 matches a producer
+// pushing in real time against the stream epoch; accelerated replays
+// (the loadtest's evening-in-seconds schedules) raise it.
+func parseWallWatermark(q url.Values) (wallConfig, error) {
+	cfg := wallConfig{interval: time.Second, rate: 1}
+	switch v := q.Get("watermark"); v {
+	case "":
+		return cfg, nil
+	case "wall":
+		cfg.enabled = true
+	default:
+		return cfg, fmt.Errorf("query watermark: unknown mode %q (only \"wall\" is supported on job creation)", v)
+	}
+	if raw := q.Get("wall_interval"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return cfg, fmt.Errorf("query wall_interval: %w", err)
+		}
+		if d < minWallInterval || d > maxWallInterval {
+			return cfg, fmt.Errorf("query wall_interval: must be in [%s, %s], got %s", minWallInterval, maxWallInterval, d)
+		}
+		cfg.interval = d
+	}
+	if raw := q.Get("wall_rate"); raw != "" {
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("query wall_rate: %w", err)
+		}
+		if f <= 0 || f > maxWallRate {
+			return cfg, fmt.Errorf("query wall_rate: must be in (0, %g], got %g", float64(maxWallRate), f)
+		}
+		cfg.rate = f
+	}
+	return cfg, nil
+}
+
+// wallWatermark advances an ingest stream's watermark from the daemon
+// clock: every interval it promises the replay that trace time has
+// reached elapsed×rate (clamped to the horizon), settling reporting
+// windows even while the producer is silent. Producer-sent watermarks
+// compose — whichever clock is ahead wins, and a producer overtaking
+// the ticker between its check and its Advance is tolerated, not an
+// error. Wall advances are not producer activity: the idle watchdog
+// still reaps a stream whose producer has disappeared. The goroutine
+// exits when the stream is sealed, aborted, the horizon is reached, or
+// ctx is cancelled.
+func wallWatermark(ctx context.Context, ing *consumelocal.IngestSource, horizonSec int64, interval time.Duration, rate float64) {
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		target := int64(time.Since(start).Seconds() * rate)
+		if target > horizonSec {
+			target = horizonSec
+		}
+		if target <= ing.Watermark() {
+			continue
+		}
+		switch err := ing.AdvanceContext(ctx, target); {
+		case err == nil:
+		case errors.Is(err, consumelocal.ErrOutOfOrder):
+			// A producer watermark outran the daemon clock; theirs wins.
+		default:
+			// Sealed, aborted or cancelled — the stream no longer needs
+			// a clock.
+			return
+		}
+		if target >= horizonSec {
+			return
+		}
+	}
 }
 
 // runningLocked counts in-flight replays. Callers hold s.mu.

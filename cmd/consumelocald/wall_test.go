@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestIngestWallWatermark: an ingest job opened with watermark=wall
+// settles its reporting windows from the daemon clock alone. The
+// producer pushes one early batch and then goes silent — exactly the
+// failure mode the fallback exists for — and never advances the
+// watermark itself; the accelerated wall rate walks the 4-hour horizon
+// in well under a second, so every window settles anyway.
+func TestIngestWallWatermark(t *testing.T) {
+	ts := httptest.NewServer(newServer(0).routes())
+	defer ts.Close()
+
+	// 3600 trace-seconds per 10ms tick: the 14400s horizon passes in
+	// ~40ms of wall time.
+	resp, v := postJob(t, ingestURL(ts.URL, "&watermark=wall&wall_interval=10ms&wall_rate=360000"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wall ingest job = %d, want 202", resp.StatusCode)
+	}
+
+	// One batch in hour zero, ahead of the just-started clock. The
+	// producer sends no watermark — the daemon's clock is the only one.
+	if sresp, out := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions", ts.URL, v.ID),
+		"text/csv", sessionRows(0, 20)); sresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d (%v), want 200", sresp.StatusCode, out)
+	}
+
+	// A follower sees every window settle while the producer is silent.
+	followResp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/snapshots", ts.URL, v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer followResp.Body.Close()
+	follower := bufio.NewScanner(followResp.Body)
+	follower.Buffer(make([]byte, 1<<20), 1<<20)
+	settled := 0
+	for settled < 4 && follower.Scan() {
+		var snap struct {
+			ToSec int64 `json:"to_sec"`
+		}
+		if err := json.Unmarshal(follower.Bytes(), &snap); err != nil {
+			t.Fatalf("bad snapshot line %q: %v", follower.Text(), err)
+		}
+		settled++
+		if want := int64(settled) * 3600; snap.ToSec != want {
+			t.Fatalf("window %d settled to_sec=%d, want %d", settled, snap.ToSec, want)
+		}
+	}
+	if settled < 4 {
+		t.Fatalf("only %d windows settled from the wall clock: %v", settled, follower.Err())
+	}
+
+	// The clock stopped at the horizon; the view reports the clamped
+	// watermark and the stream still seals normally.
+	var view jobView
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, v.ID), &view)
+	if view.Watermark != 14400 {
+		t.Fatalf("wall watermark = %d, want clamped to horizon 14400", view.Watermark)
+	}
+	if fresp, err := http.Post(fmt.Sprintf("%s/v1/jobs/%d/finish", ts.URL, v.ID), "", nil); err != nil || fresp.StatusCode != http.StatusOK {
+		t.Fatalf("finish = %v %d, want 200", err, fresp.StatusCode)
+	}
+	final := pollJobStatus(t, ts.URL, v.ID, "done")
+	if final.Snapshot.SessionsSeen != 20 {
+		t.Fatalf("final snapshot saw %d sessions, want 20", final.Snapshot.SessionsSeen)
+	}
+}
+
+// TestIngestWallWatermarkComposesWithProducer: a producer watermark
+// ahead of the slow daemon clock wins without failing the job, and
+// sessions keep landing against the higher floor.
+func TestIngestWallWatermarkComposesWithProducer(t *testing.T) {
+	ts := httptest.NewServer(newServer(0).routes())
+	defer ts.Close()
+
+	// Slow clock: ~1 trace-second per 10ms — the producer will lap it.
+	_, v := postJob(t, ingestURL(ts.URL, "&watermark=wall&wall_interval=10ms&wall_rate=100"))
+
+	if sresp, out := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions?watermark=7200", ts.URL, v.ID),
+		"text/csv", sessionRows(0, 10)); sresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d (%v), want 200", sresp.StatusCode, out)
+	}
+	var view jobView
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, v.ID), &view)
+	if view.Watermark < 7200 {
+		t.Fatalf("watermark = %d, want the producer's 7200 to hold against the wall clock", view.Watermark)
+	}
+	if sresp, out := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions", ts.URL, v.ID),
+		"text/csv", sessionRows(7200, 5)); sresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-watermark batch = %d (%v), want 200", sresp.StatusCode, out)
+	}
+	if fresp, err := http.Post(fmt.Sprintf("%s/v1/jobs/%d/finish", ts.URL, v.ID), "", nil); err != nil || fresp.StatusCode != http.StatusOK {
+		t.Fatalf("finish = %v %d, want 200", err, fresp.StatusCode)
+	}
+	pollJobStatus(t, ts.URL, v.ID, "done")
+}
+
+// TestIngestWallWatermarkRejectsBadParams: the wall mode's parameters
+// are bounded like every other unauthenticated input.
+func TestIngestWallWatermarkRejectsBadParams(t *testing.T) {
+	ts := httptest.NewServer(newServer(0).routes())
+	defer ts.Close()
+	for _, url := range []string{
+		"&watermark=tide",
+		"&watermark=wall&wall_interval=1ms",
+		"&watermark=wall&wall_interval=2h",
+		"&watermark=wall&wall_interval=soon",
+		"&watermark=wall&wall_rate=0",
+		"&watermark=wall&wall_rate=-3",
+		"&watermark=wall&wall_rate=1e12",
+		"&watermark=wall&wall_rate=fast",
+	} {
+		resp, err := http.Post(ingestURL(ts.URL, url), "text/csv", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST ...%s = %d, want 400", url, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package loadgen is the production load harness behind `consumelocal
+// loadtest`: it drives a running consumelocald — or spawns one itself —
+// with hundreds of concurrent clients in a configurable workload mix
+// (live ingest producers, snapshot followers, spooled trace
+// submissions), shapes the offered load with an open-loop token-bucket
+// arrival model, and measures what the daemon actually delivered:
+// per-operation latency percentiles from the repo's own fixed-bucket
+// histograms, HTTP error and backpressure-stall counts, ingest
+// throughput, daemon RSS, and a client-versus-server cross-check built
+// from /metrics scrapes taken at the start, middle and end of the run.
+//
+// The harness is deliberately built from the same parts it measures:
+// latencies land in internal/obs histograms (the daemon's own histogram
+// implementation), scrapes are parsed with obs.ParseExposition (the CI
+// metrics linter), and the workload is the evening-TV live trace the
+// ingest API was designed around. The JSON report (BENCH_daemon.json)
+// is the daemon-side companion to BENCH_replay.json: where bench
+// measures the engines in-process, loadtest measures the whole service
+// under concurrent HTTP load. See docs/LOADTEST.md.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"consumelocal"
+	"consumelocal/internal/obs"
+)
+
+// Config parameterises one load-test run. The zero value is not
+// runnable; start from DefaultConfig.
+type Config struct {
+	// Addr is the base URL of a daemon to drive (e.g.
+	// http://localhost:8377). Empty means spawn DaemonPath on an
+	// ephemeral port and tear it down with the run.
+	Addr string
+	// DaemonPath is the consumelocald binary to spawn when Addr is
+	// empty.
+	DaemonPath string
+	// Clients is the total number of concurrent clients across all
+	// workload classes.
+	Clients int
+	// Duration is how long to keep the fleet driving load.
+	Duration time.Duration
+	// Rate is the aggregate offered operation rate in ops/second,
+	// shared by every paced client through one token bucket. Zero or
+	// negative disables pacing (closed-loop, as fast as the daemon
+	// answers).
+	Rate float64
+	// Burst is the token-bucket capacity: how many operations may fire
+	// back-to-back after an idle stretch.
+	Burst int
+	// Mix apportions Clients across the workload classes as a
+	// producers:followers:trace ratio, e.g. "4:3:1".
+	Mix string
+	// WallFraction is the fraction of ingest producers that open their
+	// jobs with watermark=wall — the silent-producer workload the
+	// daemon's wall-clock fallback exists for.
+	WallFraction float64
+	// Scale sizes the shared evening-TV live trace (relative to the
+	// paper's city-scale broadcast).
+	Scale float64
+	// Window is the ingest reporting window in trace seconds (>= 60).
+	Window int64
+	// Seed feeds the trace generator and the per-client jitter.
+	Seed int64
+	// MaxJobs is passed to a spawned daemon as -max-jobs. Zero derives
+	// a quota wide enough that the fleet is not artificially starved
+	// (producers + trace clients + slack).
+	MaxJobs int
+	// Output is the report path. Empty skips writing the file (the
+	// Report is still returned).
+	Output string
+	// Out receives human-readable progress lines; nil is silent.
+	Out io.Writer
+}
+
+// DefaultConfig returns the acceptance-shaped run: 256 clients in a
+// 4:3:1 producer:follower:trace mix for 30 seconds at 200 ops/s.
+func DefaultConfig() Config {
+	return Config{
+		Clients:      256,
+		Duration:     30 * time.Second,
+		Rate:         200,
+		Burst:        64,
+		Mix:          "4:3:1",
+		WallFraction: 0.25,
+		Scale:        0.002,
+		Window:       3600,
+		Seed:         1,
+		Output:       "BENCH_daemon.json",
+	}
+}
+
+// Validate rejects configurations the harness cannot honour.
+func (c *Config) Validate() error {
+	if c.Addr == "" && c.DaemonPath == "" {
+		return fmt.Errorf("loadgen: need -addr of a running daemon or -daemon binary to spawn")
+	}
+	if c.Addr != "" && !strings.HasPrefix(c.Addr, "http://") && !strings.HasPrefix(c.Addr, "https://") {
+		return fmt.Errorf("loadgen: -addr %q must be a base URL (http://host:port)", c.Addr)
+	}
+	if c.Clients <= 0 {
+		return fmt.Errorf("loadgen: -clients must be positive, got %d", c.Clients)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: -duration must be positive, got %s", c.Duration)
+	}
+	if c.Burst < 1 {
+		return fmt.Errorf("loadgen: -burst must be at least 1, got %d", c.Burst)
+	}
+	if _, err := parseMix(c.Mix); err != nil {
+		return err
+	}
+	if c.WallFraction < 0 || c.WallFraction > 1 {
+		return fmt.Errorf("loadgen: -wall must be in [0,1], got %g", c.WallFraction)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("loadgen: -scale must be positive, got %g", c.Scale)
+	}
+	if c.Window < 60 {
+		return fmt.Errorf("loadgen: -window must be at least 60s, got %d", c.Window)
+	}
+	if c.MaxJobs < 0 {
+		return fmt.Errorf("loadgen: -max-jobs must be non-negative, got %d", c.MaxJobs)
+	}
+	return nil
+}
+
+// mix is the client apportionment across workload classes.
+type mix struct {
+	producers, followers, trace int
+}
+
+// parseMix parses a "p:f:t" ratio of non-negative integers, at least
+// one positive.
+func parseMix(s string) (mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mix{}, fmt.Errorf("loadgen: -mix %q must be producers:followers:trace, e.g. 4:3:1", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		n := 0
+		if p == "" {
+			return mix{}, fmt.Errorf("loadgen: -mix %q has an empty component", s)
+		}
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return mix{}, fmt.Errorf("loadgen: -mix component %q is not a non-negative integer", p)
+			}
+			n = n*10 + int(c-'0')
+			if n > 1_000_000 {
+				return mix{}, fmt.Errorf("loadgen: -mix component %q is out of range", p)
+			}
+		}
+		w[i] = n
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		return mix{}, fmt.Errorf("loadgen: -mix %q must have at least one positive component", s)
+	}
+	return mix{producers: w[0], followers: w[1], trace: w[2]}, nil
+}
+
+// apportion splits clients across the mix by largest remainder, then
+// guarantees every positively-weighted class at least one client when
+// there are enough clients to go around — a 4:3:1 mix with 6 clients
+// still fields a trace submitter.
+func (m mix) apportion(clients int) mix {
+	w := [3]int{m.producers, m.followers, m.trace}
+	total := w[0] + w[1] + w[2]
+	var counts [3]int
+	var fracs [3]float64
+	assigned := 0
+	for i, wi := range w {
+		exact := float64(clients) * float64(wi) / float64(total)
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < clients {
+		best := 0
+		for i := 1; i < 3; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	// Positive weight deserves presence: steal from the largest class.
+	positive := 0
+	for _, wi := range w {
+		if wi > 0 {
+			positive++
+		}
+	}
+	if clients >= positive {
+		for i := range w {
+			if w[i] > 0 && counts[i] == 0 {
+				big := 0
+				for k := 1; k < 3; k++ {
+					if counts[k] > counts[big] {
+						big = k
+					}
+				}
+				counts[big]--
+				counts[i]++
+			}
+		}
+	}
+	return mix{producers: counts[0], followers: counts[1], trace: counts[2]}
+}
+
+// Run executes one load test and returns its report. The context
+// bounds the whole run: cancelling it stops the fleet early (the
+// report covers what ran) and tears down a spawned daemon.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, _ := parseMix(cfg.Mix)
+	counts := m.apportion(cfg.Clients)
+	wallProducers := int(math.Round(cfg.WallFraction * float64(counts.producers)))
+
+	// One shared schedule: the evening-TV live trace, pre-rendered into
+	// hourly CSV batches every producer replays, and a spooled-CSV body
+	// for the trace submitters. Rendering once keeps the client hot
+	// loops free of per-op trace work — they only do HTTP.
+	liveCfg := consumelocal.DefaultLiveTraceConfig(cfg.Scale)
+	liveCfg.Seed = cfg.Seed
+	tr, err := consumelocal.GenerateLiveTrace(liveCfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generate live trace: %w", err)
+	}
+	batches := renderBatches(tr, cfg.Window)
+	traceBody, err := renderTraceBody(tr)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &run{
+		cfg:       cfg,
+		counts:    counts,
+		wall:      wallProducers,
+		tr:        tr,
+		batches:   batches,
+		traceBody: traceBody,
+		pace:      newPacer(cfg.Rate, cfg.Burst),
+	}
+	r.initMetrics()
+	r.client = &http.Client{
+		Transport: &http.Transport{
+			// The fleet holds one long-lived connection per client;
+			// without a matching idle pool every paced op would pay a
+			// fresh TCP handshake and the latency histograms would
+			// measure the harness, not the daemon.
+			MaxIdleConns:        cfg.Clients + 8,
+			MaxIdleConnsPerHost: cfg.Clients + 8,
+			IdleConnTimeout:     2 * time.Minute,
+		},
+	}
+
+	base := cfg.Addr
+	var d *daemon
+	if base == "" {
+		maxJobs := cfg.MaxJobs
+		if maxJobs == 0 {
+			// Every producer and trace client can hold a job at once;
+			// the slack absorbs recycling overlap (finish still
+			// draining while the successor job opens).
+			maxJobs = counts.producers + counts.trace + 8
+		}
+		d, err = spawnDaemon(ctx, cfg.DaemonPath, maxJobs, cfg.Out)
+		if err != nil {
+			return nil, err
+		}
+		defer d.stop()
+		base = "http://" + d.addr
+	}
+	r.base = base
+	r.daemon = d
+
+	r.logf("loadtest: %d clients (%d producers [%d wall], %d followers, %d trace) against %s for %s",
+		cfg.Clients, counts.producers, wallProducers, counts.followers, counts.trace, base, cfg.Duration)
+	r.logf("loadtest: workload %q: %d sessions over %ds in %d batches",
+		tr.Name, len(tr.Sessions), tr.HorizonSec, len(batches))
+
+	// Scrape the daemon before any load so the report's deltas cover
+	// exactly this run even against a long-lived daemon.
+	initial, err := r.scrape(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial /metrics scrape: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	started := time.Now()
+
+	var wg sync.WaitGroup
+	idx := 0
+	for i := 0; i < counts.producers; i++ {
+		wg.Add(1)
+		go func(id int, wall bool) {
+			defer wg.Done()
+			r.producer(runCtx, id, wall)
+		}(idx, i < wallProducers)
+		idx++
+	}
+	for i := 0; i < counts.followers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.follower(runCtx, id)
+		}(idx)
+		idx++
+	}
+	for i := 0; i < counts.trace; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.traceClient(runCtx, id)
+		}(idx)
+		idx++
+	}
+
+	// The supervisor samples RSS while the fleet runs and takes the
+	// mid-run scrape at half time — the cross-check point where client
+	// and server counters should already have diverged if they ever
+	// will.
+	var mid *serverSample
+	superDone := make(chan struct{})
+	go func() {
+		defer close(superDone)
+		midAt := time.After(cfg.Duration / 2)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-midAt:
+				if s, err := r.scrape(ctx); err == nil {
+					mid = s
+				}
+				midAt = nil
+			case <-tick.C:
+				if d != nil {
+					d.sampleRSS()
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-superDone
+	elapsed := time.Since(started)
+
+	// Final scrape after the fleet has gone quiet: in spawn mode no
+	// other client exists, so the deltas are exact.
+	final, err := r.scrape(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final /metrics scrape: %w", err)
+	}
+
+	rep := r.buildReport(elapsed, initial, mid, final)
+	r.logf("loadtest: %.0f sessions/s (%d accepted over %.1fs); create p95 %.1fms, batch p95/p99 %.1f/%.1fms, snapshot p95 %.1fms",
+		rep.Ingest.SessionsPerSec, rep.Ingest.SessionsAccepted, rep.ElapsedSec,
+		rep.Latency.Create.P95Ms, rep.Latency.Batch.P95Ms, rep.Latency.Batch.P99Ms, rep.Latency.Snapshot.P95Ms)
+	r.logf("loadtest: errors: %d 5xx, %d unexpected 4xx, %d network; backpressure: %d quota 429s, %d ordering 409s, %d ops behind schedule",
+		rep.Errors.HTTP5xx, rep.Errors.HTTP4xx, rep.Errors.Network,
+		rep.Errors.Quota429, rep.Errors.Conflict409, rep.Errors.BehindScheduleOps)
+	r.logf("loadtest: session ledger: client %d vs server %d (diff %d)",
+		rep.Skew.ClientSessions, rep.Skew.ServerSessions, rep.Skew.Diff)
+	if rep.Daemon != nil {
+		r.logf("loadtest: daemon pid %d peak RSS %.1f MiB", rep.Daemon.PID, float64(rep.Daemon.RSSPeakBytes)/(1<<20))
+	}
+	if cfg.Output != "" {
+		if err := rep.write(cfg.Output); err != nil {
+			return nil, err
+		}
+		r.logf("loadtest: report written to %s", cfg.Output)
+	}
+	return rep, nil
+}
+
+// renderBatches slices the trace into per-window CSV batches, each
+// carrying the watermark boundary a producer advances to after pushing
+// it. Quiet windows still appear (empty CSV, live boundary) — that is
+// what settles empty windows on the daemon.
+type hourBatch struct {
+	csv      string
+	boundary int64
+	sessions int
+}
+
+func renderBatches(tr *consumelocal.Trace, window int64) []hourBatch {
+	var batches []hourBatch
+	sessions := tr.Sessions
+	for from := int64(0); from < tr.HorizonSec; from += window {
+		boundary := from + window
+		if boundary > tr.HorizonSec {
+			boundary = tr.HorizonSec
+		}
+		var b strings.Builder
+		n := 0
+		for len(sessions) > 0 && sessions[0].StartSec < boundary {
+			s := sessions[0]
+			fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d\n",
+				s.UserID, s.ContentID, s.ISP, s.Exchange, s.StartSec, s.DurationSec, s.Bitrate)
+			sessions = sessions[1:]
+			n++
+		}
+		batches = append(batches, hourBatch{csv: b.String(), boundary: boundary, sessions: n})
+	}
+	return batches
+}
+
+// renderTraceBody serialises the shared trace as the spooled-CSV job
+// body the trace submitters upload.
+func renderTraceBody(tr *consumelocal.Trace) (string, error) {
+	var b strings.Builder
+	if err := consumelocal.WriteTraceCSV(tr, &b); err != nil {
+		return "", fmt.Errorf("loadgen: render trace body: %w", err)
+	}
+	return b.String(), nil
+}
+
+// run is the shared state of one load test: configuration, the
+// pre-rendered workload, the shared pacer and HTTP client, and the
+// measurement registry the clients write into.
+type run struct {
+	cfg       Config
+	counts    mix
+	wall      int
+	base      string
+	tr        *consumelocal.Trace
+	batches   []hourBatch
+	traceBody string
+	pace      *pacer
+	client    *http.Client
+	daemon    *daemon
+
+	reg       *obs.Registry
+	createLat *obs.Histogram
+	batchLat  *obs.Histogram
+	snapLat   *obs.Histogram
+
+	sessionsAccepted *obs.Counter
+	jobsOpened       *obs.Counter
+	jobsFinished     *obs.Counter
+	tracesSubmitted  *obs.Counter
+	snapshotLines    *obs.Counter
+	followStreams    *obs.Counter
+	quota429         *obs.Counter
+	conflict409      *obs.Counter
+	err4xx           *obs.Counter
+	err5xx           *obs.Counter
+	errNet           *obs.Counter
+}
+
+func (r *run) initMetrics() {
+	r.reg = obs.NewRegistry()
+	r.createLat = r.reg.Histogram("loadgen_create_latency_seconds",
+		"Latency of job-opening POSTs (ingest and spooled trace).", obs.LatencyBuckets)
+	r.batchLat = r.reg.Histogram("loadgen_batch_latency_seconds",
+		"Latency of session-batch POSTs.", obs.LatencyBuckets)
+	r.snapLat = r.reg.Histogram("loadgen_snapshot_latency_seconds",
+		"Snapshot follower latency: time to first NDJSON line, then inter-line gaps.", obs.LatencyBuckets)
+	r.sessionsAccepted = r.reg.Counter("loadgen_sessions_accepted_total",
+		"Sessions the daemon acknowledged (pushed counts, including 409 prefixes).")
+	r.jobsOpened = r.reg.Counter("loadgen_ingest_jobs_opened_total",
+		"Ingest jobs opened by producers.")
+	r.jobsFinished = r.reg.Counter("loadgen_ingest_jobs_finished_total",
+		"Ingest jobs sealed by producers.")
+	r.tracesSubmitted = r.reg.Counter("loadgen_trace_jobs_submitted_total",
+		"Spooled trace jobs submitted.")
+	r.snapshotLines = r.reg.Counter("loadgen_snapshot_lines_total",
+		"NDJSON snapshot lines received by followers.")
+	r.followStreams = r.reg.Counter("loadgen_follow_streams_total",
+		"Snapshot follow streams opened.")
+	r.quota429 = r.reg.Counter("loadgen_backpressure_429_total",
+		"Submissions refused by the daemon quota (backpressure stalls).")
+	r.conflict409 = r.reg.Counter("loadgen_conflict_409_total",
+		"Batch pushes rejected for watermark ordering (racing the wall clock).")
+	r.err4xx = r.reg.Counter("loadgen_http_4xx_total",
+		"Unexpected 4xx responses (excluding counted 429/409).")
+	r.err5xx = r.reg.Counter("loadgen_http_5xx_total",
+		"5xx responses — the run's failure headline.")
+	r.errNet = r.reg.Counter("loadgen_network_errors_total",
+		"Transport-level request failures (excluding run-shutdown cancellations).")
+}
+
+func (r *run) logf(format string, args ...any) {
+	if r.cfg.Out != nil {
+		fmt.Fprintf(r.cfg.Out, format+"\n", args...)
+	}
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// pacer is the shared token bucket shaping the fleet's offered load
+// into an open-loop arrival process: tokens accrue at rate per second
+// up to burst, every paced operation spends one, and a client whose
+// token is not yet banked sleeps until it is. Because the bucket is
+// shared, the rate bounds the whole fleet, not each client — the mix
+// decides who gets the tokens, contention decides when.
+//
+// The bucket also measures the other direction: when a refill finds
+// the bucket already full, the fleet failed to consume tokens as fast
+// as they were offered — it is running behind the intended schedule
+// (the daemon, the network, or the harness itself is the bottleneck).
+// Those dropped tokens are reported as behind-schedule ops.
+type pacer struct {
+	rate  float64 // tokens per second; <= 0 disables pacing
+	burst float64
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	overflow float64
+}
+
+func newPacer(rate float64, burst int) *pacer {
+	return &pacer{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// wait blocks until a token is available or ctx is done. It returns
+// ctx.Err() on cancellation; nil means the caller may fire one op.
+func (p *pacer) wait(ctx context.Context) error {
+	if p.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		p.mu.Lock()
+		now := time.Now()
+		refill := now.Sub(p.last).Seconds() * p.rate
+		p.last = now
+		p.tokens += refill
+		if p.tokens > p.burst {
+			// The overflow is load the fleet was offered but never
+			// drove: tokens lost to saturation.
+			p.overflow += p.tokens - p.burst
+			p.tokens = p.burst
+		}
+		if p.tokens >= 1 {
+			p.tokens--
+			p.mu.Unlock()
+			return nil
+		}
+		need := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+		p.mu.Unlock()
+
+		timer := time.NewTimer(need)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// behindSchedule reports how many offered tokens went unconsumed —
+// zero when the fleet kept up with the configured rate.
+func (p *pacer) behindSchedule() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.overflow)
+}

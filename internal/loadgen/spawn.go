@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// daemon is a consumelocald subprocess the harness spawned for the
+// run: bound address parsed from its startup log, peak RSS sampled
+// from /proc while the fleet drives it, SIGTERM + drain on teardown.
+type daemon struct {
+	cmd     *exec.Cmd
+	addr    string
+	rssPeak atomic.Int64
+	done    chan error
+}
+
+// spawnDaemon launches the consumelocald binary at path on an
+// ephemeral loopback port and waits for it to report readiness via its
+// structured "consumelocald listening" log line — the same contract
+// metrics-smoke.sh relies on. The daemon's stderr keeps streaming to
+// out (when non-nil) for post-mortems.
+func spawnDaemon(ctx context.Context, path string, maxJobs int, out io.Writer) (*daemon, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("loadgen: daemon binary: %w", err)
+	}
+	cmd := exec.Command(path,
+		"-addr", "127.0.0.1:0",
+		"-max-jobs", strconv.Itoa(maxJobs),
+		"-drain", "5s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("loadgen: start daemon: %w", err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, `msg="consumelocald listening"`) {
+				if addr := logAttr(line, "addr"); addr != "" {
+					select {
+					case addrc <- addr:
+					default:
+					}
+				}
+			}
+			if out != nil {
+				fmt.Fprintln(out, "  [daemon]", line)
+			}
+		}
+	}()
+	go func() { d.done <- cmd.Wait() }()
+
+	select {
+	case addr := <-addrc:
+		d.addr = addr
+		d.sampleRSS()
+		return d, nil
+	case err := <-d.done:
+		return nil, fmt.Errorf("loadgen: daemon exited before listening: %v", err)
+	case <-ctx.Done():
+		cmd.Process.Kill()
+		return nil, ctx.Err()
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("loadgen: daemon did not report a listening address within 10s")
+	}
+}
+
+// logAttr extracts a slog TextHandler key=value attribute from a log
+// line. Values the daemon logs for addr are never quoted.
+func logAttr(line, key string) string {
+	for _, field := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(field, key+"="); ok {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// sampleRSS reads the daemon's current VmRSS from /proc and keeps the
+// peak. Best-effort: on platforms without /proc the peak stays at the
+// zero the report renders honestly.
+func (d *daemon) sampleRSS() {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", d.cmd.Process.Pid))
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmRSS:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest) // e.g. ["123456", "kB"]
+		if len(fields) < 1 {
+			return
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return
+		}
+		bytes := kb << 10
+		for {
+			old := d.rssPeak.Load()
+			if bytes <= old || d.rssPeak.CompareAndSwap(old, bytes) {
+				return
+			}
+		}
+	}
+}
+
+// stop shuts the daemon down the way an operator would: SIGTERM, let
+// the graceful-drain path run, escalate to SIGKILL only if it hangs.
+func (d *daemon) stop() {
+	if d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-d.done:
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		<-d.done
+	}
+}

@@ -273,6 +273,65 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.load() }
 
+// Quantile estimates the q-quantile of the observed distribution by
+// linear interpolation inside the bucket where the cumulative count
+// crosses q×total — the same estimator Prometheus's histogram_quantile
+// applies server-side, available here for in-process reports (the
+// loadtest harness) and test assertions. The first bucket interpolates
+// from zero, so the estimate assumes non-negative observations (true of
+// every latency series in the repo); a quantile landing in the +Inf
+// bucket returns the largest finite bound, the histogram's resolution
+// ceiling. q is clamped to [0, 1]; with no observations the result is
+// NaN. Allocation-free and safe under concurrent Observe — concurrent
+// updates can skew the estimate by at most the in-flight observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.upper) {
+			// The +Inf bucket has no finite width to interpolate in.
+			return h.upper[len(h.upper)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.upper[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (h.upper[i]-lower)*frac
+	}
+	// Counts grew between the two passes; the quantile is in the last
+	// occupied bucket's upper reaches.
+	return h.upper[len(h.upper)-1]
+}
+
 // collect returns the appender rendering _bucket/_sum/_count lines,
 // with the per-line prefixes precomputed so steady-state scrapes only
 // append into the registry's reusable buffer.

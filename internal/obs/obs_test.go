@@ -292,3 +292,71 @@ func TestReplayMetricsRegister(t *testing.T) {
 		t.Fatalf("queue depth = %g, want 3", got)
 	}
 }
+
+// TestHistogramQuantile pins the bucket-interpolation estimator: exact
+// interpolation inside a uniformly filled bucket, clamping at the
+// edges, the +Inf ceiling, and the empty-histogram NaN.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "test histogram", []float64{1, 2, 4})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", h.Quantile(0.5))
+	}
+
+	// 100 observations spread uniformly through (1, 2]: every quantile
+	// interpolates linearly inside that one bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1 + (float64(i)+0.5)/100)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 1.5},
+		{0.95, 1.95},
+		{0.99, 1.99},
+		{1, 2},
+		{0, 1}, // rank 0 resolves to the occupied bucket's lower bound
+		{-1, 1},
+		{2, 2},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// Fill the lowest bucket too: the median must move below 1 and
+	// interpolate from zero (non-negative observations assumed).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.25); got <= 0 || got > 1 {
+		t.Fatalf("Quantile(0.25) = %g, want inside (0, 1]", got)
+	}
+	if got := h.Quantile(0.75); got <= 1 || got > 2 {
+		t.Fatalf("Quantile(0.75) = %g, want inside (1, 2]", got)
+	}
+
+	// An observation beyond every bound lands in +Inf; the top quantile
+	// reports the histogram's resolution ceiling, not infinity.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) with +Inf occupancy = %g, want the last finite bound 4", got)
+	}
+	if math.IsNaN(h.Quantile(math.NaN())) != true {
+		t.Fatal("Quantile(NaN) should be NaN")
+	}
+}
+
+// TestHistogramQuantileAllocs pins Quantile as allocation-free: the
+// loadtest report calls it while client pools are still recording.
+func TestHistogramQuantileAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qa_seconds", "test histogram", LatencyBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 997)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+	}); allocs != 0 {
+		t.Fatalf("Quantile allocates %v per call, want 0", allocs)
+	}
+}
