@@ -12,20 +12,28 @@ build:
 vet:
 	$(GO) vet ./...
 
-## lint: formatting gate — fails when gofmt would rewrite anything
+## lint: formatting gate (gofmt -s) plus the repo's own go/analysis
+## suite — borrowcheck, ctxsend, hotalloc, metricdecl, lockscope —
+## followed by the waiver ledger (see docs/LINT.md)
 lint:
-	@drift="$$(gofmt -l .)"; if [ -n "$$drift" ]; then \
-		echo "gofmt needed on:"; echo "$$drift"; exit 1; \
+	@drift="$$(gofmt -s -l .)"; if [ -n "$$drift" ]; then \
+		echo "gofmt -s needed on:"; echo "$$drift"; exit 1; \
 	fi
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/consumelocal-vet" ./cmd/consumelocal-vet && \
+	$(GO) vet -vettool="$$tmp/consumelocal-vet" ./... && \
+	"$$tmp/consumelocal-vet" -ledger
 
 ## test: the tier-1 suite
 test:
 	$(GO) test ./...
 
 ## race: race-check the concurrent subsystems (Replay API layer,
-## streaming engine, parallel simulator, daemon job manager)
+## streaming engine, parallel simulator, daemon job manager, load
+## generator, incremental swarm)
 race:
-	$(GO) test -race . ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/...
+	$(GO) test -race . ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/... \
+		./internal/loadgen/... ./internal/swarm/...
 
 ## bench: the reproduction's benchmark report at reduced scale, then
 ## the replay perf-trajectory harness (writes BENCH_replay.json with

@@ -16,10 +16,20 @@ test -z "$oversized"
 
 go build ./...
 go vet ./...
-fmt_drift="$(gofmt -l .)"
+# Repo-specific analyzers: borrowcheck, ctxsend, hotalloc, metricdecl,
+# lockscope — see docs/LINT.md. The waiver ledger prints every
+# //consumelocal:ignore marker (file:line, analyzer, reason) so the
+# CI log shows exactly which findings are sanctioned and why.
+vet_tool_dir="$(mktemp -d)"
+trap 'rm -rf "$vet_tool_dir"' EXIT
+go build -o "$vet_tool_dir/consumelocal-vet" ./cmd/consumelocal-vet
+go vet -vettool="$vet_tool_dir/consumelocal-vet" ./...
+"$vet_tool_dir/consumelocal-vet" -ledger
+fmt_drift="$(gofmt -s -l .)"
 test -z "$fmt_drift"
 go test ./...
-go test -race . ./internal/engine/... ./cmd/consumelocald/...
+go test -race . ./internal/engine/... ./cmd/consumelocald/... \
+	./internal/loadgen/... ./internal/sim/... ./internal/swarm/...
 # Metrics lint: every /metrics scrape must parse under the exposition
 # linter (HELP/TYPE metadata, histogram suffixes, no duplicate series)
 # and expose the documented families — see docs/OBSERVABILITY.md.

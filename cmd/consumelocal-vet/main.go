@@ -1,0 +1,194 @@
+// Command consumelocal-vet runs the repo's own go/analysis suite —
+// borrowcheck, ctxsend, hotalloc, metricdecl, lockscope — over Go
+// packages. It speaks the go vet -vettool protocol, so the same binary
+// works three ways:
+//
+//	consumelocal-vet ./...                 # standalone: re-execs go vet -vettool=itself
+//	go vet -vettool=$(pwd)/consumelocal-vet ./...
+//	consumelocal-vet -ledger               # print the waiver ledger and exit
+//
+// The ledger enumerates every //consumelocal:ignore marker in the tree
+// (file:line, analyzer, reason) so CI output shows exactly which
+// findings are waived and why. See docs/LINT.md for the analyzer
+// catalogue and marker grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"consumelocal/internal/analysis"
+)
+
+func main() {
+	// go vet drives the tool with -V=full (version handshake), -flags
+	// (flag inventory), or a single *.cfg unit file. Everything else is
+	// a human invocation.
+	if len(os.Args) > 1 {
+		arg := os.Args[1]
+		if strings.HasPrefix(arg, "-V") || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(analysis.All()...) // never returns
+		}
+	}
+
+	ledger := flag.Bool("ledger", false, "print the //consumelocal:ignore waiver ledger for the tree and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: consumelocal-vet [-ledger] [package patterns]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *ledger {
+		os.Exit(printLedger(os.Stdout))
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runAsVettool(patterns))
+}
+
+// runAsVettool re-executes the build system's vet driver pointing back
+// at this binary, which then serves each compilation unit through
+// unitchecker. This keeps standalone runs byte-identical to CI's
+// go vet -vettool invocation.
+func runAsVettool(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consumelocal-vet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "consumelocal-vet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// waiver is one //consumelocal:ignore marker found in the tree.
+type waiver struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// printLedger scans non-test Go files under the current directory
+// (skipping vendor/ and testdata/) for ignore markers and prints one
+// line per waiver plus a per-analyzer tally. Returns a process exit
+// code: 0 on success even with waivers — waivers are sanctioned, the
+// ledger just makes them visible.
+func printLedger(w *os.File) int {
+	var waivers []waiver
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		waivers = append(waivers, fileWaivers(path)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consumelocal-vet: ledger scan: %v\n", err)
+		return 2
+	}
+	sort.Slice(waivers, func(i, j int) bool {
+		if waivers[i].file != waivers[j].file {
+			return waivers[i].file < waivers[j].file
+		}
+		return waivers[i].line < waivers[j].line
+	})
+	tally := map[string]int{}
+	for _, wv := range waivers {
+		fmt.Fprintf(w, "%s:%d: %s: %s\n", wv.file, wv.line, wv.analyzer, wv.reason)
+		tally[wv.analyzer]++
+	}
+	names := make([]string, 0, len(tally))
+	for n := range tally {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, tally[n]))
+	}
+	if len(parts) == 0 {
+		fmt.Fprintf(w, "waiver ledger: 0 waivers\n")
+	} else {
+		fmt.Fprintf(w, "waiver ledger: %d waivers (%s)\n", len(waivers), strings.Join(parts, ", "))
+	}
+	return 0
+}
+
+// fileWaivers parses one file's comments for ignore markers. Parse
+// errors are ignored: the build gate owns syntax, the ledger is
+// best-effort reporting.
+func fileWaivers(path string) []waiver {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if f == nil {
+		_ = err
+		return nil
+	}
+	const marker = "//consumelocal:ignore"
+	var out []waiver
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			t := c.Text
+			if !strings.HasPrefix(t, marker) {
+				continue
+			}
+			rest := t[len(marker):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if name == "" {
+				name = "(malformed)"
+			}
+			reason = strings.TrimSpace(reason)
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			out = append(out, waiver{
+				file:     filepath.ToSlash(path),
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: name,
+				reason:   reason,
+			})
+		}
+	}
+	return out
+}

@@ -1,3 +1,12 @@
 module consumelocal
 
 go 1.24
+
+// golang.org/x/tools is the repo's first (and only) dependency: it
+// provides the go/analysis framework cmd/consumelocal-vet builds its
+// repo-specific analyzers on, including the unitchecker driver that
+// lets the suite run under `go vet -vettool=`. The dependency is
+// vendored (vendor/golang.org/x/tools) from the Go toolchain's own
+// cmd/vendor copy so builds need no network; only the go/analysis
+// import closure is carried, not the full module.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

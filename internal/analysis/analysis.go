@@ -1,0 +1,40 @@
+// Package analysis is the repo's static-analysis suite: five
+// go/analysis analyzers that turn the prose contracts the hot path and
+// the daemon rely on — borrowed scratch buffers, ctx-guarded channel
+// operations, allocation-free hot functions, metric naming, lock scope
+// — into machine-checked invariants. cmd/consumelocal-vet packages the
+// suite as a vet tool, so the same checks run standalone and under
+// `go vet -vettool=`.
+//
+// The analyzers are driven by three marker comments (grammar in
+// docs/LINT.md):
+//
+//	//consumelocal:borrowed [param ...|return]
+//	//consumelocal:hotpath
+//	//consumelocal:ignore <analyzer> <reason>
+//
+// borrowed declares a borrow seam: a function whose listed parameters
+// (or result, with "return") are owned by the callee/caller only for
+// the duration of the call. hotpath opts a function into the
+// allocation lint. ignore waives one finding on the marked line with a
+// mandatory reason; every waiver is listed by the driver's ledger
+// (consumelocal-vet -ledger) so CI can count and print them.
+//
+// All five analyzers skip _test.go files: the invariants they encode
+// protect production hot paths and daemon loops, and tests routinely
+// (and legitimately) copy borrowed data, block without a context, or
+// register throwaway metrics.
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// All returns the full suite in a stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		BorrowCheck,
+		CtxSend,
+		HotAlloc,
+		MetricDecl,
+		LockScope,
+	}
+}

@@ -1,0 +1,300 @@
+// Package atest is a minimal offline analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture
+// packages from a testdata/src tree, runs one analyzer over them in
+// order (threading object facts across packages in memory), and checks
+// the reported diagnostics against analysistest-style "// want"
+// comments.
+//
+// It exists because the full analysistest depends on go/packages,
+// which is not part of the toolchain's vendored x/tools subset this
+// repo builds against. The subset it implements is exactly what the
+// consumelocal-vet analyzers need: multi-package runs, cross-package
+// object facts, and regexp want-matching. Standard-library imports in
+// fixtures are resolved with the source importer, fixture-local
+// imports from the testdata tree itself.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each package path (relative to srcdir) in order, applies
+// the analyzer to every one, and asserts the diagnostics match the
+// fixtures' // want comments. Packages listed earlier are analyzed
+// earlier, so their exported facts are visible to later ones — list
+// dependencies first, as a real build graph would order them.
+func Run(t *testing.T, srcdir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	r := &runner{
+		t:        t,
+		srcdir:   srcdir,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loadedPkg),
+		objFacts: make(map[types.Object]analysis.Fact),
+		pkgFacts: make(map[*types.Package]analysis.Fact),
+	}
+	r.std = importer.ForCompiler(r.fset, "source", nil)
+
+	var diags []diagnostic
+	for _, path := range pkgPaths {
+		lp, err := r.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       r.fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				p := r.fset.Position(d.Pos)
+				diags = append(diags, diagnostic{file: p.Filename, line: p.Line, msg: d.Message})
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return copyFact(r.objFacts[obj], fact)
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				r.objFacts[obj] = fact
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				return copyFact(r.pkgFacts[pkg], fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				r.pkgFacts[lp.pkg] = fact
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				out := make([]analysis.ObjectFact, 0, len(r.objFacts))
+				for o, f := range r.objFacts {
+					out = append(out, analysis.ObjectFact{Object: o, Fact: f})
+				}
+				return out
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				out := make([]analysis.PackageFact, 0, len(r.pkgFacts))
+				for p, f := range r.pkgFacts {
+					out = append(out, analysis.PackageFact{Package: p, Fact: f})
+				}
+				return out
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+	}
+
+	wants := r.collectWants(pkgPaths)
+	matchDiagnostics(t, diags, wants)
+}
+
+type diagnostic struct {
+	file string
+	line int
+	msg  string
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type runner struct {
+	t        *testing.T
+	srcdir   string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*loadedPkg
+	objFacts map[types.Object]analysis.Fact
+	pkgFacts map[*types.Package]analysis.Fact
+}
+
+// Import resolves fixture-local packages from the testdata tree first,
+// falling back to the standard library's source importer — making the
+// runner itself the types.Importer for fixture typechecking.
+func (r *runner) Import(path string) (*types.Package, error) {
+	if lp, err := r.load(path); err == nil {
+		return lp.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return r.std.Import(path)
+}
+
+// load parses and typechecks one fixture package (cached).
+func (r *runner) load(path string) (*loadedPkg, error) {
+	if lp, ok := r.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(r.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: r}
+	pkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	r.pkgs[path] = lp
+	return lp, nil
+}
+
+// collectWants parses // want comments from every fixture file of the
+// analyzed packages. A want comment holds one or more Go-quoted
+// regexps: // want `re` "re2" — each expecting one diagnostic on its
+// line.
+func (r *runner) collectWants(pkgPaths []string) []*want {
+	var wants []*want
+	for _, path := range pkgPaths {
+		lp := r.pkgs[path]
+		for _, f := range lp.files {
+			name := r.fset.File(f.Pos()).Name()
+			data, err := os.ReadFile(name)
+			if err != nil {
+				r.t.Fatalf("reading fixture %s: %v", name, err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				idx := strings.Index(line, "// want ")
+				if idx < 0 {
+					continue
+				}
+				for _, pat := range parseWantPatterns(r.t, name, i+1, line[idx+len("// want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						r.t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+					}
+					wants = append(wants, &want{file: name, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns extracts the quoted regexps from a want comment
+// tail: backquoted or double-quoted Go string literals.
+func parseWantPatterns(t *testing.T, file string, line int, tail string) []string {
+	var pats []string
+	s := strings.TrimSpace(tail)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern", file, line)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			rest := s[1:]
+			q := 1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					q += i + 1
+					break
+				}
+			}
+			unq, err := strconv.Unquote(s[:q+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, s, err)
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[q+1:])
+		default:
+			t.Fatalf("%s:%d: want patterns must be quoted, got %q", file, line, s)
+		}
+	}
+	return pats
+}
+
+// matchDiagnostics pairs every diagnostic with a want on its line and
+// reports both unexpected diagnostics and unmatched wants.
+func matchDiagnostics(t *testing.T, diags []diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.file && w.line == d.line && w.re.MatchString(d.msg) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// copyFact copies a stored fact into the caller-supplied pointer,
+// mirroring the gob round-trip real drivers perform.
+func copyFact(stored, dst analysis.Fact) bool {
+	if stored == nil {
+		return false
+	}
+	sv := reflect.ValueOf(stored)
+	dv := reflect.ValueOf(dst)
+	if sv.Type() != dv.Type() || dv.Kind() != reflect.Pointer {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}

@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// BorrowCheck enforces the repo's buffer-ownership contract. The hot
+// path stays allocation-free by lending internal scratch storage
+// across call boundaries — the tracker's Interval.Active slice handed
+// to Sink.Emit, the sweeper's interval buffers, pooled worker
+// messages, the obs scrape buffer. Such a loan is valid only until the
+// callee returns (or, for a returned buffer, until the next call on
+// the producer); keeping a reference is a use-after-reuse bug the race
+// detector cannot see.
+//
+// Seams are declared with a //consumelocal:borrowed marker in the doc
+// comment of a function, method, or interface method:
+//
+//	//consumelocal:borrowed iv        → the iv parameter is on loan
+//	//consumelocal:borrowed return    → the returned value is on loan
+//
+// The analyzer exports these as object facts, propagates them to
+// every implementation of a marked interface method (engine-side
+// sinks inherit swarm.Sink.Emit's contract without re-annotating),
+// seeds call results of return-marked producers as borrowed, tracks
+// aliases through local assignments and ranges, and reports when a
+// borrowed value is:
+//
+//   - stored outside the frame (field, map/slice element, global),
+//   - returned (unless the enclosing function is itself marked
+//     "borrowed return", which forwards the loan to its caller),
+//   - sent on a channel,
+//   - handed to a goroutine, or captured by a function literal that
+//     is not immediately invoked or deferred.
+//
+// Copying out (copy, append into an owned buffer, element reads) is
+// free; that is the sanctioned way to keep data past the loan.
+var BorrowCheck = &analysis.Analyzer{
+	Name:      "borrowcheck",
+	Doc:       "values from //consumelocal:borrowed seams must not be stored, returned, or captured beyond the call",
+	Run:       runBorrowCheck,
+	FactTypes: []analysis.Fact{(*borrowFact)(nil)},
+}
+
+// borrowFact marks a function object's loaned values: parameter names
+// of the function's own signature, and/or the keyword "return".
+type borrowFact struct {
+	Params []string
+}
+
+func (*borrowFact) AFact() {}
+
+func (f *borrowFact) String() string {
+	return "borrowed(" + strings.Join(f.Params, ",") + ")"
+}
+
+func (f *borrowFact) has(name string) bool {
+	for _, p := range f.Params {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// markedIface is one interface method carrying a borrow contract that
+// implementations in the current package must inherit.
+type markedIface struct {
+	iface  *types.Interface
+	method *types.Func
+	fact   *borrowFact
+}
+
+func runBorrowCheck(pass *analysis.Pass) (any, error) {
+	ignores := parseIgnores(pass)
+
+	// Phase 1: collect and export facts for this package's own markers.
+	local := collectBorrowMarkers(pass)
+	for fn, fact := range local {
+		pass.ExportObjectFact(fn, fact)
+	}
+
+	// Phase 2: gather marked interface methods, local and imported, so
+	// implementations inherit the contract.
+	ifaces := markedIfaceMethods(pass, local)
+
+	// Phase 3: check every function body.
+	for _, f := range sourceFiles(pass) {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fact := inheritedFact(pass, fn, obj, local[obj], ifaces)
+			checkBorrowBody(pass, ignores, fn, fact)
+		}
+	}
+	return nil, nil
+}
+
+// collectBorrowMarkers parses //consumelocal:borrowed markers on
+// function declarations and interface method fields, validating the
+// argument list against the signature.
+func collectBorrowMarkers(pass *analysis.Pass) map[*types.Func]*borrowFact {
+	out := make(map[*types.Func]*borrowFact)
+	for _, f := range sourceFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				tail, ok := docMarker(n.Doc, markerBorrowed)
+				if !ok {
+					return true
+				}
+				if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+					if fact := parseBorrowTail(pass, n.Doc.Pos(), tail, obj.Signature()); fact != nil {
+						out[obj] = fact
+					}
+				}
+			case *ast.InterfaceType:
+				for _, field := range n.Methods.List {
+					tail, ok := docMarker(field.Doc, markerBorrowed)
+					if !ok || len(field.Names) == 0 {
+						continue
+					}
+					if obj, ok := pass.TypesInfo.Defs[field.Names[0]].(*types.Func); ok {
+						if fact := parseBorrowTail(pass, field.Pos(), tail, obj.Signature()); fact != nil {
+							out[obj] = fact
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// parseBorrowTail validates the marker's space-separated arguments:
+// each must be "return" or the name of a parameter of sig.
+func parseBorrowTail(pass *analysis.Pass, pos token.Pos, tail string, sig *types.Signature) *borrowFact {
+	if tail == "" {
+		pass.Reportf(pos, "malformed consumelocal:borrowed marker: name the loaned parameters and/or \"return\"")
+		return nil
+	}
+	fact := &borrowFact{}
+	for _, tok := range strings.Fields(tail) {
+		if tok == "return" {
+			fact.Params = append(fact.Params, tok)
+			continue
+		}
+		found := false
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == tok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pass.Reportf(pos, "consumelocal:borrowed names %q, which is not a parameter of this signature", tok)
+			return nil
+		}
+		fact.Params = append(fact.Params, tok)
+	}
+	sort.Strings(fact.Params)
+	return fact
+}
+
+// markedIfaceMethods collects every interface method carrying a borrow
+// fact — from this package's markers and from all imports.
+func markedIfaceMethods(pass *analysis.Pass, local map[*types.Func]*borrowFact) []markedIface {
+	var out []markedIface
+	add := func(tn *types.TypeName) {
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			return
+		}
+		for i := 0; i < iface.NumExplicitMethods(); i++ {
+			m := iface.ExplicitMethod(i)
+			if fact, ok := local[m]; ok {
+				out = append(out, markedIface{iface, m, fact})
+				continue
+			}
+			fact := new(borrowFact)
+			if pass.ImportObjectFact(m, fact) {
+				out = append(out, markedIface{iface, m, fact})
+			}
+		}
+	}
+	scan := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				add(tn)
+			}
+		}
+	}
+	scan(pass.Pkg.Scope())
+	for _, imp := range pass.Pkg.Imports() {
+		scan(imp.Scope())
+	}
+	return out
+}
+
+// inheritedFact combines a method's own fact with contracts inherited
+// from marked interface methods it implements, translating parameter
+// names across signatures by position. The merged fact is exported so
+// direct callers of the implementation see the contract too.
+func inheritedFact(pass *analysis.Pass, fn *ast.FuncDecl, obj *types.Func, own *borrowFact, ifaces []markedIface) *borrowFact {
+	sig := obj.Signature()
+	if sig.Recv() == nil || len(ifaces) == 0 {
+		return own
+	}
+	recvT := sig.Recv().Type()
+	merged := own
+	for _, mi := range ifaces {
+		if mi.method.Name() != obj.Name() || mi.method == obj {
+			continue
+		}
+		if !types.Implements(recvT, mi.iface) && !types.Implements(types.NewPointer(recvT), mi.iface) {
+			continue
+		}
+		isig := mi.method.Signature()
+		for _, p := range mi.fact.Params {
+			name := p
+			if p != "return" {
+				idx := -1
+				for i := 0; i < isig.Params().Len(); i++ {
+					if isig.Params().At(i).Name() == p {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 || idx >= sig.Params().Len() {
+					continue
+				}
+				name = sig.Params().At(idx).Name()
+				if name == "" || name == "_" {
+					continue // unreferencable: nothing can leak
+				}
+			}
+			if merged == nil {
+				merged = &borrowFact{}
+			} else if merged == own {
+				merged = &borrowFact{Params: append([]string(nil), own.Params...)}
+			}
+			if !merged.has(name) {
+				merged.Params = append(merged.Params, name)
+			}
+		}
+	}
+	if merged != nil && merged != own {
+		sort.Strings(merged.Params)
+		pass.ExportObjectFact(obj, merged)
+	}
+	return merged
+}
+
+// checkBorrowBody runs the intra-procedural borrow analysis over one
+// function body.
+func checkBorrowBody(pass *analysis.Pass, ignores ignoreIndex, fn *ast.FuncDecl, fact *borrowFact) {
+	info := pass.TypesInfo
+	borrowed := make(map[*types.Var]bool)
+	returnOK := fact != nil && fact.has("return")
+
+	if fact != nil && fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if fact.has(name.Name) {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						borrowed[v] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Alias propagation to a fixpoint: x := borrowed, range over a
+	// borrowed slice, results of return-marked producer calls.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					v, ok := localVarOf(info, id)
+					if !ok || borrowed[v] {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 && i == 0 {
+						rhs = n.Rhs[0] // v, ok := producer() — first value carries the loan
+					}
+					if rhs != nil && exprBorrowed(pass, rhs, borrowed) {
+						borrowed[v] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil || !exprBorrowed(pass, n.X, borrowed) {
+					return true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if v, ok := localVarOf(info, id); ok && !borrowed[v] {
+						borrowed[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// No early-out on an empty alias set: a return-marked producer's
+	// result can leak directly (leaked = p.Scratch()) without ever
+	// being bound to a local, and exprBorrowed spots that on its own.
+
+	// Function literals whose immediate invocation or deferral keeps
+	// them inside the frame; their capture of borrowed values is fine.
+	framebound := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return true // go f() is NOT frame-bound; its lit stays flagged
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				framebound[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				framebound[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !exprBorrowed(pass, n.Rhs[i], borrowed) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if _, isLocal := localVarOf(info, id); isLocal || id.Name == "_" {
+						continue // local alias: tracked, not a leak
+					}
+					ignores.report(pass, pass.Analyzer.Name, n.Rhs[i].Pos(),
+						"borrowed value stored in package variable %s; it is only valid for this call", id.Name)
+					continue
+				}
+				ignores.report(pass, pass.Analyzer.Name, n.Rhs[i].Pos(),
+					"borrowed value stored outside the call frame; copy it out instead")
+			}
+		case *ast.ReturnStmt:
+			if returnOK {
+				return true // this function forwards the loan by contract
+			}
+			for _, res := range n.Results {
+				if exprBorrowed(pass, res, borrowed) {
+					ignores.report(pass, pass.Analyzer.Name, res.Pos(),
+						"borrowed value returned; it is invalid once this call ends (mark the function \"borrowed return\" to forward the loan)")
+				}
+			}
+		case *ast.SendStmt:
+			if exprBorrowed(pass, n.Value, borrowed) {
+				ignores.report(pass, pass.Analyzer.Name, n.Value.Pos(),
+					"borrowed value sent on a channel outlives the call; copy it out instead")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if exprBorrowed(pass, arg, borrowed) {
+					ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+						"borrowed value passed to a goroutine outlives the call; copy it out instead")
+				}
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				if v, ok := capturesBorrowed(pass, lit, borrowed); ok {
+					ignores.report(pass, pass.Analyzer.Name, lit.Pos(),
+						"goroutine captures borrowed value %s, which outlives the call", v.Name())
+				}
+			}
+		case *ast.FuncLit:
+			if framebound[n] {
+				return true // body still inspected by this walk
+			}
+			if v, ok := capturesBorrowed(pass, n, borrowed); ok {
+				ignores.report(pass, pass.Analyzer.Name, n.Pos(),
+					"function literal captures borrowed value %s but is not invoked in this frame", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// localVarOf resolves id to a function-local *types.Var (param or
+// local; not a package-level variable or field).
+func localVarOf(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	var v *types.Var
+	if def, ok := info.Defs[id].(*types.Var); ok {
+		v = def
+	} else if use, ok := info.Uses[id].(*types.Var); ok {
+		v = use
+	}
+	if v == nil || v.IsField() {
+		return nil, false
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil, false // package scope
+	}
+	return v, true
+}
+
+// exprBorrowed reports whether e's value is rooted in a borrowed
+// variable or produced by a return-marked callee: selectors, indexing,
+// slicing, dereference and address-of all preserve borrowedness, as
+// does wrapping in a composite literal. A value whose type cannot hold
+// a reference (ints, value structs of them) is a copy, never a loan.
+func exprBorrowed(pass *analysis.Pass, e ast.Expr, borrowed map[*types.Var]bool) bool {
+	if t := pass.TypesInfo.TypeOf(e); t != nil && !typeRetains(t) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return borrowed[v]
+		}
+	case *ast.SelectorExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.IndexExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.SliceExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.StarExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.ParenExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.UnaryExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.TypeAssertExpr:
+		return exprBorrowed(pass, e.X, borrowed)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if exprBorrowed(pass, el, borrowed) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == types.Universe.Lookup("append") {
+				// append(borrowed, ...) returns the loaned backing array;
+				// append(owned, borrowed...) copies elements out of it,
+				// which is the sanctioned way to retain the data.
+				if len(e.Args) > 0 {
+					return exprBorrowed(pass, e.Args[0], borrowed)
+				}
+				return false
+			}
+		}
+		if fact := calleeBorrowFact(pass, e); fact != nil && fact.has("return") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeBorrowFact resolves the called function object (plain,
+// method, or interface method) and returns its borrow fact, if any.
+func calleeBorrowFact(pass *analysis.Pass, call *ast.CallExpr) *borrowFact {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	fact := new(borrowFact)
+	if pass.ImportObjectFact(fn, fact) {
+		return fact
+	}
+	return nil
+}
+
+// typeRetains reports whether a value of type t can hold a reference
+// into loaned storage. Plain value types (numbers, bools, strings —
+// immutable backing — and structs/arrays of them) are copies; anything
+// pointer-shaped can alias the loan.
+func typeRetains(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeRetains(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeRetains(u.Elem())
+	}
+	return true
+}
+
+// capturesBorrowed reports whether lit's body references a borrowed
+// variable from the enclosing frame.
+func capturesBorrowed(pass *analysis.Pass, lit *ast.FuncLit, borrowed map[*types.Var]bool) (*types.Var, bool) {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && borrowed[v] {
+				found = v
+			}
+		}
+		return true
+	})
+	return found, found != nil
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// HotAlloc lints functions marked //consumelocal:hotpath — the
+// per-session and per-interval core the alloc-pin tests guard
+// (Tracker.Advance, Scanner.Scan, the MatchInto policies,
+// worker.settle, the obs counter ops) — for constructs that allocate
+// or box on every call:
+//
+//   - any use of package fmt (formatting allocates; error paths that
+//     keep fmt.Errorf carry an explicit waiver),
+//   - map and slice composite literals, make(map) and make(chan)
+//     (make([]T, n[, c]) is allowed: sized scratch growth is the
+//     repo's amortised-reuse idiom, pinned by the alloc tests),
+//   - function literals and method values (closure allocation),
+//   - conversions of non-pointer values to interface types (boxing;
+//     constants and pointer-shaped values — pointers, channels, maps,
+//     funcs — are free and allowed),
+//   - append growth of an uncapped local that escapes the function.
+//
+// The lint is syntactic and intra-procedural: it proves the marked
+// function itself is clean, while the allocation regression tests
+// prove the composition stays at zero allocs/op.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //consumelocal:hotpath must not allocate: no fmt, map/slice literals, closures, or interface boxing",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) (any, error) {
+	ignores := parseIgnores(pass)
+	for _, f := range sourceFiles(pass) {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := docMarker(fn.Doc, markerHotpath); !ok {
+				continue
+			}
+			checkHotBody(pass, ignores, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, ignores ignoreIndex, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	escaping := escapingAppendLocals(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pkg, ok := info.Uses[n].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				ignores.report(pass, pass.Analyzer.Name, n.Pos(), "hot path uses package fmt (allocates per call)")
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				ignores.report(pass, pass.Analyzer.Name, n.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				ignores.report(pass, pass.Analyzer.Name, n.Pos(), "slice literal allocates on the hot path")
+			}
+		case *ast.FuncLit:
+			ignores.report(pass, pass.Analyzer.Name, n.Pos(), "function literal allocates a closure on the hot path")
+			return false
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if !isCallFun(pass, fn.Body, n) {
+					ignores.report(pass, pass.Analyzer.Name, n.Pos(), "method value allocates a bound closure on the hot path")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, ignores, n, escaping)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, ignores, n)
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, ignores, fn, n)
+		}
+		return true
+	})
+}
+
+// isCallFun reports whether sel appears as the function operand of a
+// call somewhere in body (x.M() — direct call, no bound-method
+// allocation) rather than as a value (f := x.M).
+func isCallFun(pass *analysis.Pass, body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkHotCall flags allocating builtins and interface boxing at call
+// boundaries.
+func checkHotCall(pass *analysis.Pass, ignores ignoreIndex, call *ast.CallExpr, escaping map[*types.Var]bool) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch info.Uses[id] {
+		case types.Universe.Lookup("make"):
+			if len(call.Args) > 0 {
+				if t := info.TypeOf(call.Args[0]); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map:
+						ignores.report(pass, pass.Analyzer.Name, call.Pos(), "make(map) allocates on the hot path")
+					case *types.Chan:
+						ignores.report(pass, pass.Analyzer.Name, call.Pos(), "make(chan) allocates on the hot path")
+					}
+				}
+			}
+			return
+		case types.Universe.Lookup("append"):
+			if len(call.Args) > 0 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && escaping[v] {
+						ignores.report(pass, pass.Analyzer.Name, call.Pos(),
+							"append grows uncapped local %s, which escapes the function", id.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing of call arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis != token.NoPos {
+				continue // x... passes the slice through, no per-element boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if boxesOnConversion(info, arg, pt) {
+			ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+				"non-pointer value boxed into interface %s on the hot path", pt.String())
+		}
+	}
+}
+
+// callSignature resolves the signature of a (non-builtin) call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkHotAssign flags interface boxing in assignments.
+func checkHotAssign(pass *analysis.Pass, ignores ignoreIndex, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lt := info.TypeOf(as.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		if boxesOnConversion(info, rhs, lt) {
+			ignores.report(pass, pass.Analyzer.Name, rhs.Pos(),
+				"non-pointer value boxed into interface %s on the hot path", lt.String())
+		}
+	}
+}
+
+// checkHotReturn flags interface boxing in return statements.
+func checkHotReturn(pass *analysis.Pass, ignores ignoreIndex, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	info := pass.TypesInfo
+	sig, ok := info.TypeOf(fn.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		if boxesOnConversion(info, res, sig.Results().At(i).Type()) {
+			ignores.report(pass, pass.Analyzer.Name, res.Pos(),
+				"non-pointer value boxed into interface %s on the hot path", sig.Results().At(i).Type().String())
+		}
+	}
+}
+
+// boxesOnConversion reports whether assigning expr to target allocates
+// an interface box: target is an interface, expr's type is concrete,
+// and the value is neither a constant nor pointer-shaped.
+func boxesOnConversion(info *types.Info, expr ast.Expr, target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return false // constants and nil never allocate
+	}
+	src := tv.Type
+	if src == nil {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // already boxed or pointer-shaped
+	}
+	return true
+}
+
+// escapingAppendLocals finds local slice variables declared without an
+// explicit capacity that later leave the function: returned, or stored
+// through a selector/index/dereference. append growth of such a local
+// is the classic accidental per-call allocation.
+func escapingAppendLocals(pass *analysis.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	info := pass.TypesInfo
+	uncapped := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				v, ok := info.Defs[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+					continue
+				}
+				if !hasExplicitCap(info, n.Rhs[i]) {
+					uncapped[v] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					if _, ok := v.Type().Underlying().(*types.Slice); ok && len(n.Values) == 0 {
+						uncapped[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(uncapped) == 0 {
+		return nil
+	}
+	escaping := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markEscapes(info, res, uncapped, escaping)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.Ident); ok {
+					continue // local-to-local moves stay local
+				}
+				if i < len(n.Rhs) {
+					markEscapes(info, n.Rhs[i], uncapped, escaping)
+				}
+			}
+		}
+		return true
+	})
+	return escaping
+}
+
+// markEscapes records any uncapped local appearing in expr as escaping.
+func markEscapes(info *types.Info, expr ast.Expr, uncapped, escaping map[*types.Var]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && uncapped[v] {
+				escaping[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// hasExplicitCap reports whether the initialiser gives the slice a
+// capacity: make with three arguments, a full slice expression, or a
+// value derived from an existing slice (x[:0] reuse).
+func hasExplicitCap(info *types.Info, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("make") {
+			return len(e.Args) == 3
+		}
+		return true // opaque producer: trust it
+	case *ast.SliceExpr:
+		return true // reslicing existing storage
+	case *ast.CompositeLit:
+		return false // []T{} literal is flagged separately anyway
+	case *ast.Ident, *ast.SelectorExpr:
+		return true // aliasing existing storage
+	}
+	return false
+}

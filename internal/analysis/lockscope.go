@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// LockScope enforces the daemon and job-registry locking discipline:
+// while a sync.Mutex or sync.RWMutex is held, a function must not
+// block on the outside world. Flagged while a lock is held:
+//
+//   - channel sends, receives, ranges, and blocking selects (a select
+//     with a default case is non-blocking and allowed; close() never
+//     blocks and is allowed — it is how broadcastLocked works),
+//   - sync.WaitGroup.Wait (sync.Cond.Wait is allowed: it releases the
+//     mutex while waiting — that is the ingest queue's whole design),
+//   - HTTP and body I/O: io.Copy/ReadAll/WriteString, Read/Write
+//     calls on io.Reader/io.Writer-shaped values (request bodies,
+//     response writers), and http.Client round-trips.
+//
+// The tracking is syntactic and per-function: a lock acquired and
+// released across function boundaries is not modelled (the repo has
+// none), and branch-local unlocks do not propagate out of their
+// branch. //consumelocal:ignore lockscope waives deliberate cases.
+var LockScope = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "no mutex held across channel ops, Wait, or HTTP/body I/O (cmd/consumelocald and the job registry)",
+	Run:  runLockScope,
+}
+
+func init() {
+	LockScope.Flags.String("packages", "cmd/consumelocald,consumelocal",
+		"comma-separated package path suffixes the check applies to (empty: all packages)")
+}
+
+func runLockScope(pass *analysis.Pass) (any, error) {
+	scope := pass.Analyzer.Flags.Lookup("packages").Value.String()
+	if !pkgInScope(pass.Pkg.Path(), scope) {
+		return nil, nil
+	}
+	ignores := parseIgnores(pass)
+	for _, f := range sourceFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkLocked(pass, ignores, fn.Body.List, newLockState(pass))
+				}
+			case *ast.FuncLit:
+				walkLocked(pass, ignores, fn.Body.List, newLockState(pass))
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// lockState tracks which mutexes are held at the current statement,
+// keyed by the printed receiver expression (s.mu, j.mu, ...).
+type lockState struct {
+	pass *analysis.Pass
+	held map[string]token.Pos // lock site, for the diagnostic
+}
+
+func newLockState(pass *analysis.Pass) *lockState {
+	return &lockState{pass: pass, held: make(map[string]token.Pos)}
+}
+
+func (ls *lockState) clone() *lockState {
+	c := newLockState(ls.pass)
+	for k, v := range ls.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (ls *lockState) anyHeld() (string, token.Pos, bool) {
+	for k, pos := range ls.held {
+		return k, pos, true
+	}
+	return "", token.NoPos, false
+}
+
+// walkLocked processes a statement list in order, updating the held
+// set on Lock/Unlock statements and flagging blocking operations while
+// any lock is held. Nested blocks and branches are walked with a clone
+// of the state: a branch-local unlock is honoured inside the branch
+// but conservatively forgotten after it.
+func walkLocked(pass *analysis.Pass, ignores ignoreIndex, stmts []ast.Stmt, ls *lockState) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(pass, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					ls.held[recv] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(ls.held, recv)
+				}
+				continue
+			}
+			checkLockedNode(pass, ignores, s.X, ls)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function: the held entry stays, which is exactly right.
+			// Other deferred calls run after the walk; skip their bodies.
+			if _, op, ok := mutexOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				continue
+			}
+		case *ast.BlockStmt:
+			walkLocked(pass, ignores, s.List, ls.clone())
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkLockedNode(pass, ignores, s.Init, ls)
+			}
+			checkLockedNode(pass, ignores, s.Cond, ls)
+			walkLocked(pass, ignores, s.Body.List, ls.clone())
+			if s.Else != nil {
+				walkLocked(pass, ignores, []ast.Stmt{s.Else}, ls.clone())
+			}
+		case *ast.ForStmt:
+			walkLocked(pass, ignores, s.Body.List, ls.clone())
+		case *ast.RangeStmt:
+			checkLockedNode(pass, ignores, s.X, ls)
+			if recv, lockPos, held := ls.anyHeld(); held {
+				if t := pass.TypesInfo.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						ignores.report(pass, pass.Analyzer.Name, s.Pos(),
+							"range over channel while %s is held (locked at line %d)",
+							recv, pass.Fset.Position(lockPos).Line)
+					}
+				}
+			}
+			walkLocked(pass, ignores, s.Body.List, ls.clone())
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			checkLockedNode(pass, ignores, s, ls)
+		case *ast.SelectStmt:
+			checkLockedNode(pass, ignores, s, ls)
+		default:
+			checkLockedNode(pass, ignores, s, ls)
+		}
+	}
+}
+
+// checkLockedNode flags blocking operations under n while a lock is
+// held. Function literals are skipped: they run on their own stack at
+// their own time, with their own (empty) lock state.
+func checkLockedNode(pass *analysis.Pass, ignores ignoreIndex, n ast.Node, ls *lockState) {
+	recv, lockPos, heldAny := ls.anyHeld()
+	if !heldAny {
+		return
+	}
+	lockLine := pass.Fset.Position(lockPos).Line
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			ignores.report(pass, pass.Analyzer.Name, m.Pos(),
+				"channel send while %s is held (locked at line %d)", recv, lockLine)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				ignores.report(pass, pass.Analyzer.Name, m.Pos(),
+					"channel receive while %s is held (locked at line %d)", recv, lockLine)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(m.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ignores.report(pass, pass.Analyzer.Name, m.Pos(),
+						"range over channel while %s is held (locked at line %d)", recv, lockLine)
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(m) {
+				ignores.report(pass, pass.Analyzer.Name, m.Pos(),
+					"blocking select while %s is held (locked at line %d)", recv, lockLine)
+			}
+			// The comm operations themselves are non-blocking under a
+			// default case (and already covered by the select diagnostic
+			// otherwise); only the clause bodies need inspection.
+			for _, clause := range m.Body.List {
+				for _, s := range clause.(*ast.CommClause).Body {
+					checkLockedNode(pass, ignores, s, ls)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if name, ok := blockingLockedCall(pass, m); ok {
+				ignores.report(pass, pass.Analyzer.Name, m.Pos(),
+					"%s while %s is held (locked at line %d)", name, recv, lockLine)
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if clause.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp matches expr as a Lock/Unlock/RLock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (directly or promoted through one level
+// of embedding) and returns the printed receiver and operation.
+func mutexOp(pass *analysis.Pass, expr ast.Expr) (string, string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprString(pass.Fset, sel.X), op, true
+}
+
+// blockingLockedCall matches calls that block on the outside world:
+// WaitGroup.Wait, io.Copy/ReadAll/WriteString, reader/writer method
+// calls, and http.Client round-trips.
+func blockingLockedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package-level io helpers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "io" {
+			switch sel.Sel.Name {
+			case "Copy", "CopyN", "CopyBuffer", "ReadAll", "WriteString", "ReadFull":
+				return "io." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	recvT := pass.TypesInfo.TypeOf(sel.X)
+	if recvT == nil {
+		return "", false
+	}
+	if name, ok := blockingSyncCall(pass, call); ok && name == "sync.WaitGroup.Wait" {
+		return name, true
+	}
+	// http.Client round-trips.
+	if named := namedType(recvT); named != nil {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Client" {
+			switch sel.Sel.Name {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "http.Client." + sel.Sel.Name, true
+			}
+		}
+	}
+	// Read/Write on io-shaped values: request bodies, response writers,
+	// connections.
+	if sel.Sel.Name == "Read" || sel.Sel.Name == "Write" {
+		if ioShaped(recvT) {
+			return recvT.String() + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// namedType unwraps pointers to a named type.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// ioShaped reports whether t is one of the I/O types whose Read/Write
+// can block on a peer: an interface with Read or Write in its method
+// set whose package of origin is io or net/http (io.Reader,
+// io.ReadCloser, http.ResponseWriter, ...).
+func ioShaped(t types.Type) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "io", "net/http", "net", "bufio":
+		return true
+	}
+	return false
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "mutex"
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Marker comment prefixes. Markers are line comments anywhere in a
+// declaration's doc comment (borrowed, hotpath) or on/above the
+// offending line (ignore). See docs/LINT.md for the grammar.
+const (
+	markerBorrowed = "//consumelocal:borrowed"
+	markerHotpath  = "//consumelocal:hotpath"
+	markerIgnore   = "//consumelocal:ignore"
+)
+
+// markerText returns the remainder of a marker line comment after
+// prefix, and whether the comment is that marker. A marker must be
+// exactly the prefix or the prefix followed by a space-separated tail:
+// "//consumelocal:borrowedx" is not a marker.
+func markerText(c *ast.Comment, prefix string) (string, bool) {
+	t := c.Text
+	if !strings.HasPrefix(t, prefix) {
+		return "", false
+	}
+	rest := t[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// docMarker scans a doc comment group for the given marker and returns
+// its argument tail.
+func docMarker(doc *ast.CommentGroup, prefix string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if tail, ok := markerText(c, prefix); ok {
+			return tail, ok
+		}
+	}
+	return "", false
+}
+
+// ignoreEntry is one parsed //consumelocal:ignore marker.
+type ignoreEntry struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// ignoreIndex maps file → line → waivers declared for that line. A
+// waiver on line N suppresses findings reported on line N and line N+1,
+// so it can sit at the end of the offending line or on its own line
+// directly above it.
+type ignoreIndex map[string]map[int][]*ignoreEntry
+
+// parseIgnores indexes every ignore marker in the pass's files. A
+// malformed marker (missing analyzer or reason) is reported immediately
+// — an unjustified waiver is itself a finding.
+func parseIgnores(pass *analysis.Pass) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || isTestFile(tf.Name()) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				tail, ok := markerText(c, markerIgnore)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(tail, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					pass.Reportf(c.Pos(), "malformed %s marker: want %q", markerIgnore[2:], "//consumelocal:ignore <analyzer> <reason>")
+					continue
+				}
+				byLine := idx[tf.Name()]
+				if byLine == nil {
+					byLine = make(map[int][]*ignoreEntry)
+					idx[tf.Name()] = byLine
+				}
+				line := tf.Line(c.Pos())
+				byLine[line] = append(byLine[line], &ignoreEntry{analyzer: name, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return idx
+}
+
+// report emits a diagnostic for analyzer name at pos unless an ignore
+// marker for that analyzer sits on the same line or the line above.
+func (idx ignoreIndex) report(pass *analysis.Pass, name string, pos token.Pos, format string, args ...any) {
+	tf := pass.Fset.File(pos)
+	if tf != nil {
+		line := tf.Line(pos)
+		for _, l := range [2]int{line, line - 1} {
+			for _, e := range idx[tf.Name()][l] {
+				if e.analyzer == name {
+					e.used = true
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// isTestFile reports whether a file name is a Go test file.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// sourceFiles yields the pass's non-test files.
+func sourceFiles(pass *analysis.Pass) []*ast.File {
+	out := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || isTestFile(tf.Name()) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// pkgInScope reports whether the package path matches any of the
+// comma-separated path suffixes in scope. An empty scope matches every
+// package — fixtures use that to opt in directly.
+func pkgInScope(path, scope string) bool {
+	if scope == "" {
+		return true
+	}
+	for _, suf := range strings.Split(scope, ",") {
+		suf = strings.TrimSpace(suf)
+		if suf == "" {
+			continue
+		}
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// MetricDecl lints every metric registration on an obs.Registry — the
+// repo's own zero-alloc metrics kit — so the /metrics surface stays
+// greppable and the exposition linter (obs.ParseExposition) never
+// trips at scrape time:
+//
+//   - the name must be a compile-time string constant (a literal or
+//     named constant): dynamic names defeat both this lint and the
+//     docs catalogue,
+//   - it must be snake_case with a consumelocal_ or consumelocald_
+//     prefix,
+//   - it must carry the type's unit suffix: counters end in _total,
+//     histograms in a base unit (_seconds, _bytes), Info in _info,
+//     and gauges must not claim a counter's _total (or a histogram
+//     series' _count/_sum/_bucket),
+//   - the help string must be a non-empty constant,
+//   - and the name must appear in docs/OBSERVABILITY.md's catalogue
+//     (located via the enclosing module's go.mod; the check is
+//     skipped when the catalogue file does not exist, e.g. in
+//     analyzer fixtures).
+var MetricDecl = &analysis.Analyzer{
+	Name: "metricdecl",
+	Doc:  "obs metric registrations must use documented, prefixed, unit-suffixed constant names with help text",
+	Run:  runMetricDecl,
+}
+
+func init() {
+	MetricDecl.Flags.String("doc", "docs/OBSERVABILITY.md",
+		"module-relative path of the metrics catalogue cross-checked against registrations (empty: disable)")
+}
+
+// metricNameRE is the naming grammar: required prefix, then snake_case
+// atoms. (CheckName's Prometheus grammar is looser; the repo's own
+// names are held to this.)
+var metricNameRE = regexp.MustCompile(`^consumelocald?_[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// registryMethods maps obs.Registry registration methods to the index
+// of their name argument. Help is always the following argument.
+var registryMethods = map[string]bool{
+	"Counter":     true,
+	"CounterFunc": true,
+	"CounterVec":  true,
+	"Gauge":       true,
+	"GaugeFunc":   true,
+	"Histogram":   true,
+	"Info":        true,
+}
+
+func runMetricDecl(pass *analysis.Pass) (any, error) {
+	ignores := parseIgnores(pass)
+	doc := newDocCatalogue(pass, pass.Analyzer.Flags.Lookup("doc").Value.String())
+	for _, f := range sourceFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryCall(pass, call)
+			if !ok {
+				return true
+			}
+			checkMetricCall(pass, ignores, doc, method, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// registryCall reports whether call is a registration method on
+// *obs.Registry (matched by type identity: named type Registry in a
+// package path ending in internal/obs).
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != "internal/obs" && !strings.HasSuffix(path, "/internal/obs") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func checkMetricCall(pass *analysis.Pass, ignores ignoreIndex, doc *docCatalogue, method string, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	name, nameOK := constString(pass, call.Args[0])
+	if !nameOK {
+		ignores.report(pass, pass.Analyzer.Name, call.Args[0].Pos(),
+			"metric name must be a compile-time string constant")
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		ignores.report(pass, pass.Analyzer.Name, call.Args[0].Pos(),
+			"metric name %q must be snake_case with a consumelocal_ or consumelocald_ prefix", name)
+	} else {
+		checkUnitSuffix(pass, ignores, method, name, call.Args[0])
+	}
+	if help, ok := constString(pass, call.Args[1]); !ok {
+		ignores.report(pass, pass.Analyzer.Name, call.Args[1].Pos(),
+			"metric %s help must be a compile-time string constant", name)
+	} else if strings.TrimSpace(help) == "" {
+		ignores.report(pass, pass.Analyzer.Name, call.Args[1].Pos(),
+			"metric %s registered with empty help text", name)
+	}
+	if doc != nil && !doc.contains(name) {
+		ignores.report(pass, pass.Analyzer.Name, call.Args[0].Pos(),
+			"metric %s is not documented in %s", name, doc.relPath)
+	}
+}
+
+// histogramUnits are the base-unit suffixes a histogram name may end
+// in; the exposition adds _bucket/_sum/_count per series.
+var histogramUnits = []string{"_seconds", "_bytes"}
+
+func checkUnitSuffix(pass *analysis.Pass, ignores ignoreIndex, method, name string, arg ast.Expr) {
+	switch method {
+	case "Counter", "CounterFunc", "CounterVec":
+		if !strings.HasSuffix(name, "_total") {
+			ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+				"counter %s must end in _total", name)
+		}
+	case "Histogram":
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				return
+			}
+		}
+		ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+			"histogram %s must end in a base unit (%s)", name, strings.Join(histogramUnits, ", "))
+	case "Info":
+		if !strings.HasSuffix(name, "_info") {
+			ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+				"info metric %s must end in _info", name)
+		}
+	case "Gauge", "GaugeFunc":
+		for _, bad := range []string{"_total", "_count", "_sum", "_bucket", "_info"} {
+			if strings.HasSuffix(name, bad) {
+				ignores.report(pass, pass.Analyzer.Name, arg.Pos(),
+					"gauge %s must not end in %s (reserved for other metric types)", name, bad)
+				return
+			}
+		}
+	}
+}
+
+// constString evaluates expr as a compile-time string constant.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// docCatalogue is the loaded metrics catalogue, or nil when the
+// cross-check is disabled or the file is absent.
+type docCatalogue struct {
+	relPath string
+	text    string
+}
+
+// newDocCatalogue locates the module root by walking up from the
+// pass's first file to the nearest go.mod and loads the catalogue
+// beneath it. Missing file or no module root: cross-check disabled.
+func newDocCatalogue(pass *analysis.Pass, rel string) *docCatalogue {
+	if rel == "" || len(pass.Files) == 0 {
+		return nil
+	}
+	tf := pass.Fset.File(pass.Files[0].Pos())
+	if tf == nil {
+		return nil
+	}
+	dir := filepath.Dir(tf.Name())
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(rel)))
+			if err != nil {
+				return nil
+			}
+			return &docCatalogue{relPath: rel, text: string(data)}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil
+		}
+		dir = parent
+	}
+}
+
+// contains reports whether the catalogue mentions the metric name as a
+// whole word.
+func (d *docCatalogue) contains(name string) bool {
+	for text := d.text; ; {
+		i := strings.Index(text, name)
+		if i < 0 {
+			return false
+		}
+		before := byte('\n')
+		if i > 0 {
+			before = text[i-1]
+		}
+		afterIdx := i + len(name)
+		after := byte('\n')
+		if afterIdx < len(text) {
+			after = text[afterIdx]
+		}
+		if !isNameByte(before) && !isNameByte(after) {
+			return true
+		}
+		text = text[i+len(name):]
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z')
+}

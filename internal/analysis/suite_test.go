@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	ca "consumelocal/internal/analysis"
+	"consumelocal/internal/analysis/atest"
+)
+
+func fixtures() string { return filepath.Join("testdata", "src") }
+
+func TestBorrowCheck(t *testing.T) {
+	// borrowseam first: borrowuse depends on its exported facts.
+	atest.Run(t, fixtures(), ca.BorrowCheck, "borrowseam", "borrowuse")
+}
+
+func TestCtxSend(t *testing.T) {
+	atest.Run(t, fixtures(), ca.CtxSend, "internal/engine")
+}
+
+func TestHotAlloc(t *testing.T) {
+	atest.Run(t, fixtures(), ca.HotAlloc, "hotfix")
+}
+
+func TestMetricDecl(t *testing.T) {
+	atest.Run(t, fixtures(), ca.MetricDecl, "metricfix")
+}
+
+func TestLockScope(t *testing.T) {
+	atest.Run(t, fixtures(), ca.LockScope, "cmd/consumelocald")
+}
+
+func TestAllRegistersFiveAnalyzers(t *testing.T) {
+	all := ca.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing name, doc, or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"borrowcheck", "ctxsend", "hotalloc", "metricdecl", "lockscope"} {
+		if !seen[name] {
+			t.Errorf("All() is missing analyzer %q", name)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package borrowseam declares borrow seams the borrowcheck analyzer
+// exports as facts, mirroring the shape of internal/swarm.
+package borrowseam
+
+// Interval is one emitted span; Active aliases the producer's scratch.
+type Interval struct {
+	From, To int64
+	Active   []int
+}
+
+// Sink consumes intervals.
+type Sink interface {
+	// Emit receives one interval whose Active slice is on loan.
+	//
+	//consumelocal:borrowed iv
+	Emit(iv Interval)
+}
+
+// Producer owns reusable scratch storage.
+type Producer struct {
+	scratch []int
+}
+
+// Scratch lends out the producer's buffer until the next call.
+//
+//consumelocal:borrowed return
+func (p *Producer) Scratch() []int { return p.scratch }
+
+// Forward re-lends the scratch to its own caller: a return-marked
+// function may pass a loan through without a waiver.
+//
+//consumelocal:borrowed return
+func Forward(p *Producer) []int {
+	return p.Scratch()
+}
+
+var leaked []int
+
+func leakToGlobal(p *Producer) {
+	leaked = p.Scratch() // want `borrowed value stored in package variable leaked`
+}
+
+func leakReturn(p *Producer) []int {
+	s := p.Scratch()
+	return s // want `borrowed value returned`
+}
+
+//consumelocal:borrowed nosuch // want `not a parameter of this signature`
+func mislabeled(v int) {}

@@ -1,0 +1,72 @@
+// Package borrowuse consumes borrowseam's marked seams: the borrow
+// contracts arrive as cross-package facts, and implementations of the
+// marked interface method inherit them without re-annotation.
+package borrowuse
+
+import "borrowseam"
+
+type keeper struct {
+	held []int
+	ch   chan []int
+}
+
+// Emit implements borrowseam.Sink; iv is borrowed by inheritance.
+func (k *keeper) Emit(iv borrowseam.Interval) {
+	k.held = iv.Active // want `borrowed value stored outside the call frame`
+}
+
+type cache struct{ last borrowseam.Interval }
+
+func (c *cache) Emit(iv borrowseam.Interval) {
+	c.last = iv // want `borrowed value stored outside the call frame`
+}
+
+type copier struct{ own []int }
+
+// Emit copies the loaned elements into owned storage: the sanctioned
+// way to retain the data.
+func (c *copier) Emit(iv borrowseam.Interval) {
+	c.own = append(c.own[:0], iv.Active...)
+}
+
+func use([]int) {}
+
+func sendLoan(k *keeper, p *borrowseam.Producer) {
+	k.ch <- p.Scratch() // want `borrowed value sent on a channel`
+}
+
+func spawnWithLoan(p *borrowseam.Producer) {
+	s := p.Scratch()
+	go use(s)   // want `borrowed value passed to a goroutine`
+	go func() { // want `goroutine captures borrowed value s`
+		_ = s
+	}()
+}
+
+func frameBoundOK(p *borrowseam.Producer) int {
+	s := p.Scratch()
+	total := 0
+	func() {
+		for _, v := range s {
+			total += v
+		}
+	}()
+	defer func() { _ = s }()
+	return total
+}
+
+func escapingClosure(p *borrowseam.Producer) func() int {
+	s := p.Scratch()
+	return func() int { return len(s) } // want `function literal captures borrowed value s`
+}
+
+func rangeCopyOK(p *borrowseam.Producer, sink chan int) {
+	for _, v := range p.Scratch() {
+		sink <- v
+	}
+}
+
+func waived(p *borrowseam.Producer) []int {
+	//consumelocal:ignore borrowcheck fixture: caller synchronises with the producer reuse cycle
+	return p.Scratch()
+}

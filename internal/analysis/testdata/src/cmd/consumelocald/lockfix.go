@@ -1,0 +1,108 @@
+// Package mainfix exercises the lockscope analyzer: this fixture
+// package path suffix-matches lockscope's default scope.
+package mainfix
+
+import (
+	"io"
+	"sync"
+)
+
+type reg struct {
+	mu   sync.Mutex
+	ch   chan int
+	wg   sync.WaitGroup
+	cond *sync.Cond
+}
+
+func (r *reg) sendLocked() {
+	r.mu.Lock()
+	r.ch <- 1 // want `channel send while r\.mu is held`
+	r.mu.Unlock()
+}
+
+func (r *reg) sendAfterUnlockOK() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ch <- 1
+}
+
+func (r *reg) recvLocked() {
+	r.mu.Lock()
+	<-r.ch // want `channel receive while r\.mu is held`
+	r.mu.Unlock()
+}
+
+func (r *reg) rangeLocked() {
+	r.mu.Lock()
+	for range r.ch { // want `range over channel while r\.mu is held`
+	}
+	r.mu.Unlock()
+}
+
+func (r *reg) writeUnderDeferredUnlock(w io.Writer, buf []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := w.Write(buf) // want `io\.Writer\.Write while r\.mu is held`
+	return err
+}
+
+func (r *reg) writeWaived(w io.Writer, buf []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//consumelocal:ignore lockscope fixture: buffer stability requires the lock across the write
+	_, _ = w.Write(buf)
+}
+
+func (r *reg) waitLocked() {
+	r.mu.Lock()
+	r.wg.Wait() // want `sync\.WaitGroup\.Wait while r\.mu is held`
+	r.mu.Unlock()
+}
+
+func (r *reg) condWaitOK() {
+	r.mu.Lock()
+	r.cond.Wait()
+	r.mu.Unlock()
+}
+
+func (r *reg) selectBlockingLocked() {
+	r.mu.Lock()
+	select { // want `blocking select while r\.mu is held`
+	case <-r.ch:
+	case r.ch <- 1:
+	}
+	r.mu.Unlock()
+}
+
+func (r *reg) selectDefaultOK() {
+	r.mu.Lock()
+	select {
+	case r.ch <- 1:
+	default:
+	}
+	r.mu.Unlock()
+}
+
+func (r *reg) closeLockedOK() {
+	r.mu.Lock()
+	close(r.ch)
+	r.mu.Unlock()
+}
+
+func (r *reg) branchUnlockOK(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		r.ch <- 1
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *reg) litRunsElsewhereOK() func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() {
+		r.ch <- 1
+	}
+}

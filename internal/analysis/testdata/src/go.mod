@@ -1,0 +1,3 @@
+module fixtures
+
+go 1.24

@@ -1,0 +1,96 @@
+// Package hotfix exercises the hotalloc analyzer.
+package hotfix
+
+import "fmt"
+
+type thing struct{ buf []int }
+
+func (t *thing) reset() {}
+
+func consume(any) {}
+
+//consumelocal:hotpath
+func hotFmt(err error) {
+	fmt.Println(err) // want `hot path uses package fmt \(allocates per call\)`
+}
+
+//consumelocal:hotpath
+func hotFmtWaived(err error) error {
+	//consumelocal:ignore hotalloc fixture: cold error exit formats once
+	return fmt.Errorf("wrap: %w", err)
+}
+
+//consumelocal:hotpath
+func hotLits() {
+	m := map[int]int{} // want `map literal allocates on the hot path`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates on the hot path`
+	_ = s
+}
+
+//consumelocal:hotpath
+func hotClosure() func() int {
+	f := func() int { return 1 } // want `function literal allocates a closure on the hot path`
+	return f
+}
+
+//consumelocal:hotpath
+func hotMake() {
+	_ = make(map[int]int) // want `make\(map\) allocates on the hot path`
+	_ = make(chan int)    // want `make\(chan\) allocates on the hot path`
+	buf := make([]int, 0, 8)
+	_ = buf
+}
+
+//consumelocal:hotpath
+func hotBoxReturn(v int) any {
+	return v // want `non-pointer value boxed into interface`
+}
+
+//consumelocal:hotpath
+func hotBoxArg(v int) {
+	consume(v) // want `non-pointer value boxed into interface`
+	consume(42)
+	consume(nil)
+}
+
+//consumelocal:hotpath
+func hotNoBoxPointer(t *thing) any {
+	return t
+}
+
+//consumelocal:hotpath
+func hotMethodValue(t *thing) func() {
+	f := t.reset // want `method value allocates a bound closure on the hot path`
+	return f
+}
+
+//consumelocal:hotpath
+func hotDirectCallOK(t *thing) {
+	t.reset()
+}
+
+//consumelocal:hotpath
+func hotEscapingAppend(t *thing, n int) {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows uncapped local out, which escapes the function`
+	}
+	t.buf = out
+}
+
+//consumelocal:hotpath
+func hotCappedAppendOK(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func coldEverythingOK() any {
+	m := map[int]int{}
+	_ = fmt.Sprint(m)
+	var v int
+	return v
+}

@@ -1,0 +1,80 @@
+// Package enginefix exercises the ctxsend analyzer: this fixture
+// package path suffix-matches ctxsend's default scope.
+package enginefix
+
+import (
+	"context"
+	"sync"
+)
+
+func sendUnguarded(ctx context.Context, ch chan int) {
+	ch <- 1 // want `channel send in a context-carrying function outside a ctx-guarded select`
+}
+
+func sendGuarded(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func recvUnguarded(ctx context.Context, ch chan int) int {
+	return <-ch // want `channel receive in a context-carrying function outside a ctx-guarded select`
+}
+
+func recvWaived(ctx context.Context, ch chan int) int {
+	//consumelocal:ignore ctxsend fixture: buffered reply channel can never block
+	return <-ch
+}
+
+func recvDoneOK(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func rangeChan(ctx context.Context, ch chan int) {
+	for range ch { // want `range over a channel in a context-carrying function cannot observe ctx cancellation`
+	}
+}
+
+func selectNoGuard(ctx context.Context, a, b chan int) {
+	select { // want `select in a context-carrying function has neither a ctx\.Done\(\) case nor a default case`
+	case <-a:
+	case <-b:
+	}
+}
+
+func selectDefaultOK(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func guardedClauseBody(ctx context.Context, a, b chan int) {
+	select {
+	case v := <-a:
+		b <- v // want `channel send in a context-carrying function outside a ctx-guarded select`
+	case <-ctx.Done():
+	}
+}
+
+func wgWait(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `sync\.WaitGroup\.Wait blocks without observing ctx cancellation`
+}
+
+func noCtxOK(ch chan int) {
+	ch <- 1
+}
+
+func litCapturesCtx(ctx context.Context, ch chan int) func() {
+	return func() {
+		_ = ctx.Err()
+		ch <- 1 // want `channel send in a context-carrying function outside a ctx-guarded select`
+	}
+}
+
+func litWithoutCtxOK(ch chan int) func() {
+	return func() {
+		ch <- 1
+	}
+}

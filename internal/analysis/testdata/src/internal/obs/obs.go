@@ -1,0 +1,20 @@
+// Package obs is a stub of the repo's metrics registry, just enough
+// surface for the metricdecl fixtures: the analyzer matches the
+// Registry type by name and package-path suffix.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return nil }
+
+func (r *Registry) Info(name, help, rendered string) {}

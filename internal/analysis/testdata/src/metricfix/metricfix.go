@@ -1,0 +1,24 @@
+// Package metricfix exercises the metricdecl analyzer against the
+// fixture catalogue in testdata/src/docs/OBSERVABILITY.md.
+package metricfix
+
+import "internal/obs"
+
+const helpOK = "Documented fixture metric."
+
+func register(r *obs.Registry, dyn string) {
+	r.Counter("consumelocal_fixture_events_total", helpOK)
+	r.Counter("consumelocal_fixture_undocumented_total", helpOK) // want `not documented`
+	r.Counter(dyn, helpOK)                                       // want `must be a compile-time string constant`
+	r.Counter("consumelocal_fixture_events", helpOK)             // want `must end in _total`
+	r.Counter("loadgen_fixture_total", helpOK)                   // want `must be snake_case with a consumelocal_ or consumelocald_ prefix`
+	r.Histogram("consumelocald_fixture_latency_seconds", helpOK, nil)
+	r.Histogram("consumelocal_fixture_latency", helpOK, nil) // want `must end in a base unit`
+	r.Gauge("consumelocal_fixture_depth", helpOK)
+	r.Gauge("consumelocal_fixture_depth_total", helpOK) // want `must not end in _total`
+	r.Gauge("consumelocal_fixture_depth", "")           // want `empty help text`
+	r.Info("consumelocal_fixture_build_info", helpOK, "go1.24")
+	r.Info("consumelocal_fixture_build", helpOK, "go1.24") // want `must end in _info`
+	//consumelocal:ignore metricdecl fixture: externally mandated legacy name
+	r.Counter("legacy_external_total", helpOK)
+}

@@ -324,6 +324,7 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 		for n := 0; n < sent; n++ {
 			// Safe to receive unconditionally: every worker that got the
 			// mark replies, and its send never blocks (buffered channel).
+			//consumelocal:ignore ctxsend every marked worker acks exactly once on a buffered channel, so this receive cannot stall
 			a := <-acks
 			deltas[a.worker] = a.delta
 			active += a.active
@@ -484,6 +485,7 @@ func (r *Run) feed(ctx context.Context, src Source, cfg Config) {
 
 	shards := make([]report, cfg.Workers)
 	for n := 0; n < cfg.Workers; n++ {
+		//consumelocal:ignore ctxsend every worker sends its final report exactly once on a buffered channel after the final mark, so this receive cannot stall
 		rep := <-reports
 		shards[rep.worker] = rep
 		if rep.err != nil {

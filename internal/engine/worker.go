@@ -236,6 +236,9 @@ func (w *worker) mark(until int64, final bool) {
 // the streaming twin of the batch engine's runInterval/book, performing
 // the identical sequence of floating-point operations so per-swarm
 // tallies match sim.Run bit for bit.
+//
+//consumelocal:hotpath
+//consumelocal:borrowed iv
 func (w *worker) settle(st *swarmState, iv swarm.Interval) {
 	if w.err != nil {
 		return
@@ -256,6 +259,7 @@ func (w *worker) settle(st *swarmState, iv swarm.Interval) {
 	budget := w.cfg.PeerBudget(sumCaps, n)
 
 	if err := w.cfg.Policy.MatchInto(&w.alloc, w.peers[:n], w.demands[:n], w.caps[:n], budget); err != nil {
+		//consumelocal:ignore hotalloc cold error exit: formatting happens once, on the failure that aborts the run
 		w.err = fmt.Errorf("engine: match swarm %+v interval [%d,%d): %w", st.key, iv.From, iv.To, err)
 		return
 	}

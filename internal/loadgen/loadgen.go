@@ -359,7 +359,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}()
 
+	//consumelocal:ignore ctxsend fleet goroutines exit on the run deadline carried by runCtx, so this join is bounded
 	wg.Wait()
+	//consumelocal:ignore ctxsend the supervisor closes superDone when the fleet it watches exits, which the bounded join above guarantees
 	<-superDone
 	elapsed := time.Since(started)
 
@@ -468,33 +470,33 @@ type run struct {
 
 func (r *run) initMetrics() {
 	r.reg = obs.NewRegistry()
-	r.createLat = r.reg.Histogram("loadgen_create_latency_seconds",
+	r.createLat = r.reg.Histogram("consumelocal_loadtest_create_latency_seconds",
 		"Latency of job-opening POSTs (ingest and spooled trace).", obs.LatencyBuckets)
-	r.batchLat = r.reg.Histogram("loadgen_batch_latency_seconds",
+	r.batchLat = r.reg.Histogram("consumelocal_loadtest_batch_latency_seconds",
 		"Latency of session-batch POSTs.", obs.LatencyBuckets)
-	r.snapLat = r.reg.Histogram("loadgen_snapshot_latency_seconds",
+	r.snapLat = r.reg.Histogram("consumelocal_loadtest_snapshot_latency_seconds",
 		"Snapshot follower latency: time to first NDJSON line, then inter-line gaps.", obs.LatencyBuckets)
-	r.sessionsAccepted = r.reg.Counter("loadgen_sessions_accepted_total",
+	r.sessionsAccepted = r.reg.Counter("consumelocal_loadtest_sessions_accepted_total",
 		"Sessions the daemon acknowledged (pushed counts, including 409 prefixes).")
-	r.jobsOpened = r.reg.Counter("loadgen_ingest_jobs_opened_total",
+	r.jobsOpened = r.reg.Counter("consumelocal_loadtest_ingest_jobs_opened_total",
 		"Ingest jobs opened by producers.")
-	r.jobsFinished = r.reg.Counter("loadgen_ingest_jobs_finished_total",
+	r.jobsFinished = r.reg.Counter("consumelocal_loadtest_ingest_jobs_finished_total",
 		"Ingest jobs sealed by producers.")
-	r.tracesSubmitted = r.reg.Counter("loadgen_trace_jobs_submitted_total",
+	r.tracesSubmitted = r.reg.Counter("consumelocal_loadtest_trace_jobs_submitted_total",
 		"Spooled trace jobs submitted.")
-	r.snapshotLines = r.reg.Counter("loadgen_snapshot_lines_total",
+	r.snapshotLines = r.reg.Counter("consumelocal_loadtest_snapshot_lines_total",
 		"NDJSON snapshot lines received by followers.")
-	r.followStreams = r.reg.Counter("loadgen_follow_streams_total",
+	r.followStreams = r.reg.Counter("consumelocal_loadtest_follow_streams_total",
 		"Snapshot follow streams opened.")
-	r.quota429 = r.reg.Counter("loadgen_backpressure_429_total",
+	r.quota429 = r.reg.Counter("consumelocal_loadtest_backpressure_429_total",
 		"Submissions refused by the daemon quota (backpressure stalls).")
-	r.conflict409 = r.reg.Counter("loadgen_conflict_409_total",
+	r.conflict409 = r.reg.Counter("consumelocal_loadtest_conflict_409_total",
 		"Batch pushes rejected for watermark ordering (racing the wall clock).")
-	r.err4xx = r.reg.Counter("loadgen_http_4xx_total",
+	r.err4xx = r.reg.Counter("consumelocal_loadtest_http_4xx_total",
 		"Unexpected 4xx responses (excluding counted 429/409).")
-	r.err5xx = r.reg.Counter("loadgen_http_5xx_total",
+	r.err5xx = r.reg.Counter("consumelocal_loadtest_http_5xx_total",
 		"5xx responses — the run's failure headline.")
-	r.errNet = r.reg.Counter("loadgen_network_errors_total",
+	r.errNet = r.reg.Counter("consumelocal_loadtest_network_errors_total",
 		"Transport-level request failures (excluding run-shutdown cancellations).")
 }
 

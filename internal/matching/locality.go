@@ -108,6 +108,8 @@ func (p LocalityFirst) Match(peers []Peer, demands, caps []float64, budget float
 // the maximum feasible flow under the no-self-serving constraint. Finally
 // the paper's (L−1)·q budget is applied, trimming least-local traffic
 // first.
+//
+//consumelocal:hotpath
 func (LocalityFirst) MatchInto(alloc *Allocation, peers []Peer, demands, caps []float64, budget float64) error {
 	totalDemand, err := validate(peers, demands, caps)
 	if err != nil {

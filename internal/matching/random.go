@@ -46,6 +46,8 @@ func (p Random) Match(peers []Peer, demands, caps []float64, budget float64) (Al
 // distributed over layers according to the exact probability that a
 // uniformly random ordered pair of distinct peers shares an exchange
 // point or a PoP.
+//
+//consumelocal:hotpath
 func (Random) MatchInto(alloc *Allocation, peers []Peer, demands, caps []float64, budget float64) error {
 	totalDemand, err := validate(peers, demands, caps)
 	if err != nil {

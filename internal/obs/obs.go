@@ -207,9 +207,13 @@ func (f *atomicFloat) add(delta float64) {
 type Counter struct{ v atomicFloat }
 
 // Inc adds one.
+//
+//consumelocal:hotpath
 func (c *Counter) Inc() { c.v.add(1) }
 
 // Add increases the counter by delta, which must be non-negative.
+//
+//consumelocal:hotpath
 func (c *Counter) Add(delta float64) {
 	if delta < 0 {
 		panic("obs: counter decreased")
@@ -224,13 +228,19 @@ func (c *Counter) Value() float64 { return c.v.load() }
 type Gauge struct{ v atomicFloat }
 
 // Set replaces the gauge value.
+//
+//consumelocal:hotpath
 func (g *Gauge) Set(v float64) { g.v.store(v) }
 
 // Add adjusts the gauge by delta (negative deltas allowed).
+//
+//consumelocal:hotpath
 func (g *Gauge) Add(delta float64) { g.v.add(delta) }
 
 // SetMax raises the gauge to v if v exceeds the current value — a
 // high-water mark (peak queue depth, widest window).
+//
+//consumelocal:hotpath
 func (g *Gauge) SetMax(v float64) {
 	for {
 		old := g.v.bits.Load()
@@ -257,6 +267,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//consumelocal:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {

@@ -10,7 +10,9 @@ type Sink interface {
 	// Emit receives one completed activity interval. The Interval's
 	// Active slice is owned by the tracker and reused across emissions:
 	// it is valid only until Emit returns and must be copied if retained.
-	Emit(Interval)
+	//
+	//consumelocal:borrowed iv
+	Emit(iv Interval)
 	// Closed is invoked for every settled member end after the last
 	// interval containing that member was emitted — the hook the
 	// streaming engine uses to release per-member state.
@@ -70,6 +72,8 @@ func (t *Tracker) Schedule(from, to int64, index int) {
 // events at exactly until (Sweep's ends-before-starts tie-break), and
 // emits each completed interval to sink in time order. until must not
 // decrease across calls.
+//
+//consumelocal:hotpath
 func (t *Tracker) Advance(until int64, sink Sink) {
 	for len(t.events) > 0 {
 		head := t.events[0]
@@ -113,6 +117,8 @@ func (t *Tracker) Idle() bool { return len(t.active) == 0 && len(t.events) == 0 
 
 // activeIndices fills the scratch buffer with the active member indices
 // in schedule order. The returned slice is reused by the next emission.
+//
+//consumelocal:borrowed return
 func (t *Tracker) activeIndices() []int {
 	if cap(t.scratch) < len(t.active) {
 		t.scratch = make([]int, len(t.active), 2*len(t.active))

@@ -149,6 +149,8 @@ func (iv Interval) Seconds() float64 { return float64(iv.To - iv.From) }
 // sweep many swarms (the simulator's shape) should hold a Sweeper and
 // reuse its scratch buffers across the loop; Sweep remains for one-off
 // callers and produces the identical interval sequence.
+//
+//consumelocal:borrowed return
 func (sw *Swarm) Sweep() []Interval {
 	return new(Sweeper).Sweep(sw)
 }

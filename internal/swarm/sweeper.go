@@ -70,6 +70,8 @@ func cmpSweepEvent(a, b sweepEvent) int {
 // The result is bit-for-bit the sequence (*Swarm).Sweep returns, minus
 // the per-swarm and per-interval allocations; see the type comment for
 // the ownership rules.
+//
+//consumelocal:borrowed return
 func (sp *Sweeper) Sweep(sw *Swarm) []Interval {
 	events := sp.prepare(len(sw.Sessions))
 	for i, s := range sw.Sessions {

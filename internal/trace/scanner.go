@@ -131,6 +131,8 @@ func (sc *Scanner) Meta() Meta { return sc.meta }
 
 // Scan advances to the next session, returning false at end of stream or
 // on error (distinguish with Err).
+//
+//consumelocal:hotpath
 func (sc *Scanner) Scan() bool {
 	if sc.err != nil {
 		return false
@@ -140,6 +142,7 @@ func (sc *Scanner) Scan() bool {
 		return false
 	}
 	if err != nil {
+		//consumelocal:ignore hotalloc cold error exit: formats once on the read failure that ends the scan
 		sc.err = fmt.Errorf("trace: read session: %w", err)
 		return false
 	}
@@ -153,6 +156,7 @@ func (sc *Scanner) Scan() bool {
 		return false
 	}
 	if s.StartSec < sc.prevStart {
+		//consumelocal:ignore hotalloc cold error exit: formats once on the ordering violation that ends the scan
 		sc.err = fmt.Errorf("trace: session %d out of start order", sc.scanned)
 		return false
 	}

@@ -183,6 +183,7 @@ func (m *MetricsSink) WritePrometheus(w io.Writer) error {
 		buf = obs.AppendSample(buf, s.name, "", m.vals[i])
 	}
 	m.buf = buf
+	//consumelocal:ignore lockscope lock intentionally held across the write so the scratch buffer stays stable; scrapers serialise by design
 	_, err := w.Write(buf)
 	return err
 }
