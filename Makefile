@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench microbench metrics-smoke loadtest loadtest-smoke ci
+.PHONY: all build vet lint test race bench microbench metrics-smoke loadtest loadtest-smoke chaos-smoke ci
 
 all: build
 
@@ -29,11 +29,11 @@ test:
 	$(GO) test ./...
 
 ## race: race-check the concurrent subsystems (Replay API layer,
-## streaming engine, parallel simulator, daemon job manager, load
-## generator, incremental swarm)
+## streaming engine, parallel simulator, daemon job manager, job
+## journal, load generator, incremental swarm)
 race:
 	$(GO) test -race . ./internal/engine/... ./internal/sim/... ./cmd/consumelocald/... \
-		./internal/loadgen/... ./internal/swarm/...
+		./internal/joblog/... ./internal/loadgen/... ./internal/swarm/...
 
 ## bench: the reproduction's benchmark report at reduced scale, then
 ## the replay perf-trajectory harness (writes BENCH_replay.json with
@@ -68,6 +68,12 @@ loadtest:
 ## zero 5xx) — part of ci
 loadtest-smoke:
 	./loadtest-smoke.sh
+
+## chaos-smoke: fault-injection end-to-end check — loadtest -chaos
+## SIGKILLs and restarts a durable daemon mid-run, then the report must
+## show a clean recovery (ledger_ok, zero 5xx) — part of ci
+chaos-smoke:
+	./chaos-smoke.sh
 
 ## microbench: the hot-path micro-benchmarks (tracker settlement, batch
 ## sweeper, matching, CSV fast lane, shard batch feed) at full bench time

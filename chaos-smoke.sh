@@ -1,0 +1,43 @@
+#!/bin/sh
+# chaos-smoke: end-to-end check of the fault-injection path. Builds
+# consumelocald, lets `consumelocal loadtest -chaos` spawn it durably,
+# SIGKILL it halfway through the run and restart it on the same data
+# dir, then asserts the report shows a clean recovery: the restart
+# happened (chaos section present, no restart error), finished jobs
+# were restored, the session ledger reconciles across the crash
+# (ledger_ok), and — same headline as loadtest-smoke — zero 5xx.
+# Run via `make chaos-smoke`.
+set -eu
+
+workdir="$(mktemp -d)"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/consumelocald" ./cmd/consumelocald
+go run ./cmd/consumelocal loadtest \
+    -daemon "$workdir/consumelocald" -chaos \
+    -data-dir "$workdir/data" \
+    -clients 24 -duration 8s -rate 120 -burst 32 \
+    -scale 0.001 -o "$workdir/BENCH_chaos.json"
+
+report="$workdir/BENCH_chaos.json"
+test -s "$report"
+
+# jq-free JSON assertions, as in loadtest-smoke.sh: the keys are the
+# loadgen.Report schema, indented one per line.
+fail() {
+    echo "chaos-smoke: $1" >&2
+    cat "$report" >&2
+    exit 1
+}
+
+grep -q '"chaos": {' "$report" || fail "no chaos section — the kill/restart never ran"
+grep -q '"restart_error"' "$report" && fail "daemon restart failed"
+grep -q '"http_5xx": 0,' "$report" || fail "daemon returned 5xx across the restart"
+grep -q '"ledger_ok": true' "$report" || fail "session ledger does not reconcile across the crash"
+grep -q '"restored_jobs": [0-9]' "$report" || fail "no recovery report from the restarted daemon"
+grep -q '"sessions_accepted": [1-9]' "$report" || fail "no sessions ingested"
+
+recovery="$(sed -n 's/.*"recovery_ms": \([0-9.]*\).*/\1/p' "$report" | head -n 1)"
+diff="$(sed -n 's/.*"ledger_diff": \([0-9-]*\).*/\1/p' "$report" | head -n 1)"
+echo "chaos-smoke OK: recovered in ${recovery}ms, ledger diff $diff, zero 5xx"

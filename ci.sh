@@ -29,7 +29,7 @@ fmt_drift="$(gofmt -s -l .)"
 test -z "$fmt_drift"
 go test ./...
 go test -race . ./internal/engine/... ./cmd/consumelocald/... \
-	./internal/loadgen/... ./internal/sim/... ./internal/swarm/...
+	./internal/joblog/... ./internal/loadgen/... ./internal/sim/... ./internal/swarm/...
 # Metrics lint: every /metrics scrape must parse under the exposition
 # linter (HELP/TYPE metadata, histogram suffixes, no duplicate series)
 # and expose the documented families — see docs/OBSERVABILITY.md.
@@ -42,3 +42,7 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # concurrent fleet through the loadtest subcommand; the report must be
 # well-formed with zero 5xx — see docs/LOADTEST.md.
 ./loadtest-smoke.sh
+# Fault-injection smoke: same harness with -chaos — SIGKILL and restart
+# a durable daemon mid-run; the report must show a clean recovery and a
+# reconciled session ledger — see docs/DURABILITY.md.
+./chaos-smoke.sh

@@ -20,7 +20,10 @@ import (
 // snapshot followers and spooled-trace submitters — and writes the
 // latency/throughput/error report to BENCH_daemon.json. With -addr it
 // drives an already-running daemon; without, it spawns -daemon itself
-// on an ephemeral port and tears it down after the run. See
+// on an ephemeral port and tears it down after the run. -chaos arms
+// the fault injection: the spawned daemon is SIGKILLed and restarted
+// mid-run on the same -data-dir, and the report gains recovery timings
+// and a post-crash ledger cross-check (see docs/DURABILITY.md). See
 // docs/LOADTEST.md for the workload and report schema.
 func runLoadtest(args []string, out io.Writer) error {
 	def := loadgen.DefaultConfig()
@@ -38,6 +41,8 @@ func runLoadtest(args []string, out io.Writer) error {
 	window := fs.Int64("window", def.Window, "ingest reporting window in trace seconds")
 	seed := fs.Int64("seed", def.Seed, "trace and jitter seed")
 	maxJobs := fs.Int("max-jobs", 0, "-max-jobs for a spawned daemon (0 derives from the fleet)")
+	chaos := fs.Bool("chaos", false, "SIGKILL and restart the spawned daemon mid-run (requires spawn mode; implies a durable -data-dir)")
+	dataDir := fs.String("data-dir", "", "-data-dir for a spawned daemon (empty with -chaos uses a temp dir)")
 	output := fs.String("o", def.Output, "write the JSON report here (empty skips the file)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +64,8 @@ func runLoadtest(args []string, out io.Writer) error {
 		Window:       *window,
 		Seed:         *seed,
 		MaxJobs:      *maxJobs,
+		Chaos:        *chaos,
+		DataDir:      *dataDir,
 		Output:       *output,
 		Out:          out,
 	}

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecovery is the durability acceptance test: it runs the
+// real binary (SIGKILL needs a process, not an httptest server),
+// crashes it mid-ingest, and checks the restart honours the journal's
+// promises — finished results re-served byte-for-byte, interrupted
+// jobs reported failed rather than resurrected or silently dropped,
+// IDs never reused, and a torn final record truncated instead of
+// poisoning replay.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes the real daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "consumelocald")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	// ---- Life before the crash: one job finishes, one is mid-stream.
+	d := startCrashDaemon(t, bin, dataDir)
+	resp, v := postJob(t, d.base+"/v1/jobs?source=generator&scale=0.001&days=1&window=21600&name=survivor")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("generator job = %d", resp.StatusCode)
+	}
+	genID := v.ID
+	waitStatus(t, d.base, genID, "done")
+	before := map[string][]byte{}
+	for _, path := range crashReadPaths(genID) {
+		before[path] = getBytes(t, d.base+path)
+	}
+
+	resp, v = postJob(t, ingestURL(d.base, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest job = %d", resp.StatusCode)
+	}
+	ingID := v.ID
+	if sresp, out := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions?watermark=3600", d.base, ingID),
+		"text/csv", sessionRows(0, 20)); sresp.StatusCode != http.StatusOK || out["pushed"].(float64) != 20 {
+		t.Fatalf("batch = %d %v, want 200 with 20 pushed", sresp.StatusCode, out)
+	}
+	d.kill()
+
+	// ---- Restart on the same data dir.
+	d = startCrashDaemon(t, bin, dataDir)
+	h := getHealthz(t, d.base)
+	if h.Durable != true || h.Recovery == nil {
+		t.Fatalf("healthz after restart not durable: %+v", h)
+	}
+	if h.Recovery.Restored != 1 || h.Recovery.Interrupted != 1 || h.Recovery.TornTail {
+		t.Fatalf("recovery = %+v, want 1 restored, 1 interrupted, no torn tail", h.Recovery)
+	}
+	for _, path := range crashReadPaths(genID) {
+		if after := getBytes(t, d.base+path); !bytes.Equal(after, before[path]) {
+			t.Errorf("%s not byte-identical after restart:\n before: %s\n after:  %s", path, before[path], after)
+		}
+	}
+	var ing jobView
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", d.base, ingID), &ing)
+	if ing.Status != "failed" || !strings.Contains(ing.Error, "daemon restart") {
+		t.Fatalf("interrupted job = %q/%q, want failed with a restart error", ing.Status, ing.Error)
+	}
+	if ing.Pushed != 20 || ing.Watermark != 3600 {
+		t.Fatalf("interrupted job progress = %d pushed / %d watermark, want the journalled 20/3600", ing.Pushed, ing.Watermark)
+	}
+	// Pushing to the settled job is refused, and IDs are not reused.
+	if sresp, _ := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions", d.base, ingID),
+		"text/csv", sessionRows(4000, 1)); sresp.StatusCode != http.StatusConflict {
+		t.Fatalf("push to recovered job = %d, want 409", sresp.StatusCode)
+	}
+	resp, v = postJob(t, d.base+"/v1/jobs?source=generator&scale=0.001&days=1&window=21600&name=post-crash")
+	if resp.StatusCode != http.StatusAccepted || v.ID <= ingID {
+		t.Fatalf("post-crash job = %d id %d, want 202 with a fresh id > %d", resp.StatusCode, v.ID, ingID)
+	}
+	waitStatus(t, d.base, v.ID, "done")
+	d.kill()
+
+	// ---- Torn tail: chop bytes off the journal's final record, the
+	// shape a crash mid-append leaves behind.
+	journal := filepath.Join(dataDir, "journal.log")
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d = startCrashDaemon(t, bin, dataDir)
+	h = getHealthz(t, d.base)
+	if h.Recovery == nil || !h.Recovery.TornTail {
+		t.Fatalf("recovery after torn tail = %+v, want torn_tail true", h.Recovery)
+	}
+	for _, path := range crashReadPaths(genID) {
+		if after := getBytes(t, d.base+path); !bytes.Equal(after, before[path]) {
+			t.Errorf("%s not byte-identical after torn-tail restart", path)
+		}
+	}
+	d.stop()
+}
+
+// crashReadPaths are the read-side endpoints whose responses must
+// survive a restart byte-for-byte.
+func crashReadPaths(id int) []string {
+	return []string{
+		fmt.Sprintf("/v1/jobs/%d", id),
+		fmt.Sprintf("/v1/jobs/%d/energy", id),
+		fmt.Sprintf("/v1/jobs/%d/carbon", id),
+	}
+}
+
+// crashDaemon is one real consumelocald process under test.
+type crashDaemon struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+// startCrashDaemon launches the built binary on an ephemeral port with
+// the given data dir and waits for its listening log line.
+func startCrashDaemon(t *testing.T, bin, dataDir string) *crashDaemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	d := &crashDaemon{t: t, cmd: cmd, done: make(chan error, 1)}
+	t.Cleanup(func() { d.stop() })
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, `msg="consumelocald listening"`) {
+				for _, f := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(f, "addr="); ok {
+						select {
+						case addrc <- strings.Trim(v, `"`):
+						default:
+						}
+					}
+				}
+			}
+			t.Logf("[daemon] %s", line)
+		}
+	}()
+	go func() { d.done <- cmd.Wait() }()
+	select {
+	case addr := <-addrc:
+		d.base = "http://" + addr
+		return d
+	case err := <-d.done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not report a listening address within 15s")
+	}
+	return nil
+}
+
+// kill crashes the daemon: SIGKILL, no drain, no fsync beyond what the
+// journal already paid.
+func (d *crashDaemon) kill() {
+	d.t.Helper()
+	if d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	<-d.done
+}
+
+// stop is the graceful teardown (and the idempotent cleanup hook).
+func (d *crashDaemon) stop() {
+	if d.cmd.Process == nil || d.cmd.ProcessState != nil {
+		return
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-d.done:
+	case <-time.After(10 * time.Second):
+		d.cmd.Process.Kill()
+		<-d.done
+	}
+}
+
+// healthzRecovery mirrors the daemon's recoveryInfo JSON.
+type healthzRecovery struct {
+	Restored    int  `json:"restored_jobs"`
+	Interrupted int  `json:"interrupted_jobs"`
+	Carried     int  `json:"carried_jobs"`
+	Dropped     int  `json:"dropped_jobs"`
+	TornTail    bool `json:"torn_tail"`
+}
+
+type healthzPayload struct {
+	Status   string           `json:"status"`
+	Durable  bool             `json:"durable"`
+	Recovery *healthzRecovery `json:"recovery"`
+}
+
+func getHealthz(t *testing.T, base string) healthzPayload {
+	t.Helper()
+	var h healthzPayload
+	getJSON(t, base+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz status = %q", h.Status)
+	}
+	return h
+}
+
+// getBytes fetches a URL and returns the exact response body.
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// waitStatus polls one job until it reaches want.
+func waitStatus(t *testing.T, base string, id int, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v jobView
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &v) == nil {
+			if v.Status == want {
+				return
+			}
+			if v.Status != "running" {
+				t.Fatalf("job %d settled as %q (%s), want %q", id, v.Status, v.Error, want)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d did not reach %q within 60s", id, want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,382 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"consumelocal"
+	"consumelocal/internal/engine"
+	"consumelocal/internal/joblog"
+	"consumelocal/internal/sim"
+	"consumelocal/internal/trace"
+)
+
+// storedResult is the result-store document of one finished job:
+// everything GET /v1/jobs/{id}, /energy and /carbon serve, so a
+// restarted daemon re-serves the job byte-for-byte without re-running
+// the replay. Floats survive the JSON round trip exactly (encoding/json
+// emits shortest-round-trip representations), which is what makes
+// "byte-identical after restart" achievable rather than approximate.
+type storedResult struct {
+	ID        int             `json:"id"`
+	Name      string          `json:"name"`
+	Kind      string          `json:"kind"`
+	Mode      string          `json:"mode"`
+	Started   time.Time       `json:"started"`
+	Meta      trace.Meta      `json:"meta"`
+	Snapshots int             `json:"snapshots"`
+	Snapshot  engine.Snapshot `json:"snapshot"`
+	Ingest    bool            `json:"ingest,omitempty"`
+	Pushed    int64           `json:"pushed,omitempty"`
+	Watermark int64           `json:"watermark_sec,omitempty"`
+	Result    *sim.Result     `json:"result"`
+}
+
+// errInterrupted is the deterministic terminal error of jobs the
+// journal shows running at the moment the daemon died: there is no
+// way to resume a half-run replay, so recovery fails them loudly
+// instead of pretending.
+const errInterrupted = "failed (daemon restart): the replay was interrupted before it finished"
+
+// recoveryInfo is the /healthz "recovery" payload: what the last
+// journal replay did. Immutable once openDurability returns.
+type recoveryInfo struct {
+	Restored    int     `json:"restored_jobs"`
+	Interrupted int     `json:"interrupted_jobs"`
+	Carried     int     `json:"carried_jobs"`
+	Dropped     int     `json:"dropped_jobs"`
+	TornTail    bool    `json:"torn_tail"`
+	Sessions    int64   `json:"sessions_restored"`
+	DurationMs  float64 `json:"duration_ms"`
+}
+
+// openDurability attaches the journal and result store under dataDir
+// and replays the journal into the registry: finished jobs come back
+// with their stored results, jobs that were running when the daemon
+// died are deterministically failed, the monotonic ingest counters are
+// restored, and the journal is compacted down to a checkpoint plus the
+// retained jobs' terminal records. Must run before the listener binds:
+// once the daemon serves requests, recovery is complete.
+func (s *server) openDurability(dataDir string) error {
+	t0 := time.Now()
+	jl, rec, err := joblog.Open(dataDir)
+	if err != nil {
+		return err
+	}
+	store, err := joblog.OpenStore(dataDir)
+	if err != nil {
+		jl.Close()
+		return err
+	}
+	jl.OnFsync = s.met.journalFsync.Observe
+	jl.OnAppend = func(recordType string) { s.met.journalRecords.With1(recordType).Inc() }
+	s.jl, s.store = jl, store
+
+	info := recoveryInfo{TornTail: rec.TornTail, Sessions: rec.Sessions}
+	if rec.TornTail {
+		s.met.recoveryTorn.Inc()
+	}
+	// Restore the monotonic ingest counters from the journal totals, so
+	// a client ledger built on counter deltas (the loadtest skew
+	// cross-check) survives the restart instead of watching the counter
+	// reset to zero.
+	s.met.ingestSessions.Add(float64(rec.Sessions))
+	s.met.ingestBatches.Add(float64(rec.Batches))
+
+	// The retention cap applies across restarts too: only the newest
+	// maxRetainedJobs journalled jobs come back; older ones are dropped
+	// with their stored results.
+	states := rec.Jobs
+	keepFrom := 0
+	if len(states) > maxRetainedJobs {
+		keepFrom = len(states) - maxRetainedJobs
+	}
+	for _, st := range states[:keepFrom] {
+		info.Dropped++
+		s.met.recoveryJobs.With1("dropped").Inc()
+		_ = store.Delete(st.ID)
+	}
+	for _, st := range states[keepFrom:] {
+		j, outcome := s.recoverJob(st)
+		s.jobs[j.id] = j
+		switch outcome {
+		case "restored":
+			info.Restored++
+		case "interrupted":
+			info.Interrupted++
+		case "carried":
+			info.Carried++
+		default:
+			info.Dropped++
+		}
+		s.met.recoveryJobs.With1(outcome).Inc()
+	}
+	if rec.MaxID >= s.nextID {
+		s.nextID = rec.MaxID + 1
+	}
+
+	// Compact: the journal shrinks to one checkpoint (carrying the
+	// aggregate totals forward) plus a created+finished pair per
+	// retained job, so its size is bounded by the retention window.
+	recs := make([]joblog.Record, 0, 1+2*len(s.jobs))
+	recs = append(recs, joblog.Record{Type: joblog.TypeCheckpoint, Sessions: rec.Sessions, Batches: rec.Batches})
+	for _, st := range states[keepFrom:] {
+		j := s.jobs[st.ID]
+		recs = append(recs, s.createdRecord(j), s.finishedRecord(j))
+	}
+	if err := jl.Rewrite(recs); err != nil {
+		return fmt.Errorf("compact journal: %w", err)
+	}
+	info.DurationMs = float64(time.Since(t0).Microseconds()) / 1e3
+	s.recovered = info
+	s.met.recoverySecs.Set(time.Since(t0).Seconds())
+	return nil
+}
+
+// recoverJob rebuilds one registry entry from its journal state. The
+// returned outcome labels the recovery_jobs_total metric: "restored"
+// (done, result re-served), "interrupted" (was running, now failed),
+// "carried" (already failed/cancelled, status re-served) or "dropped"
+// (journal says done but the result store has no document).
+func (s *server) recoverJob(st *joblog.JobState) (*job, string) {
+	// ParseEngineMode tolerates every mode the daemon ever journalled;
+	// an unknown one (journal from a newer binary) degrades to the
+	// zero mode rather than refusing recovery.
+	mode, _ := consumelocal.ParseEngineMode(st.Mode)
+	j := &job{
+		id:        st.ID,
+		name:      st.Name,
+		kind:      st.Kind,
+		mode:      mode,
+		srv:       s,
+		started:   st.Started,
+		meta:      st.Meta,
+		recovered: true,
+		changed:   make(chan struct{}),
+	}
+	setIngestView := func(pushed, watermark int64) {
+		if j.kind == "ingest" {
+			j.recIngest, j.recPushed, j.recWatermark = true, pushed, watermark
+		}
+	}
+	switch st.Status {
+	case "done":
+		var sr storedResult
+		ok, err := s.store.Get(st.ID, &sr)
+		if !ok || err != nil {
+			j.status = "failed"
+			j.errMsg = "result lost: the journal records this job done but the result store has no document"
+			setIngestView(st.Sessions, st.Watermark)
+			s.logger.Warn("recovery: stored result missing",
+				slog.Int("job", st.ID), slog.Any("err", err))
+			return j, "dropped"
+		}
+		j.status = "done"
+		j.result = sr.Result
+		if sr.Snapshots > 0 {
+			j.snaps = []engine.Snapshot{sr.Snapshot}
+			j.snapsStart = sr.Snapshots - 1
+		}
+		// Trust the stored document for identity too: it captured the
+		// exact view the daemon served before the crash.
+		j.name, j.kind, j.meta, j.started = sr.Name, sr.Kind, sr.Meta, sr.Started
+		if m, err := consumelocal.ParseEngineMode(sr.Mode); err == nil {
+			j.mode = m
+		}
+		if sr.Ingest {
+			j.recIngest, j.recPushed, j.recWatermark = true, sr.Pushed, sr.Watermark
+		}
+		return j, "restored"
+	case "failed", "cancelled":
+		j.status = st.Status
+		j.errMsg = st.Error
+		j.snapsStart = st.Snapshots
+		setIngestView(st.Sessions, st.Watermark)
+		return j, "carried"
+	default:
+		// No terminal record: the daemon died while this job ran.
+		j.status = "failed"
+		j.errMsg = errInterrupted
+		setIngestView(st.Sessions, st.Watermark)
+		return j, "interrupted"
+	}
+}
+
+// closeDurability syncs and closes the journal on shutdown.
+func (s *server) closeDurability() {
+	if s.jl == nil {
+		return
+	}
+	if err := s.jl.Close(); err != nil {
+		s.logger.Warn("journal close failed", slog.String("err", err.Error()))
+	}
+}
+
+// createdRecord renders a job's admission record.
+func (s *server) createdRecord(j *job) joblog.Record {
+	meta := j.meta
+	return joblog.Record{
+		Type:    joblog.TypeCreated,
+		Job:     j.id,
+		Name:    j.name,
+		Kind:    j.kind,
+		Mode:    j.mode.String(),
+		Started: j.started,
+		Meta:    &meta,
+	}
+}
+
+// finishedRecord renders a job's terminal record from its settled
+// registry state (callers ensure the job is settled).
+func (s *server) finishedRecord(j *job) joblog.Record {
+	j.mu.Lock()
+	rec := joblog.Record{
+		Type:      joblog.TypeFinished,
+		Job:       j.id,
+		Status:    j.status,
+		Error:     j.errMsg,
+		Snapshots: j.snapsStart + len(j.snaps),
+	}
+	j.mu.Unlock()
+	if j.ingest != nil {
+		rec.Sessions = j.ingest.Pushed()
+		rec.WatermarkSec = j.ingest.Watermark()
+	} else if j.recIngest {
+		rec.Sessions = j.recPushed
+		rec.WatermarkSec = j.recWatermark
+	}
+	return rec
+}
+
+// journalAppend commits one record, degrading loudly on failure: an
+// append error (disk full, journal closed) means restart fidelity is
+// lost for this transition, not that the in-memory job is wrong. The
+// one exception is the batch-acknowledgement path, which uses
+// journalBatch and refuses the ack instead.
+func (s *server) journalAppend(rec joblog.Record) {
+	if s.jl == nil {
+		return
+	}
+	if err := s.jl.Append(rec); err != nil {
+		s.met.journalErrors.Inc()
+		s.logger.Error("journal append failed",
+			slog.String("type", rec.Type),
+			slog.Int("job", rec.Job),
+			slog.String("err", err.Error()))
+	}
+}
+
+// journalBatch durably records an accepted ingest batch (or a bare
+// watermark advance) before the handler acknowledges it. A nil error
+// means the record is fsynced; on failure the caller must not
+// acknowledge the sessions as accepted.
+func (s *server) journalBatch(j *job, pushed int, advanced bool) error {
+	if s.jl == nil || (pushed == 0 && !advanced) {
+		return nil
+	}
+	rec := joblog.Record{
+		Type:         joblog.TypeBatch,
+		Job:          j.id,
+		Sessions:     int64(pushed),
+		WatermarkSec: j.ingest.Watermark(),
+	}
+	if pushed == 0 {
+		rec.Type = joblog.TypeWatermark
+		rec.Sessions = 0
+	}
+	if err := s.jl.Append(rec); err != nil {
+		s.met.journalErrors.Inc()
+		s.logger.Error("journal batch append failed",
+			slog.Int("job", j.id), slog.String("err", err.Error()))
+		return err
+	}
+	return nil
+}
+
+// dropStored deletes evicted jobs' results and journals the eviction,
+// so a restart does not resurrect jobs the retention window already
+// let go. Runs outside s.mu — file I/O never happens under the
+// registry lock.
+func (s *server) dropStored(ids []int) {
+	if s.jl == nil {
+		return
+	}
+	for _, id := range ids {
+		_ = s.store.Delete(id)
+		s.journalAppend(joblog.Record{Type: joblog.TypeEvicted, Job: id})
+	}
+}
+
+// persistFinished is pump's terminal hook under a data dir: store a
+// done job's full result document first, then journal the terminal
+// record — in that order, so a journal that says "done" always has a
+// result behind it. A failed store write downgrades the journalled
+// status: the job stays "done" in memory for this process's lifetime,
+// but a restart will (correctly) refuse to promise a result it does
+// not have.
+func (j *job) persistFinished() {
+	s := j.srv
+	if s.jl == nil || j.recovered {
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	var snap engine.Snapshot
+	if n := len(j.snaps); n > 0 {
+		snap = j.snaps[n-1]
+	}
+	total := j.snapsStart + len(j.snaps)
+	res := j.result
+	j.mu.Unlock()
+
+	if status == "done" {
+		sr := storedResult{
+			ID:        j.id,
+			Name:      j.name,
+			Kind:      j.kind,
+			Mode:      j.mode.String(),
+			Started:   j.started,
+			Meta:      j.meta,
+			Snapshots: total,
+			Snapshot:  snap,
+			Result:    res,
+		}
+		if j.ingest != nil {
+			sr.Ingest = true
+			sr.Pushed = j.ingest.Pushed()
+			sr.Watermark = j.ingest.Watermark()
+		}
+		if err := s.store.Put(j.id, &sr); err != nil {
+			s.met.journalErrors.Inc()
+			s.logger.Error("result store write failed",
+				slog.Int("job", j.id), slog.String("err", err.Error()))
+			return
+		}
+	}
+	s.journalAppend(s.finishedRecord(j))
+}
+
+// handleDraining refuses new work while the daemon drains for
+// shutdown: a clean 503 with a Retry-After is a real signal a client
+// policy can key off, where a connection that hangs until the listener
+// dies is not. Returns true when the request was answered.
+func (s *server) handleDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", drainRetryAfter)
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("daemon is draining for shutdown; retry against another instance"))
+	return true
+}
+
+// Retry-After hints, in seconds. Quota refusals clear as soon as a
+// running replay settles; a draining daemon is gone for good, so the
+// hint is only how long a client should wait before trying a
+// (restarted or rescheduled) instance.
+const (
+	quotaRetryAfter = "1"
+	drainRetryAfter = "5"
+)

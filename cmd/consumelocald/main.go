@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-drain 30s] [-pprof addr]
+//	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-drain 30s] [-data-dir dir] [-pprof addr]
+//
+// With -data-dir the daemon is durable: every job state transition is
+// journalled (fsynced before ingest batches are acknowledged), finished
+// results are persisted, and on restart the journal is replayed —
+// finished jobs are re-served byte-identically, jobs interrupted by a
+// crash are reported failed, and the ingest counters pick up where they
+// left off. See docs/DURABILITY.md. Without the flag, state is
+// in-memory only, as before.
 //
 // API:
 //
@@ -78,6 +86,7 @@ type daemonConfig struct {
 	maxBody    int64
 	ingestIdle time.Duration
 	drain      time.Duration
+	dataDir    string
 	logger     *slog.Logger
 }
 
@@ -87,6 +96,7 @@ func main() {
 	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "largest trace CSV a replay submission may upload, in bytes (must be positive; excess gets 413)")
 	ingestIdle := flag.Duration("ingest-idle", defaultIngestIdle, "cancel a live ingest job whose producer stays silent this long (0 disables the watchdog)")
 	drain := flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, give running replays this long to finish before cancelling them")
+	dataDir := flag.String("data-dir", "", "journal job state and persist finished results here, replaying on restart (empty keeps state in-memory only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -120,6 +130,7 @@ func main() {
 		maxBody:    *maxBody,
 		ingestIdle: *ingestIdle,
 		drain:      *drain,
+		dataDir:    *dataDir,
 		logger:     logger,
 	}, nil)
 	if err != nil {
@@ -146,6 +157,26 @@ func runDaemon(ctx context.Context, cfg daemonConfig, ready func(addr string)) e
 	}
 	srv.ingestIdle = cfg.ingestIdle
 	srv.logger = logger
+
+	// Durability opens — and recovery fully completes — before the
+	// listener binds, so no request ever observes a half-recovered
+	// registry and there is no "recovering" HTTP state to model.
+	if cfg.dataDir != "" {
+		if err := srv.openDurability(cfg.dataDir); err != nil {
+			return fmt.Errorf("open data dir %s: %w", cfg.dataDir, err)
+		}
+		defer srv.closeDurability()
+		rec := srv.recovered
+		logger.Info("journal recovered",
+			slog.String("data_dir", cfg.dataDir),
+			slog.Int("restored", rec.Restored),
+			slog.Int("interrupted", rec.Interrupted),
+			slog.Int("carried", rec.Carried),
+			slog.Int("dropped", rec.Dropped),
+			slog.Bool("torn_tail", rec.TornTail),
+			slog.Int64("sessions", rec.Sessions),
+			slog.Duration("took", time.Duration(rec.DurationMs*float64(time.Millisecond))))
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -203,6 +234,10 @@ func runDaemon(ctx context.Context, cfg daemonConfig, ready func(addr string)) e
 	}
 
 	logger.Info("shutting down", slog.Duration("drain", cfg.drain))
+	// New work gets 503 + Retry-After from here on; a load balancer (or
+	// the loadtest supervisor) should fail over rather than queue on a
+	// daemon that is tearing down.
+	srv.draining.Store(true)
 	srv.drainJobs(cfg.drain)
 	// With the jobs settled, in-flight handlers (including sync replay
 	// streams, which block until their job settles) can finish promptly.

@@ -42,6 +42,15 @@ type daemonMetrics struct {
 	spooledBytes *obs.Counter
 	snapshotEmit *obs.Histogram
 
+	// Durability series. All stay zero unless the daemon runs with
+	// -data-dir; recoverySecs doubles as a "durable mode on" signal.
+	journalFsync   *obs.Histogram
+	journalRecords *obs.CounterVec // type: created|batch|watermark|finished|evicted|checkpoint
+	journalErrors  *obs.Counter
+	recoveryJobs   *obs.CounterVec // outcome: restored|interrupted|carried|dropped
+	recoveryTorn   *obs.Counter
+	recoverySecs   *obs.Gauge
+
 	reqID atomic.Uint64
 }
 
@@ -84,6 +93,20 @@ func newDaemonMetrics(s *server) *daemonMetrics {
 		snapshotEmit: r.Histogram("consumelocald_snapshot_emit_seconds",
 			"Latency of publishing one snapshot to a job's retained history and followers.",
 			obs.LatencyBuckets),
+
+		journalFsync: r.Histogram("consumelocald_journal_fsync_seconds",
+			"Latency of one job-journal append's write+fsync (the durability cost on the ingest ack path).",
+			obs.LatencyBuckets),
+		journalRecords: r.CounterVec("consumelocald_journal_records_total",
+			"Job-journal records appended, by record type.", "type"),
+		journalErrors: r.Counter("consumelocald_journal_append_errors_total",
+			"Job-journal appends that failed. Batch-record failures refuse the ingest ack (500); lifecycle-record failures degrade durability loudly but keep serving."),
+		recoveryJobs: r.CounterVec("consumelocald_recovery_jobs_total",
+			"Jobs reconciled during startup replay, by outcome (restored, interrupted, carried, dropped).", "outcome"),
+		recoveryTorn: r.Counter("consumelocald_recovery_torn_tail_total",
+			"Startup replays that found and truncated a torn journal tail (expected after a crash mid-append)."),
+		recoverySecs: r.Gauge("consumelocald_recovery_seconds",
+			"Wall time the last startup recovery took (journal replay plus result reloads). Zero when -data-dir is off."),
 	}
 	m.jobsQuota.Set(float64(s.maxJobs))
 	r.Info("consumelocald_build_info",

@@ -16,12 +16,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consumelocal"
 	"consumelocal/internal/carbon"
 	"consumelocal/internal/energy"
 	"consumelocal/internal/engine"
+	"consumelocal/internal/joblog"
 	"consumelocal/internal/sim"
 	"consumelocal/internal/swarm"
 	"consumelocal/internal/trace"
@@ -95,6 +97,19 @@ type server struct {
 	met    *daemonMetrics
 	logger *slog.Logger
 
+	// jl and store are the durability layer (-data-dir): the
+	// fsync-on-commit job journal and the completed-result store. Both
+	// nil when the daemon runs ephemeral; openDurability attaches them
+	// before the listener binds. recovered is what the startup journal
+	// replay did (the /healthz "recovery" payload).
+	jl        *joblog.Journal
+	store     *joblog.Store
+	recovered recoveryInfo
+
+	// draining flips once shutdown begins: new work is refused with
+	// 503 + Retry-After instead of hanging on a dying listener.
+	draining atomic.Bool
+
 	// sourceHook, when set, replaces jobSource for POST /v1/jobs: the
 	// test seam that lets the httptest suite drive jobs from gated
 	// in-memory sources with deterministic timing.
@@ -149,6 +164,15 @@ type job struct {
 	result     *sim.Result
 	errMsg     string
 	changed    chan struct{}
+
+	// recovered marks a job rebuilt from the journal after a restart:
+	// replay and ingest are nil (there is no live pipeline behind it)
+	// and the status is terminal. The rec* fields carry the
+	// producer-side view an ingest job's queue would otherwise serve.
+	recovered    bool
+	recIngest    bool
+	recPushed    int64
+	recWatermark int64
 }
 
 // broadcastLocked wakes every follower. Callers hold j.mu.
@@ -194,11 +218,18 @@ func (j *job) view() jobView {
 	}
 	j.mu.Unlock()
 	// The ingest queue has its own lock; read it outside j.mu to keep
-	// the lock order trivial.
-	if j.ingest != nil {
+	// the lock order trivial. A recovered job has no queue — its view
+	// is the journalled progress at the moment the daemon last
+	// committed a record for it.
+	switch {
+	case j.ingest != nil:
 		v.Ingest = true
 		v.Pushed = j.ingest.Pushed()
 		v.Watermark = j.ingest.Watermark()
+	case j.recIngest:
+		v.Ingest = true
+		v.Pushed = j.recPushed
+		v.Watermark = j.recWatermark
 	}
 	return v
 }
@@ -246,14 +277,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	running := s.runningLocked()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"status":         "ok",
 		"go_version":     runtime.Version(),
 		"started":        s.met.start.UTC(),
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
 		"jobs_running":   running,
 		"max_jobs":       s.maxJobs,
-	})
+		"draining":       s.draining.Load(),
+	}
+	if s.jl != nil {
+		payload["durable"] = true
+		payload["recovery"] = s.recovered
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // replaySpec is the parsed query-parameter form of a replay request.
@@ -886,8 +923,13 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 	j.id = s.nextID
 	s.nextID++
 	s.jobs[j.id] = j
-	s.evictLocked()
+	evicted := s.evictLocked()
 	s.mu.Unlock()
+	s.dropStored(evicted)
+	// The admission record lands — fsynced — before the 202/200 goes
+	// out, so a job the client was told exists survives a crash (as
+	// "interrupted" if it never finishes).
+	s.journalAppend(s.createdRecord(j))
 
 	s.met.jobsSubmitted.With1(kind).Inc()
 	s.logger.Info("job started",
@@ -951,6 +993,10 @@ func (j *job) pump() {
 		j.cleanup()
 		j.cleanup = nil
 	}
+	// Persist the terminal state: a done job's full result document
+	// first, then the journalled terminal record — the order that keeps
+	// "journal says done" implying "the store can serve it".
+	j.persistFinished()
 	// Fold the stream's stall total into the retired accumulator after
 	// cleanup aborted the queue, so the live sum never counts a stall
 	// that lands between retirement and the abort.
@@ -969,6 +1015,9 @@ func (j *job) pump() {
 // background, pollable through GET /v1/jobs/{id} and streamable through
 // GET /v1/jobs/{id}/snapshots until DELETE cancels it.
 func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	if s.handleDraining(w) {
+		return
+	}
 	sp, err := parseSpec(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -993,8 +1042,11 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		sp.kind = "trace"
 	}
 	// Claim the quota slot before spooling the body, so over-quota
-	// submissions are refused without writing a byte to disk.
+	// submissions are refused without writing a byte to disk. The
+	// Retry-After gives client backoff a real signal: quota clears as
+	// soon as a running replay settles.
 	if err := s.claimSlot(); err != nil {
+		w.Header().Set("Retry-After", quotaRetryAfter)
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
@@ -1110,6 +1162,13 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 	pushed := 0
 	for _, sess := range sessions {
 		if err := j.ingest.PushContext(r.Context(), sess); err != nil {
+			// The accepted prefix is real ingested data the response
+			// reports (and producers resume from) — journal it before
+			// acknowledging it.
+			if perr := s.journalBatch(j, pushed, false); perr != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", perr))
+				return
+			}
 			writeIngestError(w, r, j, pushed, err)
 			return
 		}
@@ -1120,12 +1179,26 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 		// deadline is a live producer, not a silent one.
 		j.touchIngest()
 	}
+	advanced := false
 	if watermark != nil {
 		if err := j.ingest.AdvanceContext(r.Context(), *watermark); err != nil {
+			if perr := s.journalBatch(j, pushed, false); perr != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", perr))
+				return
+			}
 			writeIngestError(w, r, j, pushed, err)
 			return
 		}
+		advanced = true
 		j.touchIngest()
+	}
+	// Fsync-on-commit: the batch record must be durable before the 200
+	// acknowledges it. A journal failure here refuses the ack — the
+	// producer must treat the batch as indeterminate — rather than
+	// acknowledging sessions a restart would forget.
+	if err := s.journalBatch(j, pushed, advanced); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", err))
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"job":           j.id,
@@ -1199,6 +1272,9 @@ func (s *server) handleIngestFinish(w http.ResponseWriter, r *http.Request) {
 // line. Disconnecting cancels the replay (the request context is the
 // job's context); the job stays queryable through /v1/jobs afterwards.
 func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if s.handleDraining(w) {
+		return
+	}
 	sp, err := parseSpec(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -1211,6 +1287,7 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
 	if err := s.claimSlot(); err != nil {
+		w.Header().Set("Retry-After", quotaRetryAfter)
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
@@ -1397,7 +1474,11 @@ func (s *server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	j.replay.Cancel()
+	// A recovered job has no replay behind it and is already settled;
+	// cancellation is the idempotent no-op the settled branch reports.
+	if j.replay != nil {
+		j.replay.Cancel()
+	}
 	// A sync replay may be blocked reading a stalled client's body,
 	// where cancellation is not observed; cut the read so the slot is
 	// actually freed.
@@ -1452,6 +1533,10 @@ func (s *server) drainJobs(drain time.Duration) {
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {
+		if j.replay == nil {
+			// Recovered jobs are settled and have no pipeline to unwind.
+			continue
+		}
 		j.replay.Cancel()
 		// As in DELETE: a sync replay may be blocked reading a stalled
 		// client's body where cancellation is not observed; cut the read.
@@ -1468,19 +1553,22 @@ func (s *server) drainJobs(drain time.Duration) {
 }
 
 // evictLocked drops the oldest finished jobs once the registry exceeds
-// maxRetainedJobs. Running jobs are never evicted. Callers hold s.mu.
-func (s *server) evictLocked() {
+// maxRetainedJobs, returning the evicted IDs so the caller can drop
+// their stored results outside the lock (eviction must never do file
+// I/O under s.mu). Running jobs are never evicted. Callers hold s.mu.
+func (s *server) evictLocked() []int {
 	if len(s.jobs) <= maxRetainedJobs {
-		return
+		return nil
 	}
 	ids := make([]int, 0, len(s.jobs))
 	for id := range s.jobs {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	var evicted []int
 	for _, id := range ids {
 		if len(s.jobs) <= maxRetainedJobs {
-			return
+			break
 		}
 		j := s.jobs[id]
 		j.mu.Lock()
@@ -1488,8 +1576,10 @@ func (s *server) evictLocked() {
 		j.mu.Unlock()
 		if finished {
 			delete(s.jobs, id)
+			evicted = append(evicted, id)
 		}
 	}
+	return evicted
 }
 
 // replaySummary is the closing line of a replay response: system offload

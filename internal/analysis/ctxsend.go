@@ -27,7 +27,7 @@ var CtxSend = &analysis.Analyzer{
 }
 
 func init() {
-	CtxSend.Flags.String("packages", "internal/engine,internal/loadgen",
+	CtxSend.Flags.String("packages", "internal/engine,internal/loadgen,internal/joblog",
 		"comma-separated package path suffixes the check applies to (empty: all packages)")
 }
 

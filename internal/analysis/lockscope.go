@@ -34,7 +34,7 @@ var LockScope = &analysis.Analyzer{
 }
 
 func init() {
-	LockScope.Flags.String("packages", "cmd/consumelocald,consumelocal",
+	LockScope.Flags.String("packages", "cmd/consumelocald,consumelocal,internal/joblog",
 		"comma-separated package path suffixes the check applies to (empty: all packages)")
 }
 

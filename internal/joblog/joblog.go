@@ -1,0 +1,410 @@
+// Package joblog is consumelocald's durability layer: an append-only,
+// fsync-on-commit job journal plus a completed-result store, both
+// rooted in one data directory (the daemon's -data-dir).
+//
+// The journal records every job state transition — created, ingest
+// batch accepted, watermark advanced, finished, evicted — as a
+// CRC-framed JSON record, fsynced before the daemon acknowledges the
+// transition to a client. On restart, Open replays the log into
+// per-job states: finished jobs are re-served from the result store,
+// jobs that were running when the daemon died are deterministically
+// reported as interrupted, and the monotonic ingest counters are
+// restored so a client-versus-server session ledger survives the
+// bounce. A torn final record — the expected artifact of dying
+// mid-write — is detected by its framing and truncated away; everything
+// before it replays.
+//
+// Checkpoint records carry aggregate totals across compactions: the
+// daemon periodically rewrites the journal down to one checkpoint plus
+// the terminal records of the retained jobs (Rewrite), so the file's
+// size is bounded by the retention window, not by uptime.
+package joblog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"consumelocal/internal/trace"
+)
+
+// Record types, one per journalled transition.
+const (
+	// TypeCreated records a job's admission: identity, kind, engine
+	// mode and stream metadata — everything a restarted daemon needs to
+	// rebuild the registry entry.
+	TypeCreated = "created"
+	// TypeBatch records an accepted ingest batch (and the watermark it
+	// advanced to, when it carried one). Appended — and fsynced —
+	// before the push is acknowledged, so "the daemon said 200" implies
+	// "the sessions are in the journal".
+	TypeBatch = "batch"
+	// TypeWatermark records a watermark advance that carried no
+	// sessions.
+	TypeWatermark = "watermark"
+	// TypeFinished records a job's terminal status (done, failed or
+	// cancelled) with its final progress counters.
+	TypeFinished = "finished"
+	// TypeEvicted records that the daemon dropped a finished job from
+	// its retention window; replay forgets the job entirely.
+	TypeEvicted = "evicted"
+	// TypeCheckpoint carries aggregate totals (sessions and batches
+	// accepted, ever) across compactions, so restored counters stay
+	// monotonic over any number of restarts.
+	TypeCheckpoint = "checkpoint"
+)
+
+// Record is one journal entry. Fields beyond Type and Job are
+// populated per type; JSON keeps the framing self-describing so old
+// journals replay under newer binaries.
+type Record struct {
+	Type string `json:"type"`
+	Job  int    `json:"job,omitempty"`
+
+	// created (and compacted terminal records).
+	Name    string      `json:"name,omitempty"`
+	Kind    string      `json:"kind,omitempty"`
+	Mode    string      `json:"mode,omitempty"`
+	Started time.Time   `json:"started,omitzero"`
+	Meta    *trace.Meta `json:"meta,omitempty"`
+
+	// batch / checkpoint accounting.
+	Sessions     int64 `json:"sessions,omitempty"`
+	Batches      int64 `json:"batches,omitempty"`
+	WatermarkSec int64 `json:"watermark_sec,omitempty"`
+
+	// finished.
+	Status    string `json:"status,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Snapshots int    `json:"snapshots,omitempty"`
+}
+
+// Frame layout: 4-byte little-endian payload length, 4-byte CRC32
+// (IEEE) of the payload, then the JSON payload. The CRC pins torn or
+// bit-rotted tails; the length bounds the scan.
+const frameHeader = 8
+
+// maxRecordBytes bounds one record. Real records are a few hundred
+// bytes; the cap keeps a corrupted length field from convincing the
+// replay scanner to allocate gigabytes.
+const maxRecordBytes = 1 << 20
+
+// journalName is the log's filename inside the data directory.
+const journalName = "journal.log"
+
+// JobState is one job's reduction of the journal: everything known
+// about it at the moment the daemon last committed a record.
+type JobState struct {
+	ID      int
+	Name    string
+	Kind    string
+	Mode    string
+	Started time.Time
+	Meta    trace.Meta
+
+	// Sessions and Watermark are the job's producer-side progress
+	// (batch records summed, terminal record trusted when larger).
+	Sessions  int64
+	Watermark int64
+
+	// Status is the terminal status, or "" for a job with no finished
+	// record — one that was still running when the daemon died.
+	Status    string
+	Error     string
+	Snapshots int
+}
+
+// Recovery is what replaying the journal yields.
+type Recovery struct {
+	// Jobs are the surviving per-job states in ascending ID order
+	// (evicted jobs are forgotten).
+	Jobs []*JobState
+	// MaxID is the highest job ID any record ever named, evicted or
+	// not — the restarted daemon resumes numbering above it.
+	MaxID int
+	// TornTail reports that the log ended in a torn or corrupt record,
+	// which Open truncated away.
+	TornTail bool
+	// Sessions and Batches are the aggregate accepted totals, ever —
+	// checkpoint carry-over plus replayed batch records. They restore
+	// the daemon's monotonic ingest counters.
+	Sessions int64
+	Batches  int64
+	// Records counts the entries replayed (excluding checkpoints).
+	Records int
+}
+
+// Journal is the append-only log. Append is safe for concurrent use;
+// the observer hooks are set once, before the first Append.
+type Journal struct {
+	// OnFsync, when set, observes each commit fsync's latency in
+	// seconds — the daemon wires its journal-fsync histogram here.
+	OnFsync func(seconds float64)
+	// OnAppend, when set, observes each committed record's type.
+	OnAppend func(recordType string)
+
+	mu   sync.Mutex
+	dir  string
+	path string
+	f    *os.File
+	buf  []byte
+}
+
+// Open opens (creating if needed) the journal under dir and replays
+// it. A torn tail is truncated — with an fsync — so the next append
+// lands on a clean frame boundary; any other I/O failure is returned.
+func Open(dir string) (*Journal, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("joblog: data dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("joblog: open journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("joblog: read journal: %w", err)
+	}
+
+	rec, good := replay(data)
+	if good < int64(len(data)) {
+		rec.TornTail = true
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("joblog: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("joblog: sync truncated journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("joblog: seek journal end: %w", err)
+	}
+	return &Journal{dir: dir, path: path, f: f}, rec, nil
+}
+
+// replay scans frames from data, reducing them into a Recovery. It
+// returns the byte offset of the first frame that does not decode —
+// the truncation point — which is len(data) for a clean log.
+func replay(data []byte) (*Recovery, int64) {
+	states := make(map[int]*JobState)
+	rec := &Recovery{}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > maxRecordBytes || int(n) > len(data)-off-frameHeader {
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			// The frame is intact but unintelligible — treat it like a
+			// torn tail rather than guessing at the records behind it.
+			break
+		}
+		rec.apply(states, &r)
+		off += frameHeader + int(n)
+	}
+
+	ids := make([]int, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rec.Jobs = append(rec.Jobs, states[id])
+	}
+	return rec, int64(off)
+}
+
+// apply folds one record into the replay state.
+func (rec *Recovery) apply(states map[int]*JobState, r *Record) {
+	if r.Job > rec.MaxID {
+		rec.MaxID = r.Job
+	}
+	ensure := func() *JobState {
+		st := states[r.Job]
+		if st == nil {
+			st = &JobState{ID: r.Job}
+			states[r.Job] = st
+		}
+		return st
+	}
+	switch r.Type {
+	case TypeCreated:
+		st := ensure()
+		st.Name, st.Kind, st.Mode, st.Started = r.Name, r.Kind, r.Mode, r.Started
+		if r.Meta != nil {
+			st.Meta = *r.Meta
+		}
+	case TypeBatch:
+		st := ensure()
+		st.Sessions += r.Sessions
+		if r.WatermarkSec > st.Watermark {
+			st.Watermark = r.WatermarkSec
+		}
+		rec.Sessions += r.Sessions
+		rec.Batches++
+	case TypeWatermark:
+		st := ensure()
+		if r.WatermarkSec > st.Watermark {
+			st.Watermark = r.WatermarkSec
+		}
+	case TypeFinished:
+		st := ensure()
+		st.Status, st.Error, st.Snapshots = r.Status, r.Error, r.Snapshots
+		if r.Sessions > st.Sessions {
+			st.Sessions = r.Sessions
+		}
+		if r.WatermarkSec > st.Watermark {
+			st.Watermark = r.WatermarkSec
+		}
+		// Compacted terminal records carry the created fields too.
+		if r.Name != "" && st.Name == "" {
+			st.Name = r.Name
+		}
+	case TypeEvicted:
+		delete(states, r.Job)
+	case TypeCheckpoint:
+		rec.Sessions += r.Sessions
+		rec.Batches += r.Batches
+	}
+	if r.Type != TypeCheckpoint {
+		rec.Records++
+	}
+}
+
+// frame appends the framed encoding of r to buf.
+func frame(buf []byte, r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return buf, fmt.Errorf("joblog: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return buf, fmt.Errorf("joblog: record of %d bytes exceeds the %d frame cap", len(payload), maxRecordBytes)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...), nil
+}
+
+// Append commits one record: framed, written, fsynced. It returns only
+// once the record is durable — callers acknowledge the transition to
+// their client after Append, never before.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	buf, err := frame(j.buf[:0], r)
+	j.buf = buf[:0]
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("joblog: append: %w", err)
+	}
+	t0 := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("joblog: fsync: %w", err)
+	}
+	if j.OnFsync != nil {
+		j.OnFsync(time.Since(t0).Seconds())
+	}
+	if j.OnAppend != nil {
+		j.OnAppend(r.Type)
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs — the
+// compaction primitive. The new log is written beside the old one,
+// fsynced, and renamed into place (with a directory fsync), so a crash
+// at any point leaves either the old journal or the new one, never a
+// blend.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(j.dir, journalName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("joblog: rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	var buf []byte
+	for _, r := range recs {
+		if buf, err = frame(buf, r); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("joblog: rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("joblog: rewrite sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("joblog: rewrite close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("joblog: rewrite rename: %w", err)
+	}
+	syncDir(j.dir)
+
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("joblog: reopen journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("joblog: seek journal end: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	return nil
+}
+
+// Close syncs and closes the log. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Best-effort: some filesystems refuse directory fsyncs, and the
+// rename itself already ordered the data writes.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

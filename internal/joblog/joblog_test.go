@@ -1,0 +1,277 @@
+package joblog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"consumelocal/internal/trace"
+)
+
+func openT(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rec
+}
+
+// TestJournalRoundTrip appends a realistic job lifecycle and checks the
+// replay reduces it to the expected states and totals.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openT(t, dir)
+	if len(rec.Jobs) != 0 || rec.TornTail || rec.MaxID != 0 {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	started := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	meta := trace.Meta{Name: "evening", HorizonSec: 3600, NumUsers: 10, NumContent: 3, NumISPs: 2}
+	records := []Record{
+		{Type: TypeCreated, Job: 1, Name: "evening", Kind: "ingest", Mode: "streaming", Started: started, Meta: &meta},
+		{Type: TypeBatch, Job: 1, Sessions: 100, WatermarkSec: 600},
+		{Type: TypeBatch, Job: 1, Sessions: 50, WatermarkSec: 1200},
+		{Type: TypeWatermark, Job: 1, WatermarkSec: 1800},
+		{Type: TypeCreated, Job: 2, Name: "gen", Kind: "generator", Mode: "streaming", Started: started},
+		{Type: TypeFinished, Job: 2, Status: "done", Snapshots: 24},
+	}
+	for _, r := range records {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append(%+v): %v", r, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if rec.TornTail {
+		t.Fatal("clean journal reported a torn tail")
+	}
+	if rec.MaxID != 2 || rec.Sessions != 150 || rec.Batches != 2 {
+		t.Fatalf("recovered MaxID=%d Sessions=%d Batches=%d, want 2/150/2", rec.MaxID, rec.Sessions, rec.Batches)
+	}
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(rec.Jobs))
+	}
+	ing := rec.Jobs[0]
+	if ing.ID != 1 || ing.Kind != "ingest" || ing.Sessions != 150 || ing.Watermark != 1800 || ing.Status != "" {
+		t.Fatalf("ingest job state %+v", ing)
+	}
+	if !ing.Started.Equal(started) || ing.Meta != meta {
+		t.Fatalf("ingest identity did not round-trip: %+v", ing)
+	}
+	done := rec.Jobs[1]
+	if done.Status != "done" || done.Snapshots != 24 {
+		t.Fatalf("finished job state %+v", done)
+	}
+}
+
+// TestJournalTornTail corrupts the log's final record in several ways
+// and checks replay keeps everything before it, reports the tear, and
+// truncates so the next append produces a clean log again.
+func TestJournalTornTail(t *testing.T) {
+	for _, cut := range []struct {
+		name string
+		muck func(data []byte) []byte
+	}{
+		{"truncated payload", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"truncated header", func(d []byte) []byte { return d[:len(d)-21] }},
+		{"flipped payload bit", func(d []byte) []byte { d[len(d)-2] ^= 0x40; return d }},
+		{"garbage appended", func(d []byte) []byte { return append(d, 0xde, 0xad, 0xbe, 0xef) }},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := openT(t, dir)
+			if err := j.Append(Record{Type: TypeCreated, Job: 1, Kind: "ingest", Mode: "streaming"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(Record{Type: TypeBatch, Job: 1, Sessions: 10, WatermarkSec: 60}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(Record{Type: TypeBatch, Job: 1, Sessions: 20, WatermarkSec: 120}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, journalName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, cut.muck(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, rec := openT(t, dir)
+			if !rec.TornTail {
+				t.Fatal("corrupt tail not reported")
+			}
+			// The final batch is inside the damaged region for the cut
+			// variants and beyond it for the append variant.
+			if rec.Sessions != 10 && rec.Sessions != 30 {
+				t.Fatalf("recovered %d sessions, want 10 (tail lost) or 30 (tail intact)", rec.Sessions)
+			}
+			if len(rec.Jobs) != 1 || rec.Jobs[0].ID != 1 {
+				t.Fatalf("recovered jobs %+v", rec.Jobs)
+			}
+			// The truncation must leave a clean frame boundary: append a
+			// record and replay again without a tear.
+			if err := j2.Append(Record{Type: TypeFinished, Job: 1, Status: "failed", Error: "interrupted"}); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j3, rec := openT(t, dir)
+			defer j3.Close()
+			if rec.TornTail {
+				t.Fatal("journal still torn after truncation + append")
+			}
+			if rec.Jobs[0].Status != "failed" {
+				t.Fatalf("appended terminal record lost: %+v", rec.Jobs[0])
+			}
+		})
+	}
+}
+
+// TestJournalRewrite compacts a journal down to a checkpoint plus
+// terminal records and checks totals and states survive — including
+// across a second compaction, which is where a non-carried checkpoint
+// would lose history.
+func TestJournalRewrite(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	if err := j.Append(Record{Type: TypeCreated, Job: 1, Kind: "ingest", Mode: "streaming"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeBatch, Job: 1, Sessions: 40, WatermarkSec: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeFinished, Job: 1, Status: "done", Snapshots: 3, Sessions: 40, WatermarkSec: 60}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First compaction: checkpoint carries the totals, job 1 keeps a
+	// created+finished pair.
+	err := j.Rewrite([]Record{
+		{Type: TypeCheckpoint, Sessions: 40, Batches: 1},
+		{Type: TypeCreated, Job: 1, Kind: "ingest", Mode: "streaming"},
+		{Type: TypeFinished, Job: 1, Status: "done", Snapshots: 3, Sessions: 40, WatermarkSec: 60},
+	})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	// The journal must stay appendable after a rewrite.
+	if err := j.Append(Record{Type: TypeCreated, Job: 2, Kind: "generator", Mode: "batch"}); err != nil {
+		t.Fatalf("append after rewrite: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	if rec.Sessions != 40 || rec.Batches != 1 {
+		t.Fatalf("totals after compaction: Sessions=%d Batches=%d, want 40/1", rec.Sessions, rec.Batches)
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[0].Status != "done" || rec.Jobs[0].Sessions != 40 {
+		t.Fatalf("states after compaction: %+v", rec.Jobs)
+	}
+	if rec.MaxID != 2 {
+		t.Fatalf("MaxID after compaction = %d, want 2", rec.MaxID)
+	}
+
+	// Second compaction: the checkpoint must compose with the previous
+	// one, not reset it.
+	err = j2.Rewrite([]Record{{Type: TypeCheckpoint, Sessions: rec.Sessions, Batches: rec.Batches}})
+	if err != nil {
+		t.Fatalf("second Rewrite: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, rec := openT(t, dir)
+	defer j3.Close()
+	if rec.Sessions != 40 || rec.Batches != 1 {
+		t.Fatalf("totals after second compaction: Sessions=%d Batches=%d, want 40/1", rec.Sessions, rec.Batches)
+	}
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("jobs after drop-all compaction: %+v", rec.Jobs)
+	}
+}
+
+// TestJournalEvicted checks an evicted job is forgotten by replay while
+// the ID space is not reused.
+func TestJournalEvicted(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	if err := j.Append(Record{Type: TypeCreated, Job: 7, Kind: "trace", Mode: "streaming"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeFinished, Job: 7, Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeEvicted, Job: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("evicted job recovered: %+v", rec.Jobs)
+	}
+	if rec.MaxID != 7 {
+		t.Fatalf("MaxID = %d, want 7 (evicted IDs are not reused)", rec.MaxID)
+	}
+}
+
+// TestStoreRoundTrip exercises Put/Get/Delete/IDs on the result store.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	type doc struct {
+		ID    int     `json:"id"`
+		Value float64 `json:"value"`
+	}
+	if err := s.Put(3, doc{ID: 3, Value: 0.1 + 0.2}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(11, doc{ID: 11, Value: 1}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var got doc
+	ok, err := s.Get(3, &got)
+	if err != nil || !ok {
+		t.Fatalf("Get(3) = %v, %v", ok, err)
+	}
+	if got.Value != 0.1+0.2 {
+		t.Fatalf("float did not round-trip exactly: %v", got.Value)
+	}
+	if ok, err := s.Get(99, &got); err != nil || ok {
+		t.Fatalf("Get(99) = %v, %v, want absent", ok, err)
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatalf("IDs: %v", err)
+	}
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 11 {
+		t.Fatalf("IDs = %v, want [3 11]", ids)
+	}
+	if err := s.Delete(3); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete(3); err != nil {
+		t.Fatalf("Delete (absent): %v", err)
+	}
+	if ok, _ := s.Get(3, &got); ok {
+		t.Fatal("deleted result still served")
+	}
+}

@@ -1,0 +1,117 @@
+package joblog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store is the completed-result store: one JSON document per finished
+// job, written atomically (temp file, fsync, rename) so a crash
+// mid-write never leaves a half-result — the journal only records a
+// job "finished done" after its result is durably in the store, which
+// is what lets a restarted daemon re-serve it byte-for-byte.
+type Store struct {
+	dir string
+}
+
+// resultsDir is the store's subdirectory inside the data directory.
+const resultsDir = "results"
+
+// OpenStore opens (creating if needed) the result store under dir.
+func OpenStore(dir string) (*Store, error) {
+	d := filepath.Join(dir, resultsDir)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return nil, fmt.Errorf("joblog: result store: %w", err)
+	}
+	return &Store{dir: d}, nil
+}
+
+func (s *Store) path(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("job-%d.json", id))
+}
+
+// Put durably stores job id's result document.
+func (s *Store) Put(id int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("joblog: encode result %d: %w", id, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf("job-%d.tmp-*", id))
+	if err != nil {
+		return fmt.Errorf("joblog: store result %d: %w", id, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("joblog: store result %d: %w", id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("joblog: sync result %d: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("joblog: store result %d: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return fmt.Errorf("joblog: store result %d: %w", id, err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// Get loads job id's result document into v. The boolean reports
+// whether the store had one; absence is not an error.
+func (s *Store) Get(id int, v any) (bool, error) {
+	data, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("joblog: load result %d: %w", id, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("joblog: decode result %d: %w", id, err)
+	}
+	return true, nil
+}
+
+// Delete removes job id's result, if any.
+func (s *Store) Delete(id int) error {
+	err := os.Remove(s.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// IDs lists the stored job IDs in ascending order.
+func (s *Store) IDs() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("joblog: list results: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		rest, ok := strings.CutPrefix(name, "job-")
+		if !ok {
+			continue
+		}
+		rest, ok = strings.CutSuffix(rest, ".json")
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// chaosOutcome is what the fault injection measured: when the daemon
+// was killed (into the run), how long the process took to die, to
+// listen again, and to answer /healthz with its recovery report — plus
+// that report's headline numbers. err records a restart that never
+// came back; the run still finishes and reports it.
+type chaosOutcome struct {
+	killedAt    time.Duration
+	exit        time.Duration
+	relisten    time.Duration
+	healthy     time.Duration
+	restored    int
+	interrupted int
+	tornTail    bool
+	err         error
+}
+
+// healthzView is the slice of GET /healthz the chaos cycle reads back
+// after a restart.
+type healthzView struct {
+	Status   string `json:"status"`
+	Recovery struct {
+		Restored    int  `json:"restored_jobs"`
+		Interrupted int  `json:"interrupted_jobs"`
+		TornTail    bool `json:"torn_tail"`
+	} `json:"recovery"`
+}
+
+// chaosCycle is the fault injection: at half time it SIGKILLs the
+// spawned daemon — no drain, no flush, exactly the crash the journal
+// exists for — and restarts it on the same address and data directory
+// while the fleet keeps offering load. The restart window (kill until
+// healthy-plus-grace) diverts transport errors into their own ledger;
+// everything after the window must behave as if nothing happened.
+func (r *run) chaosCycle(ctx, runCtx context.Context) *chaosOutcome {
+	epoch := time.Now()
+	half := time.NewTimer(r.cfg.Duration / 2)
+	defer half.Stop()
+	select {
+	case <-runCtx.Done():
+		return nil
+	case <-half.C:
+	}
+
+	out := &chaosOutcome{killedAt: time.Since(epoch)}
+	d := r.curDaemon()
+	if d == nil {
+		out.err = fmt.Errorf("loadgen: chaos armed without a spawned daemon")
+		return out
+	}
+
+	// Open the window before the kill so no failed request between the
+	// SIGKILL and the flag races into the real error counters. If the
+	// restart fails the window deliberately stays open: every error
+	// after a dead daemon is still the injected fault.
+	r.window.Store(true)
+	t0 := time.Now()
+	r.logf("loadtest: chaos: SIGKILL daemon pid %d at t+%.1fs", d.cmd.Process.Pid, out.killedAt.Seconds())
+	d.kill()
+	out.exit = time.Since(t0)
+
+	nd, err := spawnDaemon(ctx, r.cfg.DaemonPath, r.spawnOpt, r.cfg.Out)
+	if err != nil {
+		out.err = fmt.Errorf("loadgen: chaos respawn: %w", err)
+		return out
+	}
+	out.relisten = time.Since(t0)
+	// Carry the old peak forward so the report's RSS covers the run,
+	// not just the survivor.
+	nd.rssPeak.Store(d.rssPeak.Load())
+	r.setDaemon(nd)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			out.err = fmt.Errorf("loadgen: restarted daemon not healthy within 15s")
+			return out
+		}
+		if v, ok := r.probeHealth(ctx); ok {
+			out.healthy = time.Since(t0)
+			out.restored = v.Recovery.Restored
+			out.interrupted = v.Recovery.Interrupted
+			out.tornTail = v.Recovery.TornTail
+			break
+		}
+		probe := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			probe.Stop()
+			out.err = ctx.Err()
+			return out
+		case <-probe.C:
+		}
+	}
+
+	// Grace: requests fired at the dying socket can surface their
+	// transport errors a beat after /healthz answers; let the
+	// stragglers land inside the window they belong to.
+	grace := time.NewTimer(250 * time.Millisecond)
+	defer grace.Stop()
+	select {
+	case <-ctx.Done():
+	case <-grace.C:
+	}
+	r.window.Store(false)
+	r.logf("loadtest: chaos: daemon pid %d healthy %.0fms after kill (restored %d, interrupted %d, torn tail %v)",
+		nd.cmd.Process.Pid, out.healthy.Seconds()*1e3, out.restored, out.interrupted, out.tornTail)
+	return out
+}
+
+// probeHealth asks /healthz once, off the measured path (no counters,
+// no histograms — the daemon is expected to be down while this polls).
+func (r *run) probeHealth(ctx context.Context) (*healthzView, bool) {
+	opCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(opCtx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var v healthzView
+	if json.Unmarshal(body, &v) != nil || v.Status != "ok" {
+		return nil, false
+	}
+	return &v, true
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -30,10 +31,11 @@ type jobInfo struct {
 
 // opResult is one measured HTTP operation.
 type opResult struct {
-	status  int
-	body    []byte
-	elapsed time.Duration
-	err     error
+	status     int
+	body       []byte
+	elapsed    time.Duration
+	retryAfter time.Duration // parsed Retry-After, zero when absent
+	err        error
 }
 
 // do fires one HTTP request with the operation grace period, reads the
@@ -61,7 +63,15 @@ func (r *run) do(ctx context.Context, method, rawURL, contentType, body string, 
 	elapsed := time.Since(start)
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
-			r.errNet.Inc()
+			// During the chaos restart window the daemon is deliberately
+			// dead: refused connections are the fault being injected,
+			// not harness noise, and land in their own ledger so the
+			// network counter keeps meaning "unexpected".
+			if r.window.Load() {
+				r.restartErrs.Inc()
+			} else {
+				r.errNet.Inc()
+			}
 		}
 		return opResult{elapsed: elapsed, err: err}
 	}
@@ -69,6 +79,12 @@ func (r *run) do(ctx context.Context, method, rawURL, contentType, body string, 
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if hist != nil {
 		hist(elapsed.Seconds())
+	}
+	var retryAfter time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	expected := false
 	for _, code := range expect {
@@ -87,19 +103,7 @@ func (r *run) do(ctx context.Context, method, rawURL, contentType, body string, 
 	case resp.StatusCode >= 400:
 		r.err4xx.Inc()
 	}
-	return opResult{status: resp.StatusCode, body: raw, elapsed: elapsed}
-}
-
-// backoff sleeps a short jittered interval after a quota refusal,
-// bounded by ctx.
-func backoff(ctx context.Context, rng *rand.Rand) {
-	d := 50*time.Millisecond + time.Duration(rng.Int63n(int64(150*time.Millisecond)))
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
+	return opResult{status: resp.StatusCode, body: raw, elapsed: elapsed, retryAfter: retryAfter}
 }
 
 // ingestJobURL builds the job-opening URL for this run's shared trace.
@@ -135,22 +139,21 @@ func (r *run) ingestJobURL(name string, wall bool) string {
 // ordering rejections whose accepted prefixes still count.
 func (r *run) producer(ctx context.Context, id int, wall bool) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(id)))
+	attempt := 0
 	for ctx.Err() == nil {
 		if err := r.pace.wait(ctx); err != nil {
 			return
 		}
 		res := r.do(ctx, http.MethodPost, r.ingestJobURL(fmt.Sprintf("loadgen-p%d", id), wall), "text/csv", "", r.createLat.Observe)
-		if res.err != nil {
-			continue
-		}
-		if res.status == http.StatusTooManyRequests {
-			backoff(ctx, rng)
-			continue
-		}
 		if res.status != http.StatusAccepted {
-			backoff(ctx, rng)
+			// Transport failure, quota 429, drain 503, or anything else
+			// unexpected: back off (honouring Retry-After) before
+			// re-offering, escalating while the refusals continue.
+			transientRetry.sleep(ctx, rng, attempt, res.retryAfter)
+			attempt++
 			continue
 		}
+		attempt = 0
 		var job jobInfo
 		if err := json.Unmarshal(res.body, &job); err != nil {
 			r.errNet.Inc()
@@ -158,7 +161,7 @@ func (r *run) producer(ctx context.Context, id int, wall bool) {
 		}
 		r.jobsOpened.Inc()
 
-		if alive := r.pushSchedule(ctx, job.ID, wall); !alive {
+		if alive := r.pushSchedule(ctx, rng, job.ID, wall); !alive {
 			// The job died under us (idle watchdog, cancel); open a
 			// fresh one.
 			continue
@@ -176,8 +179,12 @@ func (r *run) producer(ctx context.Context, id int, wall bool) {
 
 // pushSchedule replays the shared batch schedule into one ingest job,
 // pacing every push. It returns false when the job disappeared
-// mid-schedule and the producer should recycle without sealing.
-func (r *run) pushSchedule(ctx context.Context, jobID int, wall bool) bool {
+// mid-schedule and the producer should recycle without sealing. In
+// chaos mode a failed push is re-offered through the retry policy —
+// but only to a job that is still running, because after a crash the
+// recovered job is settled and the honest move is to recycle, not to
+// re-ingest sessions into a new job the ledger never promised.
+func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall bool) bool {
 	sessionsURL := fmt.Sprintf("%s/v1/jobs/%d/sessions", r.base, jobID)
 	for _, b := range r.batches {
 		if ctx.Err() != nil {
@@ -190,23 +197,72 @@ func (r *run) pushSchedule(ctx context.Context, jobID int, wall bool) bool {
 		if !wall {
 			pushURL = fmt.Sprintf("%s?watermark=%d", sessionsURL, b.boundary)
 		}
-		pres := r.do(ctx, http.MethodPost, pushURL, "text/csv", b.csv, r.batchLat.Observe,
-			http.StatusNotFound, http.StatusGone)
-		switch pres.status {
-		case http.StatusOK, http.StatusConflict:
-			// 409s report the prefix that landed before the ordering
-			// check tripped; it was genuinely ingested.
-			var out struct {
-				Pushed int64 `json:"pushed"`
+		attempt := 0
+		for {
+			pres := r.do(ctx, http.MethodPost, pushURL, "text/csv", b.csv, r.batchLat.Observe,
+				http.StatusNotFound, http.StatusGone)
+			if pres.status == http.StatusNotFound || pres.status == http.StatusGone {
+				return false
 			}
-			if json.Unmarshal(pres.body, &out) == nil {
-				r.sessionsAccepted.Add(float64(out.Pushed))
+			if pres.status == http.StatusOK || pres.status == http.StatusConflict {
+				// 409s report the prefix that landed before the ordering
+				// check tripped; it was genuinely ingested.
+				var out struct {
+					Pushed *int64 `json:"pushed"`
+				}
+				if json.Unmarshal(pres.body, &out) == nil && out.Pushed != nil {
+					r.sessionsAccepted.Add(float64(*out.Pushed))
+				} else if pres.status == http.StatusConflict {
+					// A 409 without a pushed count is not the ordering
+					// conflict — it is a settled job (e.g. one recovered
+					// as failed after a restart) refusing work outright.
+					return false
+				}
+				break
 			}
-		case http.StatusNotFound, http.StatusGone:
-			return false
+			// Transport failure or transient refusal. Outside chaos mode
+			// the old behaviour stands: the error is ledgered and the
+			// schedule moves on. In chaos mode the push is re-offered —
+			// the batch is indeterminate (the daemon may have journalled
+			// it before dying), which is exactly the slack the report's
+			// ledger bound accounts for.
+			if !r.cfg.Chaos || !retryable(pres) || attempt >= maxRetryAttempts || ctx.Err() != nil {
+				break
+			}
+			if transientRetry.sleep(ctx, rng, attempt, pres.retryAfter) != nil {
+				return true
+			}
+			attempt++
+			if pres.err != nil {
+				// The socket died mid-push — possibly the crash under
+				// test. Probe before re-offering: a recovered job is
+				// settled, so this is what turns "connection reset"
+				// into "recycle".
+				if alive, ok := r.jobRunning(ctx, rng, jobID); ok && !alive {
+					return false
+				}
+			}
 		}
 	}
 	return true
+}
+
+// jobRunning polls one job's status through the retry policy. ok is
+// false when the daemon could not be reached at all.
+func (r *run) jobRunning(ctx context.Context, rng *rand.Rand, jobID int) (alive, ok bool) {
+	res := r.doIdempotent(ctx, rng, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", r.base, jobID), nil,
+		http.StatusNotFound)
+	if res.err != nil {
+		return false, false
+	}
+	if res.status == http.StatusNotFound {
+		return false, true
+	}
+	var v jobInfo
+	if res.status == http.StatusOK && json.Unmarshal(res.body, &v) == nil {
+		return v.Status == "running", true
+	}
+	return false, false
 }
 
 // follower drives one snapshot client: find a running job, stream its
@@ -218,7 +274,7 @@ func (r *run) follower(ctx context.Context, id int) {
 	for ctx.Err() == nil {
 		job, ok := r.pickJob(ctx, rng)
 		if !ok {
-			backoff(ctx, rng)
+			transientRetry.sleep(ctx, rng, 0, 0)
 			continue
 		}
 		r.followStreams.Inc()
@@ -229,7 +285,7 @@ func (r *run) follower(ctx context.Context, id int) {
 // pickJob lists the daemon's jobs and picks a random running one,
 // preferring ingest jobs (they live long enough to follow).
 func (r *run) pickJob(ctx context.Context, rng *rand.Rand) (jobInfo, bool) {
-	res := r.do(ctx, http.MethodGet, r.base+"/v1/jobs", "", "", nil)
+	res := r.doIdempotent(ctx, rng, http.MethodGet, r.base+"/v1/jobs", nil)
 	if res.err != nil || res.status != http.StatusOK {
 		return jobInfo{}, false
 	}
@@ -299,18 +355,18 @@ func (r *run) followOne(ctx context.Context, job jobInfo) {
 // make room, which is exactly what it should do under this churn.
 func (r *run) traceClient(ctx context.Context, id int) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(id)))
+	attempt := 0
 	for ctx.Err() == nil {
 		if err := r.pace.wait(ctx); err != nil {
 			return
 		}
 		res := r.do(ctx, http.MethodPost, r.base+"/v1/jobs?name=loadgen-t"+fmt.Sprint(id), "text/csv", r.traceBody, r.createLat.Observe)
-		if res.err != nil {
-			continue
-		}
 		if res.status != http.StatusAccepted {
-			backoff(ctx, rng)
+			transientRetry.sleep(ctx, rng, attempt, res.retryAfter)
+			attempt++
 			continue
 		}
+		attempt = 0
 		var job jobInfo
 		if err := json.Unmarshal(res.body, &job); err != nil {
 			r.errNet.Inc()
@@ -319,7 +375,7 @@ func (r *run) traceClient(ctx context.Context, id int) {
 		r.tracesSubmitted.Inc()
 
 		for ctx.Err() == nil {
-			pres := r.do(ctx, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", r.base, job.ID), "", "", nil,
+			pres := r.doIdempotent(ctx, rng, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", r.base, job.ID), nil,
 				http.StatusNotFound)
 			if pres.status == http.StatusNotFound {
 				break

@@ -25,8 +25,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consumelocal"
@@ -74,6 +76,16 @@ type Config struct {
 	// a quota wide enough that the fleet is not artificially starved
 	// (producers + trace clients + slack).
 	MaxJobs int
+	// Chaos injects a fault mid-run: halfway through, the spawned
+	// daemon is SIGKILLed and restarted on the same address and data
+	// directory while the fleet keeps driving load. The report gains a
+	// chaos section (recovery timings, restored/interrupted jobs, a
+	// post-restart ledger cross-check). Requires spawn mode (empty
+	// Addr) — the harness will not kill a daemon it does not own.
+	Chaos bool
+	// DataDir is passed to a spawned daemon as -data-dir. Empty with
+	// Chaos set uses a temporary directory torn down with the run.
+	DataDir string
 	// Output is the report path. Empty skips writing the file (the
 	// Report is still returned).
 	Output string
@@ -129,6 +141,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxJobs < 0 {
 		return fmt.Errorf("loadgen: -max-jobs must be non-negative, got %d", c.MaxJobs)
+	}
+	if c.Chaos && c.Addr != "" {
+		return fmt.Errorf("loadgen: -chaos needs a spawned daemon (drop -addr): the harness only kills daemons it owns")
 	}
 	return nil
 }
@@ -269,7 +284,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	base := cfg.Addr
-	var d *daemon
 	if base == "" {
 		maxJobs := cfg.MaxJobs
 		if maxJobs == 0 {
@@ -278,15 +292,31 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			// draining while the successor job opens).
 			maxJobs = counts.producers + counts.trace + 8
 		}
-		d, err = spawnDaemon(ctx, cfg.DaemonPath, maxJobs, cfg.Out)
+		dataDir := cfg.DataDir
+		if cfg.Chaos && dataDir == "" {
+			dataDir, err = os.MkdirTemp("", "loadgen-chaos-*")
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: chaos data dir: %w", err)
+			}
+			defer os.RemoveAll(dataDir)
+		}
+		r.spawnOpt = spawnOpts{maxJobs: maxJobs, dataDir: dataDir}
+		d, err := spawnDaemon(ctx, cfg.DaemonPath, r.spawnOpt, cfg.Out)
 		if err != nil {
 			return nil, err
 		}
-		defer d.stop()
+		// Pin the respawn command line to the bound port, so a chaos
+		// restart comes back exactly where the fleet is pointing.
+		r.spawnOpt.addr = d.addr
+		r.setDaemon(d)
+		defer func() {
+			if d := r.curDaemon(); d != nil {
+				d.stop()
+			}
+		}()
 		base = "http://" + d.addr
 	}
 	r.base = base
-	r.daemon = d
 
 	r.logf("loadtest: %d clients (%d producers [%d wall], %d followers, %d trace) against %s for %s",
 		cfg.Clients, counts.producers, wallProducers, counts.followers, counts.trace, base, cfg.Duration)
@@ -331,10 +361,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		idx++
 	}
 
+	// The chaos cycle, when armed, kills and restarts the daemon at
+	// half time while the fleet keeps offering load.
+	var chaosRes *chaosOutcome
+	chaosDone := make(chan struct{})
+	if cfg.Chaos {
+		go func() {
+			defer close(chaosDone)
+			chaosRes = r.chaosCycle(ctx, runCtx)
+		}()
+	} else {
+		close(chaosDone)
+	}
+
 	// The supervisor samples RSS while the fleet runs and takes the
 	// mid-run scrape at half time — the cross-check point where client
 	// and server counters should already have diverged if they ever
-	// will.
+	// will. In chaos mode half time is also the kill point, so the
+	// scrape is best-effort against a daemon that may be mid-restart.
 	var mid *serverSample
 	superDone := make(chan struct{})
 	go func() {
@@ -352,7 +396,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				}
 				midAt = nil
 			case <-tick.C:
-				if d != nil {
+				if d := r.curDaemon(); d != nil {
 					d.sampleRSS()
 				}
 			}
@@ -363,6 +407,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	wg.Wait()
 	//consumelocal:ignore ctxsend the supervisor closes superDone when the fleet it watches exits, which the bounded join above guarantees
 	<-superDone
+	//consumelocal:ignore ctxsend the chaos cycle watches runCtx at every wait, so this join is bounded by the same run deadline
+	<-chaosDone
 	elapsed := time.Since(started)
 
 	// Final scrape after the fleet has gone quiet: in spawn mode no
@@ -372,7 +418,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: final /metrics scrape: %w", err)
 	}
 
-	rep := r.buildReport(elapsed, initial, mid, final)
+	rep := r.buildReport(elapsed, initial, mid, final, chaosRes)
 	r.logf("loadtest: %.0f sessions/s (%d accepted over %.1fs); create p95 %.1fms, batch p95/p99 %.1f/%.1fms, snapshot p95 %.1fms",
 		rep.Ingest.SessionsPerSec, rep.Ingest.SessionsAccepted, rep.ElapsedSec,
 		rep.Latency.Create.P95Ms, rep.Latency.Batch.P95Ms, rep.Latency.Batch.P99Ms, rep.Latency.Snapshot.P95Ms)
@@ -383,6 +429,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Skew.ClientSessions, rep.Skew.ServerSessions, rep.Skew.Diff)
 	if rep.Daemon != nil {
 		r.logf("loadtest: daemon pid %d peak RSS %.1f MiB", rep.Daemon.PID, float64(rep.Daemon.RSSPeakBytes)/(1<<20))
+	}
+	if c := rep.Chaos; c != nil {
+		if c.RestartError != "" {
+			r.logf("loadtest: chaos: RESTART FAILED: %s", c.RestartError)
+		} else {
+			r.logf("loadtest: chaos: killed at %.1fs; relisten %.0fms, healthy %.0fms; recovered %d restored / %d interrupted (torn tail %v); %d errors in window; ledger diff %d within bound %d: %v",
+				c.KilledAtSec, c.RelistenMs, c.RecoveryMs,
+				c.RestoredJobs, c.InterruptedJobs, c.TornTail,
+				rep.Errors.RestartWindow, c.LedgerDiff, c.LedgerBound, c.LedgerOK)
+		}
 	}
 	if cfg.Output != "" {
 		if err := rep.write(cfg.Output); err != nil {
@@ -448,7 +504,16 @@ type run struct {
 	traceBody string
 	pace      *pacer
 	client    *http.Client
-	daemon    *daemon
+
+	// daemon is the currently-live spawned daemon, swapped under dmu by
+	// the chaos cycle when it restarts the process; spawnOpt is kept so
+	// the respawn reproduces the original command line (address pinned).
+	// window marks the restart interval, during which transport errors
+	// are expected and ledgered separately.
+	dmu      sync.Mutex
+	daemon   *daemon
+	spawnOpt spawnOpts
+	window   atomic.Bool
 
 	reg       *obs.Registry
 	createLat *obs.Histogram
@@ -466,6 +531,20 @@ type run struct {
 	err4xx           *obs.Counter
 	err5xx           *obs.Counter
 	errNet           *obs.Counter
+	restartErrs      *obs.Counter
+}
+
+// curDaemon returns the live spawned daemon (nil in -addr mode).
+func (r *run) curDaemon() *daemon {
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
+	return r.daemon
+}
+
+func (r *run) setDaemon(d *daemon) {
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
+	r.daemon = d
 }
 
 func (r *run) initMetrics() {
@@ -498,6 +577,8 @@ func (r *run) initMetrics() {
 		"5xx responses — the run's failure headline.")
 	r.errNet = r.reg.Counter("consumelocal_loadtest_network_errors_total",
 		"Transport-level request failures (excluding run-shutdown cancellations).")
+	r.restartErrs = r.reg.Counter("consumelocal_loadtest_restart_window_errors_total",
+		"Transport failures inside the chaos restart window — the injected fault, kept out of the network-error ledger.")
 }
 
 func (r *run) logf(format string, args ...any) {

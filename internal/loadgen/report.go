@@ -75,6 +75,10 @@ type Report struct {
 		// fleet never consumed — nonzero means the daemon (or the
 		// harness host) could not sustain the configured rate.
 		BehindScheduleOps int64 `json:"behind_schedule_ops"`
+		// RestartWindow counts transport failures inside the chaos
+		// restart window — the injected fault, ledgered apart so
+		// Network keeps meaning "unexpected".
+		RestartWindow int64 `json:"restart_window_errors"`
 	} `json:"errors"`
 
 	Server *ServerSection `json:"server,omitempty"`
@@ -91,6 +95,33 @@ type Report struct {
 	} `json:"skew"`
 
 	Daemon *DaemonSection `json:"daemon,omitempty"`
+
+	Chaos *ChaosSection `json:"chaos,omitempty"`
+}
+
+// ChaosSection reports the mid-run kill/restart cycle: its timings,
+// what the restarted daemon recovered, and whether the session ledger
+// still reconciles across the crash.
+type ChaosSection struct {
+	KilledAtSec float64 `json:"killed_at_sec"`
+	ExitMs      float64 `json:"daemon_exit_ms"`
+	RelistenMs  float64 `json:"relisten_ms"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+
+	RestoredJobs    int    `json:"restored_jobs"`
+	InterruptedJobs int    `json:"interrupted_jobs"`
+	TornTail        bool   `json:"torn_tail"`
+	RestartError    string `json:"restart_error,omitempty"`
+
+	// The post-crash ledger cross-check. The daemon journals and
+	// fsyncs every batch before acknowledging it, so the server-side
+	// session count may only EXCEED the client's — by at most one
+	// in-flight (unacknowledged) batch per producer, which is what
+	// LedgerBound encodes. A diff outside [0, bound] means sessions
+	// were lost or double-counted across the crash.
+	LedgerDiff  int64 `json:"ledger_diff"`
+	LedgerBound int64 `json:"ledger_bound"`
+	LedgerOK    bool  `json:"ledger_ok"`
 }
 
 // LatencySummary is one operation class's latency digest, in
@@ -195,13 +226,13 @@ func summarise(h *obs.Histogram) LatencySummary {
 
 // buildReport assembles the run's report from the client-side registry
 // and the bracketing scrapes.
-func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSample) *Report {
+func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSample, chaos *chaosOutcome) *Report {
 	rep := &Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Target:      r.base,
-		Spawned:     r.daemon != nil,
+		Spawned:     r.curDaemon() != nil,
 	}
 	rep.Config.Clients = r.cfg.Clients
 	rep.Config.DurationSec = r.cfg.Duration.Seconds()
@@ -241,6 +272,7 @@ func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSamp
 	rep.Errors.Quota429 = int64(r.quota429.Value())
 	rep.Errors.Conflict409 = int64(r.conflict409.Value())
 	rep.Errors.BehindScheduleOps = r.pace.behindSchedule()
+	rep.Errors.RestartWindow = int64(r.restartErrs.Value())
 
 	if initial != nil && final != nil {
 		sec := &ServerSection{
@@ -261,13 +293,41 @@ func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSamp
 		rep.Skew.Diff = rep.Skew.ServerSessions - rep.Skew.ClientSessions
 	}
 
-	if d := r.daemon; d != nil {
+	if d := r.curDaemon(); d != nil {
 		d.sampleRSS()
 		rep.Daemon = &DaemonSection{
 			PID:          d.cmd.Process.Pid,
 			Addr:         d.addr,
 			RSSPeakBytes: d.rssPeak.Load(),
 		}
+	}
+
+	if chaos != nil {
+		c := &ChaosSection{
+			KilledAtSec:     chaos.killedAt.Seconds(),
+			ExitMs:          chaos.exit.Seconds() * 1e3,
+			RelistenMs:      chaos.relisten.Seconds() * 1e3,
+			RecoveryMs:      chaos.healthy.Seconds() * 1e3,
+			RestoredJobs:    chaos.restored,
+			InterruptedJobs: chaos.interrupted,
+			TornTail:        chaos.tornTail,
+		}
+		if chaos.err != nil {
+			c.RestartError = chaos.err.Error()
+		}
+		// One unacknowledged batch per producer is the most the crash
+		// may leave journalled on the server without a client-side ack.
+		maxBatch := 0
+		for _, b := range r.batches {
+			if b.sessions > maxBatch {
+				maxBatch = b.sessions
+			}
+		}
+		c.LedgerBound = int64(r.counts.producers) * int64(maxBatch)
+		c.LedgerDiff = rep.Skew.Diff
+		c.LedgerOK = c.RestartError == "" && rep.Server != nil &&
+			c.LedgerDiff >= 0 && c.LedgerDiff <= c.LedgerBound
+		rep.Chaos = c
 	}
 	return rep
 }

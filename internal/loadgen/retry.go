@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// retryPolicy is the fleet-wide backoff schedule for transient
+// refusals: capped exponential with full jitter, preferring the
+// server's own Retry-After when it sent one. One policy for every
+// client class keeps the fleet's reaction to backpressure uniform —
+// and keeps a restarting daemon from being stampeded the instant it
+// binds.
+type retryPolicy struct {
+	base time.Duration // attempt-0 ceiling
+	cap  time.Duration // ceiling the exponential never exceeds
+}
+
+// transientRetry is the policy for quota 429s, drain 503s and
+// chaos-window transport errors.
+var transientRetry = retryPolicy{base: 50 * time.Millisecond, cap: 2 * time.Second}
+
+// maxRetryAttempts bounds how long a producer re-offers the same batch
+// across a daemon restart before declaring the job dead. At the
+// transientRetry schedule this spans several seconds — comfortably
+// longer than a restart+recovery, comfortably shorter than the run.
+const maxRetryAttempts = 6
+
+// delay picks the sleep before retry number attempt (0-based).
+// retryAfter, when positive, is the server's Retry-After and wins
+// (capped); otherwise the delay is drawn uniformly from (0, min(cap,
+// base<<attempt)] — full jitter, so a fleet refused together does not
+// return together.
+func (p retryPolicy) delay(rng *rand.Rand, attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > p.cap {
+			return p.cap
+		}
+		return retryAfter
+	}
+	ceil := p.cap
+	if attempt < 20 {
+		if d := p.base << attempt; d < ceil {
+			ceil = d
+		}
+	}
+	return time.Duration(rng.Int63n(int64(ceil))) + time.Millisecond
+}
+
+// sleep blocks for delay(...) or until ctx is cancelled.
+func (p retryPolicy) sleep(ctx context.Context, rng *rand.Rand, attempt int, retryAfter time.Duration) error {
+	t := time.NewTimer(p.delay(rng, attempt, retryAfter))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether an operation outcome is worth re-offering:
+// a transport failure, a quota 429, or a draining daemon's 503. All
+// three are "try again shortly", none is a bug.
+func retryable(res opResult) bool {
+	if res.err != nil {
+		return true
+	}
+	return res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable
+}
+
+// doIdempotent fires an idempotent operation (GETs, and POSTs the
+// daemon treats as no-ops to repeat) through the retry policy: up to
+// maxRetryAttempts, honouring Retry-After, giving up on ctx or on any
+// non-retryable outcome. The last attempt's result is returned either
+// way, so callers still see the terminal status.
+func (r *run) doIdempotent(ctx context.Context, rng *rand.Rand, method, rawURL string, hist func(float64), expect ...int) opResult {
+	var res opResult
+	for attempt := 0; attempt < maxRetryAttempts; attempt++ {
+		res = r.do(ctx, method, rawURL, "", "", hist, expect...)
+		if !retryable(res) {
+			return res
+		}
+		if err := transientRetry.sleep(ctx, rng, attempt, res.retryAfter); err != nil {
+			return res
+		}
+	}
+	return res
+}

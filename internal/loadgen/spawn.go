@@ -24,20 +24,37 @@ type daemon struct {
 	done    chan error
 }
 
-// spawnDaemon launches the consumelocald binary at path on an
-// ephemeral loopback port and waits for it to report readiness via its
-// structured "consumelocald listening" log line — the same contract
-// metrics-smoke.sh relies on. The daemon's stderr keeps streaming to
-// out (when non-nil) for post-mortems.
-func spawnDaemon(ctx context.Context, path string, maxJobs int, out io.Writer) (*daemon, error) {
+// spawnOpts is everything a daemon (re)spawn needs. The chaos cycle
+// keeps the run's copy and respawns with addr pinned to the first
+// daemon's bound port, so the fleet's URLs stay valid across the kill.
+type spawnOpts struct {
+	addr    string
+	maxJobs int
+	dataDir string
+}
+
+// spawnDaemon launches the consumelocald binary at path and waits for
+// it to report readiness via its structured "consumelocald listening"
+// log line — the same contract metrics-smoke.sh relies on. The
+// daemon's stderr keeps streaming to out (when non-nil) for
+// post-mortems.
+func spawnDaemon(ctx context.Context, path string, opt spawnOpts, out io.Writer) (*daemon, error) {
 	if _, err := os.Stat(path); err != nil {
 		return nil, fmt.Errorf("loadgen: daemon binary: %w", err)
 	}
-	cmd := exec.Command(path,
-		"-addr", "127.0.0.1:0",
-		"-max-jobs", strconv.Itoa(maxJobs),
+	addr := opt.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	args := []string{
+		"-addr", addr,
+		"-max-jobs", strconv.Itoa(opt.maxJobs),
 		"-drain", "5s",
-	)
+	}
+	if opt.dataDir != "" {
+		args = append(args, "-data-dir", opt.dataDir)
+	}
+	cmd := exec.Command(path, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, err
@@ -124,6 +141,17 @@ func (d *daemon) sampleRSS() {
 			}
 		}
 	}
+}
+
+// kill is the fault injection: SIGKILL, no drain, no warning — the
+// crash the journal exists for. It waits only for process reaping, so
+// the caller can time the restart from the instant the daemon died.
+func (d *daemon) kill() {
+	if d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	<-d.done
 }
 
 // stop shuts the daemon down the way an operator would: SIGTERM, let
