@@ -1,12 +1,12 @@
 #!/bin/sh
 # chaos-smoke: end-to-end check of the fault-injection path. Builds
 # consumelocald, lets `consumelocal loadtest -chaos` spawn it durably,
-# SIGKILL it halfway through the run and restart it on the same data
-# dir, then asserts the report shows a clean recovery: the restart
-# happened (chaos section present, no restart error), finished jobs
-# were restored, the session ledger reconciles across the crash
-# (ledger_ok), and — same headline as loadtest-smoke — zero 5xx.
-# Run via `make chaos-smoke`.
+# SIGKILL it twice during the run and restart it on the same data dir
+# each time, then asserts the report shows a clean recovery: the
+# restarts happened (chaos section present, no restart error), finished
+# jobs were restored, live ingest jobs were resumed across the crashes,
+# the session ledger reconciles (ledger_ok), and — same headline as
+# loadtest-smoke — zero 5xx. Run via `make chaos-smoke`.
 set -eu
 
 workdir="$(mktemp -d)"
@@ -15,9 +15,9 @@ trap cleanup EXIT INT TERM
 
 go build -o "$workdir/consumelocald" ./cmd/consumelocald
 go run ./cmd/consumelocal loadtest \
-    -daemon "$workdir/consumelocald" -chaos \
+    -daemon "$workdir/consumelocald" -chaos -chaos-kills 2 \
     -data-dir "$workdir/data" \
-    -clients 24 -duration 8s -rate 120 -burst 32 \
+    -clients 24 -duration 10s -rate 120 -burst 32 \
     -scale 0.001 -o "$workdir/BENCH_chaos.json"
 
 report="$workdir/BENCH_chaos.json"
@@ -36,8 +36,12 @@ grep -q '"restart_error"' "$report" && fail "daemon restart failed"
 grep -q '"http_5xx": 0,' "$report" || fail "daemon returned 5xx across the restart"
 grep -q '"ledger_ok": true' "$report" || fail "session ledger does not reconcile across the crash"
 grep -q '"restored_jobs": [0-9]' "$report" || fail "no recovery report from the restarted daemon"
+grep -q '"kills": 2' "$report" || fail "expected two kill/restart cycles"
+grep -q '"resumed_jobs": [1-9]' "$report" || fail "no live ingest jobs resumed across the crashes"
+grep -q '"resume_failed_jobs": 0' "$report" || fail "some ingest jobs failed to resume"
 grep -q '"sessions_accepted": [1-9]' "$report" || fail "no sessions ingested"
 
 recovery="$(sed -n 's/.*"recovery_ms": \([0-9.]*\).*/\1/p' "$report" | head -n 1)"
 diff="$(sed -n 's/.*"ledger_diff": \([0-9-]*\).*/\1/p' "$report" | head -n 1)"
-echo "chaos-smoke OK: recovered in ${recovery}ms, ledger diff $diff, zero 5xx"
+resumed="$(sed -n 's/.*"resumed_jobs": \([0-9]*\).*/\1/p' "$report" | head -n 1)"
+echo "chaos-smoke OK: 2 kills, $resumed jobs resumed, recovered in ${recovery}ms, ledger diff $diff, zero 5xx"

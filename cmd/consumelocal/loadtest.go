@@ -42,6 +42,7 @@ func runLoadtest(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", def.Seed, "trace and jitter seed")
 	maxJobs := fs.Int("max-jobs", 0, "-max-jobs for a spawned daemon (0 derives from the fleet)")
 	chaos := fs.Bool("chaos", false, "SIGKILL and restart the spawned daemon mid-run (requires spawn mode; implies a durable -data-dir)")
+	chaosKills := fs.Int("chaos-kills", 1, "kill/restart cycles in -chaos mode, spread evenly through the run (live ingest jobs must survive every one)")
 	dataDir := fs.String("data-dir", "", "-data-dir for a spawned daemon (empty with -chaos uses a temp dir)")
 	output := fs.String("o", def.Output, "write the JSON report here (empty skips the file)")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,7 @@ func runLoadtest(args []string, out io.Writer) error {
 		Seed:         *seed,
 		MaxJobs:      *maxJobs,
 		Chaos:        *chaos,
+		ChaosKills:   *chaosKills,
 		DataDir:      *dataDir,
 		Output:       *output,
 		Out:          out,

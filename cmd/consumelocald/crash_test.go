@@ -19,10 +19,10 @@ import (
 // TestCrashRecovery is the durability acceptance test: it runs the
 // real binary (SIGKILL needs a process, not an httptest server),
 // crashes it mid-ingest, and checks the restart honours the journal's
-// promises — finished results re-served byte-for-byte, interrupted
-// jobs reported failed rather than resurrected or silently dropped,
-// IDs never reused, and a torn final record truncated instead of
-// poisoning replay.
+// promises — finished results re-served byte-for-byte, in-flight
+// ingest jobs resumed live from their journalled batches, IDs never
+// reused, and a torn final record truncated instead of poisoning
+// replay.
 func TestCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and crashes the real daemon binary")
@@ -63,27 +63,43 @@ func TestCrashRecovery(t *testing.T) {
 	if h.Durable != true || h.Recovery == nil {
 		t.Fatalf("healthz after restart not durable: %+v", h)
 	}
-	if h.Recovery.Restored != 1 || h.Recovery.Interrupted != 1 || h.Recovery.TornTail {
-		t.Fatalf("recovery = %+v, want 1 restored, 1 interrupted, no torn tail", h.Recovery)
+	if h.Recovery.Restored != 1 || h.Recovery.Resumed != 1 || h.Recovery.Interrupted != 0 || h.Recovery.TornTail {
+		t.Fatalf("recovery = %+v, want 1 restored, 1 resumed, no torn tail", h.Recovery)
 	}
 	for _, path := range crashReadPaths(genID) {
 		if after := getBytes(t, d.base+path); !bytes.Equal(after, before[path]) {
 			t.Errorf("%s not byte-identical after restart:\n before: %s\n after:  %s", path, before[path], after)
 		}
 	}
+	// The mid-stream ingest job is back as a live running job with its
+	// journalled progress, and the producer can keep pushing — same
+	// 200/409 semantics as if the crash never happened.
 	var ing jobView
 	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", d.base, ingID), &ing)
-	if ing.Status != "failed" || !strings.Contains(ing.Error, "daemon restart") {
-		t.Fatalf("interrupted job = %q/%q, want failed with a restart error", ing.Status, ing.Error)
+	if ing.Status != "running" {
+		t.Fatalf("resumed job = %q/%q, want running", ing.Status, ing.Error)
 	}
 	if ing.Pushed != 20 || ing.Watermark != 3600 {
-		t.Fatalf("interrupted job progress = %d pushed / %d watermark, want the journalled 20/3600", ing.Pushed, ing.Watermark)
+		t.Fatalf("resumed job progress = %d pushed / %d watermark, want the journalled 20/3600", ing.Pushed, ing.Watermark)
 	}
-	// Pushing to the settled job is refused, and IDs are not reused.
+	// A session below the restored ordering floor is still refused…
 	if sresp, _ := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions", d.base, ingID),
-		"text/csv", sessionRows(4000, 1)); sresp.StatusCode != http.StatusConflict {
-		t.Fatalf("push to recovered job = %d, want 409", sresp.StatusCode)
+		"text/csv", sessionRows(10, 1)); sresp.StatusCode != http.StatusConflict {
+		t.Fatalf("out-of-order push to resumed job = %d, want 409", sresp.StatusCode)
 	}
+	// …and the producer's next in-order batch lands normally.
+	if sresp, out := postSessions(t, fmt.Sprintf("%s/v1/jobs/%d/sessions?watermark=7200", d.base, ingID),
+		"text/csv", sessionRows(4000, 5)); sresp.StatusCode != http.StatusOK || out["total_pushed"].(float64) != 25 {
+		t.Fatalf("post-resume batch = %d %v, want 200 with total_pushed 25", sresp.StatusCode, out)
+	}
+	finishURL := fmt.Sprintf("%s/v1/jobs/%d/finish", d.base, ingID)
+	if fresp, err := http.Post(finishURL, "", nil); err != nil || fresp.StatusCode != http.StatusOK {
+		t.Fatalf("finish resumed job: %v %v", err, fresp)
+	} else {
+		fresp.Body.Close()
+	}
+	waitStatus(t, d.base, ingID, "done")
+	// IDs are not reused across the crash.
 	resp, v = postJob(t, d.base+"/v1/jobs?source=generator&scale=0.001&days=1&window=21600&name=post-crash")
 	if resp.StatusCode != http.StatusAccepted || v.ID <= ingID {
 		t.Fatalf("post-crash job = %d id %d, want 202 with a fresh id > %d", resp.StatusCode, v.ID, ingID)
@@ -109,6 +125,105 @@ func TestCrashRecovery(t *testing.T) {
 	for _, path := range crashReadPaths(genID) {
 		if after := getBytes(t, d.base+path); !bytes.Equal(after, before[path]) {
 			t.Errorf("%s not byte-identical after torn-tail restart", path)
+		}
+	}
+	d.stop()
+}
+
+// TestCrashResume is the resume acceptance test: the same producer
+// schedule is driven against an uninterrupted daemon and against one
+// SIGKILLed twice mid-stream, and the finished results must be
+// bit-for-bit identical — the journal re-feed reproduces the stream
+// exactly, and resume composes across repeated crashes.
+func TestCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes the real daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "consumelocald")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+	batches := []struct {
+		startSec  int64
+		n         int
+		watermark int64
+	}{
+		{0, 30, 3600},
+		{3600, 30, 7200},
+		{7200, 30, 14400},
+	}
+	push := func(base string, id, i int) {
+		t.Helper()
+		b := batches[i]
+		url := fmt.Sprintf("%s/v1/jobs/%d/sessions?watermark=%d", base, id, b.watermark)
+		if resp, out := postSessions(t, url, "text/csv", sessionRows(b.startSec, b.n)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d = %d %v", i, resp.StatusCode, out)
+		}
+	}
+	finish := func(base string, id int) {
+		t.Helper()
+		resp, err := http.Post(fmt.Sprintf("%s/v1/jobs/%d/finish", base, id), "", nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("finish: %v %v", err, resp)
+		}
+		resp.Body.Close()
+	}
+	resultPaths := func(id int) []string {
+		return []string{
+			fmt.Sprintf("/v1/jobs/%d/energy", id),
+			fmt.Sprintf("/v1/jobs/%d/carbon", id),
+		}
+	}
+
+	// ---- Reference: the schedule replayed without a crash.
+	d := startCrashDaemon(t, bin, t.TempDir())
+	resp, v := postJob(t, ingestURL(d.base, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest job = %d", resp.StatusCode)
+	}
+	refID := v.ID
+	for i := range batches {
+		push(d.base, refID, i)
+	}
+	finish(d.base, refID)
+	waitStatus(t, d.base, refID, "done")
+	want := map[string][]byte{}
+	for _, path := range resultPaths(refID) {
+		want[path] = getBytes(t, d.base+path)
+	}
+	d.stop()
+
+	// ---- Crash run: the same schedule, a SIGKILL after every batch but
+	// the last, resumed from the journal each time.
+	dataDir := t.TempDir()
+	d = startCrashDaemon(t, bin, dataDir)
+	resp, v = postJob(t, ingestURL(d.base, ""))
+	if resp.StatusCode != http.StatusAccepted || v.ID != refID {
+		t.Fatalf("ingest job = %d id %d, want id %d so the result documents compare byte-for-byte", resp.StatusCode, v.ID, refID)
+	}
+	pushed := int64(0)
+	for i := range batches {
+		if i > 0 {
+			d.kill()
+			d = startCrashDaemon(t, bin, dataDir)
+			h := getHealthz(t, d.base)
+			if h.Recovery == nil || h.Recovery.Resumed != 1 || h.Recovery.ResumeFailed != 0 {
+				t.Fatalf("recovery before batch %d = %+v, want 1 resumed", i, h.Recovery)
+			}
+			var ing jobView
+			getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", d.base, refID), &ing)
+			if ing.Status != "running" || ing.Pushed != pushed {
+				t.Fatalf("resumed job before batch %d = %q with %d pushed, want running with %d", i, ing.Status, ing.Pushed, pushed)
+			}
+		}
+		push(d.base, refID, i)
+		pushed += int64(batches[i].n)
+	}
+	finish(d.base, refID)
+	waitStatus(t, d.base, refID, "done")
+	for _, path := range resultPaths(refID) {
+		if got := getBytes(t, d.base+path); !bytes.Equal(got, want[path]) {
+			t.Errorf("%s differs from the uninterrupted run:\n want: %s\n got:  %s", path, want[path], got)
 		}
 	}
 	d.stop()
@@ -205,11 +320,13 @@ func (d *crashDaemon) stop() {
 
 // healthzRecovery mirrors the daemon's recoveryInfo JSON.
 type healthzRecovery struct {
-	Restored    int  `json:"restored_jobs"`
-	Interrupted int  `json:"interrupted_jobs"`
-	Carried     int  `json:"carried_jobs"`
-	Dropped     int  `json:"dropped_jobs"`
-	TornTail    bool `json:"torn_tail"`
+	Restored     int  `json:"restored_jobs"`
+	Resumed      int  `json:"resumed_jobs"`
+	ResumeFailed int  `json:"resume_failed_jobs"`
+	Interrupted  int  `json:"interrupted_jobs"`
+	Carried      int  `json:"carried_jobs"`
+	Dropped      int  `json:"dropped_jobs"`
+	TornTail     bool `json:"torn_tail"`
 }
 
 type healthzPayload struct {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"consumelocal"
@@ -35,21 +38,24 @@ type storedResult struct {
 }
 
 // errInterrupted is the deterministic terminal error of jobs the
-// journal shows running at the moment the daemon died: there is no
-// way to resume a half-run replay, so recovery fails them loudly
+// journal shows running at the moment the daemon died and that cannot
+// be resumed (non-ingest sources, or an ingest stream whose journal
+// predates payload-carrying batch records): recovery fails them loudly
 // instead of pretending.
 const errInterrupted = "failed (daemon restart): the replay was interrupted before it finished"
 
 // recoveryInfo is the /healthz "recovery" payload: what the last
 // journal replay did. Immutable once openDurability returns.
 type recoveryInfo struct {
-	Restored    int     `json:"restored_jobs"`
-	Interrupted int     `json:"interrupted_jobs"`
-	Carried     int     `json:"carried_jobs"`
-	Dropped     int     `json:"dropped_jobs"`
-	TornTail    bool    `json:"torn_tail"`
-	Sessions    int64   `json:"sessions_restored"`
-	DurationMs  float64 `json:"duration_ms"`
+	Restored     int     `json:"restored_jobs"`
+	Resumed      int     `json:"resumed_jobs"`
+	ResumeFailed int     `json:"resume_failed_jobs"`
+	Interrupted  int     `json:"interrupted_jobs"`
+	Carried      int     `json:"carried_jobs"`
+	Dropped      int     `json:"dropped_jobs"`
+	TornTail     bool    `json:"torn_tail"`
+	Sessions     int64   `json:"sessions_restored"`
+	DurationMs   float64 `json:"duration_ms"`
 }
 
 // openDurability attaches the journal and result store under dataDir
@@ -72,6 +78,7 @@ func (s *server) openDurability(dataDir string) error {
 	}
 	jl.OnFsync = s.met.journalFsync.Observe
 	jl.OnAppend = func(recordType string) { s.met.journalRecords.With1(recordType).Inc() }
+	jl.OnFault = func(kind string) { s.met.journalFaults.With1(kind).Inc() }
 	s.jl, s.store = jl, store
 
 	info := recoveryInfo{TornTail: rec.TornTail, Sessions: rec.Sessions}
@@ -98,12 +105,18 @@ func (s *server) openDurability(dataDir string) error {
 		s.met.recoveryJobs.With1("dropped").Inc()
 		_ = store.Delete(st.ID)
 	}
+	resumed := make(map[int]bool)
 	for _, st := range states[keepFrom:] {
 		j, outcome := s.recoverJob(st)
 		s.jobs[j.id] = j
 		switch outcome {
 		case "restored":
 			info.Restored++
+		case "resumed":
+			info.Resumed++
+			resumed[j.id] = true
+		case "resume_failed":
+			info.ResumeFailed++
 		case "interrupted":
 			info.Interrupted++
 		case "carried":
@@ -118,17 +131,32 @@ func (s *server) openDurability(dataDir string) error {
 	}
 
 	// Compact: the journal shrinks to one checkpoint (carrying the
-	// aggregate totals forward) plus a created+finished pair per
-	// retained job, so its size is bounded by the retention window.
+	// aggregate totals forward) plus a created+finished pair per settled
+	// job — and, for a resumed job, its journalled created record and
+	// full batch tail, so the stream stays resumable across the next
+	// crash too. Tail sessions are subtracted from the checkpoint (they
+	// re-count when the tail replays), keeping the totals exact.
 	recs := make([]joblog.Record, 0, 1+2*len(s.jobs))
 	recs = append(recs, joblog.Record{Type: joblog.TypeCheckpoint, Sessions: rec.Sessions, Batches: rec.Batches})
 	for _, st := range states[keepFrom:] {
 		j := s.jobs[st.ID]
+		if resumed[st.ID] {
+			recs = append(recs, *st.Created)
+			for _, t := range st.Tail {
+				if t.Type == joblog.TypeBatch {
+					recs[0].Sessions -= t.Sessions
+					recs[0].Batches--
+				}
+				recs = append(recs, t)
+			}
+			continue
+		}
 		recs = append(recs, s.createdRecord(j), s.finishedRecord(j))
 	}
 	if err := jl.Rewrite(recs); err != nil {
 		return fmt.Errorf("compact journal: %w", err)
 	}
+	s.compactFloor.Store(jl.Size())
 	info.DurationMs = float64(time.Since(t0).Microseconds()) / 1e3
 	s.recovered = info
 	s.met.recoverySecs.Set(time.Since(t0).Seconds())
@@ -196,12 +224,147 @@ func (s *server) recoverJob(st *joblog.JobState) (*job, string) {
 		setIngestView(st.Sessions, st.Watermark)
 		return j, "carried"
 	default:
-		// No terminal record: the daemon died while this job ran.
+		// No terminal record: the daemon died while this job ran. An
+		// ingest job whose journal carries its creation query and full
+		// batch payloads is rebuilt live — re-fed deterministically from
+		// the journal, the producer none the wiser. Anything else (or a
+		// resume that fails) is failed loudly, as before.
+		if j.kind == "ingest" && st.Created != nil && st.Created.Query != "" {
+			live, err := s.resumeJob(st)
+			if err == nil {
+				return live, "resumed"
+			}
+			s.logger.Warn("recovery: resume failed; job falls back to interrupted",
+				slog.Int("job", st.ID), slog.String("err", err.Error()))
+			j.status = "failed"
+			j.errMsg = errInterrupted
+			setIngestView(st.Sessions, st.Watermark)
+			return j, "resume_failed"
+		}
 		j.status = "failed"
 		j.errMsg = errInterrupted
 		setIngestView(st.Sessions, st.Watermark)
 		return j, "interrupted"
 	}
+}
+
+// resumeJob rebuilds a live ingest job from its journal state: the
+// creation query is re-parsed into the same replay configuration, a
+// fresh IngestSource and streaming run are started, and the journalled
+// batch tail — every session the old daemon fsynced before acking — is
+// re-fed in journal order, restoring the ordering floor, the watermark,
+// and the monotonic pushed counter exactly. The job re-enters "running"
+// with a fresh idle window, so a producer retrying its next batch gets
+// the same 200/409 semantics as if the crash never happened, and the
+// final result is bit-for-bit what an uninterrupted run yields.
+func (s *server) resumeJob(st *joblog.JobState) (*job, error) {
+	q, err := url.ParseQuery(st.Created.Query)
+	if err != nil {
+		return nil, fmt.Errorf("journalled query: %w", err)
+	}
+	sp, err := parseSpecQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("journalled query: %w", err)
+	}
+	if sp.mode != consumelocal.EngineStreaming {
+		return nil, fmt.Errorf("journalled engine mode %s cannot follow a live stream", sp.mode)
+	}
+	capacity, err := parseIngestCapacity(q)
+	if err != nil {
+		return nil, fmt.Errorf("journalled query: %w", err)
+	}
+	wall, err := parseWallWatermark(q)
+	if err != nil {
+		return nil, fmt.Errorf("journalled query: %w", err)
+	}
+	// An old-format journal records batch counts without payloads; those
+	// streams cannot be reproduced and must fail honestly instead.
+	for _, t := range st.Tail {
+		if t.Type == joblog.TypeBatch && t.Sessions > 0 && t.CSV == "" {
+			return nil, fmt.Errorf("journal batch records carry no session payload (pre-resume journal format)")
+		}
+	}
+
+	ing, err := consumelocal.NewIngestSource(st.Meta, capacity)
+	if err != nil {
+		return nil, err
+	}
+	opts := append(sp.options(), consumelocal.WithReplayMetrics(s.met.replay))
+	rep, err := consumelocal.Replay(context.Background(), ing, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// On any re-feed failure, unwind the half-built pipeline: abort the
+	// queue, cancel the run, and drain it in the background so its
+	// goroutines exit.
+	unwind := func() {
+		ing.Abort(errIngestJobOver)
+		rep.Cancel()
+		go func() {
+			for range rep.Snapshots() {
+			}
+			_, _ = rep.Result()
+		}()
+	}
+	// Re-feed the fsynced history. The engine consumes concurrently, so
+	// blocking pushes drain however deep the tail runs; watermarks apply
+	// after their batch, exactly as the original requests interleaved.
+	for _, t := range st.Tail {
+		if t.CSV != "" {
+			sessions, err := trace.ReadSessionsCSV(strings.NewReader(t.CSV))
+			if err != nil {
+				unwind()
+				return nil, fmt.Errorf("replay journalled batch: %w", err)
+			}
+			for _, sess := range sessions {
+				if err := ing.Push(sess); err != nil {
+					unwind()
+					return nil, fmt.Errorf("replay journalled batch: %w", err)
+				}
+			}
+		}
+		if t.WatermarkSec > ing.Watermark() {
+			if err := ing.Advance(t.WatermarkSec); err != nil {
+				unwind()
+				return nil, fmt.Errorf("replay journalled watermark: %w", err)
+			}
+		}
+	}
+	if got := ing.Pushed(); got != st.Sessions {
+		unwind()
+		return nil, fmt.Errorf("re-fed %d sessions but the journal accounts %d", got, st.Sessions)
+	}
+
+	// The wall clock restarts only after the re-feed: Advance is
+	// monotonic and the ticker skips targets at or below the restored
+	// watermark, so a restart never regresses it.
+	stopWall := func() {}
+	if wall.enabled {
+		wallCtx, cancel := context.WithCancel(context.Background())
+		stopWall = cancel
+		go wallWatermark(wallCtx, ing, st.Meta.HorizonSec, wall.interval, wall.rate)
+	}
+	j := &job{
+		id:       st.ID,
+		name:     st.Name,
+		kind:     st.Kind,
+		mode:     sp.mode,
+		srv:      s,
+		started:  st.Started,
+		meta:     st.Meta,
+		replay:   rep,
+		ingest:   ing,
+		status:   "running",
+		changed:  make(chan struct{}),
+		rawQuery: st.Created.Query,
+		cleanup: func() {
+			stopWall()
+			ing.Abort(errIngestJobOver)
+		},
+	}
+	s.armWatchdog(j)
+	go j.pump()
+	return j, nil
 }
 
 // closeDurability syncs and closes the journal on shutdown.
@@ -214,7 +377,9 @@ func (s *server) closeDurability() {
 	}
 }
 
-// createdRecord renders a job's admission record.
+// createdRecord renders a job's admission record. For ingest jobs it
+// carries the creation query string — the recipe a restarted daemon
+// resumes the stream from.
 func (s *server) createdRecord(j *job) joblog.Record {
 	meta := j.meta
 	return joblog.Record{
@@ -225,6 +390,7 @@ func (s *server) createdRecord(j *job) joblog.Record {
 		Mode:    j.mode.String(),
 		Started: j.started,
 		Meta:    &meta,
+		Query:   j.rawQuery,
 	}
 }
 
@@ -268,31 +434,93 @@ func (s *server) journalAppend(rec joblog.Record) {
 	}
 }
 
+// journalCSVChunk bounds one batch record's CSV payload. An HTTP batch
+// may run to maxIngestBatchBytes (8 MiB), well past the 1 MiB journal
+// frame cap, so an oversized batch is split across records — each row
+// lands exactly once, and only the final chunk carries the watermark so
+// a resume's re-feed never advances the floor ahead of unfed rows.
+const journalCSVChunk = 256 << 10
+
 // journalBatch durably records an accepted ingest batch (or a bare
-// watermark advance) before the handler acknowledges it. A nil error
-// means the record is fsynced; on failure the caller must not
-// acknowledge the sessions as accepted.
-func (s *server) journalBatch(j *job, pushed int, advanced bool) error {
-	if s.jl == nil || (pushed == 0 && !advanced) {
+// watermark advance) — payload included, so a restart can re-feed it —
+// before the handler acknowledges it. A nil error means the records are
+// fsynced (one write, one fsync, however many chunks); on failure the
+// caller must not acknowledge the sessions as accepted.
+func (s *server) journalBatch(j *job, accepted []trace.Session, advanced bool) error {
+	if s.jl == nil || (len(accepted) == 0 && !advanced) {
 		return nil
 	}
-	rec := joblog.Record{
-		Type:         joblog.TypeBatch,
-		Job:          j.id,
-		Sessions:     int64(pushed),
-		WatermarkSec: j.ingest.Watermark(),
+	watermark := j.ingest.Watermark()
+	var recs []joblog.Record
+	if len(accepted) == 0 {
+		recs = []joblog.Record{{Type: joblog.TypeWatermark, Job: j.id, WatermarkSec: watermark}}
+	} else {
+		csv := make([]byte, 0, min(len(accepted)*32, journalCSVChunk+64))
+		count := int64(0)
+		flush := func() {
+			recs = append(recs, joblog.Record{
+				Type:     joblog.TypeBatch,
+				Job:      j.id,
+				Sessions: count,
+				CSV:      string(csv),
+			})
+			csv, count = csv[:0], 0
+		}
+		for _, sess := range accepted {
+			csv = trace.AppendSessionCSV(csv, sess)
+			count++
+			if len(csv) >= journalCSVChunk {
+				flush()
+			}
+		}
+		if count > 0 {
+			flush()
+		}
+		recs[len(recs)-1].WatermarkSec = watermark
 	}
-	if pushed == 0 {
-		rec.Type = joblog.TypeWatermark
-		rec.Sessions = 0
-	}
-	if err := s.jl.Append(rec); err != nil {
+	if err := s.jl.AppendBatch(recs); err != nil {
 		s.met.journalErrors.Inc()
 		s.logger.Error("journal batch append failed",
 			slog.Int("job", j.id), slog.String("err", err.Error()))
 		return err
 	}
+	s.maybeCompact()
 	return nil
+}
+
+// maybeCompact kicks off a background online compaction once the
+// journal has grown compactBytes past its last compacted size: the
+// journal is re-replayed and rewritten to a checkpoint plus live batch
+// tails (joblog.CompactionPlan) while the daemon keeps serving. At most
+// one pass runs at a time; appends block only for the rewrite itself,
+// which the threshold keeps bounded.
+func (s *server) maybeCompact() {
+	if s.jl == nil || s.compactBytes <= 0 {
+		return
+	}
+	if s.jl.Size() < s.compactFloor.Load()+s.compactBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		reclaimed, err := s.jl.Compact(joblog.CompactionPlan)
+		s.compactFloor.Store(s.jl.Size())
+		if err != nil {
+			s.met.journalErrors.Inc()
+			s.logger.Error("journal compaction failed", slog.String("err", err.Error()))
+			return
+		}
+		s.met.journalCompactions.Inc()
+		if reclaimed > 0 {
+			s.met.journalReclaimed.Add(float64(reclaimed))
+		}
+		s.logger.Info("journal compacted",
+			slog.Int64("reclaimed_bytes", reclaimed),
+			slog.Int64("size_bytes", s.jl.Size()))
+	}()
 }
 
 // dropStored deletes evicted jobs' results and journals the eviction,

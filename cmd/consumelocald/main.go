@@ -10,11 +10,15 @@
 //	consumelocald [-addr :8377] [-max-jobs 4] [-ingest-idle 5m] [-drain 30s] [-data-dir dir] [-pprof addr]
 //
 // With -data-dir the daemon is durable: every job state transition is
-// journalled (fsynced before ingest batches are acknowledged), finished
-// results are persisted, and on restart the journal is replayed —
-// finished jobs are re-served byte-identically, jobs interrupted by a
-// crash are reported failed, and the ingest counters pick up where they
-// left off. See docs/DURABILITY.md. Without the flag, state is
+// journalled (fsynced before ingest batches are acknowledged, payload
+// included), finished results are persisted, and on restart the
+// journal is replayed — finished jobs are re-served byte-identically,
+// live ingest jobs are resumed (rebuilt from their creation query and
+// re-fed from the journalled batches, bit-for-bit equal to an
+// uninterrupted run), non-resumable interrupted jobs are reported
+// failed, and the ingest counters pick up where they left off. The
+// journal is compacted on startup and online past -journal-compact
+// bytes of growth. See docs/DURABILITY.md. Without the flag, state is
 // in-memory only, as before.
 //
 // API:
@@ -80,14 +84,15 @@ import (
 // parsing so tests can boot the real serve-and-shutdown path on an
 // ephemeral port.
 type daemonConfig struct {
-	addr       string
-	pprofAddr  string
-	maxJobs    int
-	maxBody    int64
-	ingestIdle time.Duration
-	drain      time.Duration
-	dataDir    string
-	logger     *slog.Logger
+	addr         string
+	pprofAddr    string
+	maxJobs      int
+	maxBody      int64
+	ingestIdle   time.Duration
+	drain        time.Duration
+	dataDir      string
+	compactBytes int64
+	logger       *slog.Logger
 }
 
 func main() {
@@ -97,6 +102,7 @@ func main() {
 	ingestIdle := flag.Duration("ingest-idle", defaultIngestIdle, "cancel a live ingest job whose producer stays silent this long (0 disables the watchdog)")
 	drain := flag.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, give running replays this long to finish before cancelling them")
 	dataDir := flag.String("data-dir", "", "journal job state and persist finished results here, replaying on restart (empty keeps state in-memory only)")
+	compactBytes := flag.Int64("journal-compact", defaultCompactBytes, "compact the job journal online once it grows this many bytes past its last compacted size (0 disables online compaction)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -120,18 +126,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "consumelocald: -drain must be non-negative")
 		os.Exit(2)
 	}
+	if *compactBytes < 0 {
+		fmt.Fprintln(os.Stderr, "consumelocald: -journal-compact must be non-negative")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := runDaemon(ctx, daemonConfig{
-		addr:       *addr,
-		pprofAddr:  *pprofAddr,
-		maxJobs:    *maxJobs,
-		maxBody:    *maxBody,
-		ingestIdle: *ingestIdle,
-		drain:      *drain,
-		dataDir:    *dataDir,
-		logger:     logger,
+		addr:         *addr,
+		pprofAddr:    *pprofAddr,
+		maxJobs:      *maxJobs,
+		maxBody:      *maxBody,
+		ingestIdle:   *ingestIdle,
+		drain:        *drain,
+		dataDir:      *dataDir,
+		compactBytes: *compactBytes,
+		logger:       logger,
 	}, nil)
 	if err != nil {
 		logger.Error("consumelocald exiting", slog.String("err", err.Error()))
@@ -162,6 +173,7 @@ func runDaemon(ctx context.Context, cfg daemonConfig, ready func(addr string)) e
 	// listener binds, so no request ever observes a half-recovered
 	// registry and there is no "recovering" HTTP state to model.
 	if cfg.dataDir != "" {
+		srv.compactBytes = cfg.compactBytes
 		if err := srv.openDurability(cfg.dataDir); err != nil {
 			return fmt.Errorf("open data dir %s: %w", cfg.dataDir, err)
 		}
@@ -170,6 +182,8 @@ func runDaemon(ctx context.Context, cfg daemonConfig, ready func(addr string)) e
 		logger.Info("journal recovered",
 			slog.String("data_dir", cfg.dataDir),
 			slog.Int("restored", rec.Restored),
+			slog.Int("resumed", rec.Resumed),
+			slog.Int("resume_failed", rec.ResumeFailed),
 			slog.Int("interrupted", rec.Interrupted),
 			slog.Int("carried", rec.Carried),
 			slog.Int("dropped", rec.Dropped),

@@ -44,12 +44,15 @@ type daemonMetrics struct {
 
 	// Durability series. All stay zero unless the daemon runs with
 	// -data-dir; recoverySecs doubles as a "durable mode on" signal.
-	journalFsync   *obs.Histogram
-	journalRecords *obs.CounterVec // type: created|batch|watermark|finished|evicted|checkpoint
-	journalErrors  *obs.Counter
-	recoveryJobs   *obs.CounterVec // outcome: restored|interrupted|carried|dropped
-	recoveryTorn   *obs.Counter
-	recoverySecs   *obs.Gauge
+	journalFsync       *obs.Histogram
+	journalRecords     *obs.CounterVec // type: created|batch|watermark|finished|evicted|checkpoint
+	journalErrors      *obs.Counter
+	journalCompactions *obs.Counter
+	journalReclaimed   *obs.Counter
+	journalFaults      *obs.CounterVec // kind: write|fsync|mangle
+	recoveryJobs       *obs.CounterVec // outcome: restored|resumed|resume_failed|interrupted|carried|dropped
+	recoveryTorn       *obs.Counter
+	recoverySecs       *obs.Gauge
 
 	reqID atomic.Uint64
 }
@@ -101,8 +104,15 @@ func newDaemonMetrics(s *server) *daemonMetrics {
 			"Job-journal records appended, by record type.", "type"),
 		journalErrors: r.Counter("consumelocald_journal_append_errors_total",
 			"Job-journal appends that failed. Batch-record failures refuse the ingest ack (500); lifecycle-record failures degrade durability loudly but keep serving."),
+		journalCompactions: r.Counter("consumelocald_journal_compactions_total",
+			"Online journal compactions completed (background checkpoint+rewrite on the size threshold)."),
+		journalReclaimed: r.Counter("consumelocald_journal_compaction_reclaimed_bytes_total",
+			"Journal bytes reclaimed by online compactions."),
+		journalFaults: r.CounterVec("consumelocald_journal_injected_faults_total",
+			"Faults injected into the journal write path by the testing seam, by kind (write, fsync, mangle). Always zero in production.",
+			"kind"),
 		recoveryJobs: r.CounterVec("consumelocald_recovery_jobs_total",
-			"Jobs reconciled during startup replay, by outcome (restored, interrupted, carried, dropped).", "outcome"),
+			"Jobs reconciled during startup replay, by outcome (restored, resumed, resume_failed, interrupted, carried, dropped).", "outcome"),
 		recoveryTorn: r.Counter("consumelocald_recovery_torn_tail_total",
 			"Startup replays that found and truncated a torn journal tail (expected after a crash mid-append)."),
 		recoverySecs: r.Gauge("consumelocald_recovery_seconds",
@@ -130,6 +140,14 @@ func newDaemonMetrics(s *server) *daemonMetrics {
 	r.CounterFunc("consumelocald_ingest_blocked_seconds_total",
 		"Seconds producers have spent blocked in backpressure across all ingest streams, ever.",
 		s.ingestBlockedSeconds)
+	r.GaugeFunc("consumelocald_journal_size_bytes",
+		"Current job-journal file size (what the online-compaction threshold watches). Zero when -data-dir is off.",
+		func() float64 {
+			if s.jl == nil {
+				return 0
+			}
+			return float64(s.jl.Size())
+		})
 	return m
 }
 

@@ -69,6 +69,11 @@ const defaultIngestCapacity = 4096
 // thousand CSV sessions, far more than a live producer batches.
 const maxIngestBatchBytes = 8 << 20
 
+// defaultCompactBytes is the default online journal-compaction
+// threshold (-journal-compact): once the journal grows this far past
+// its last compacted size, it is rewritten in the background.
+const defaultCompactBytes = 8 << 20
+
 // server is the daemon's shared state: an async job manager over
 // consumelocal.Replay. Every replay — submitted through the async
 // /v1/jobs API or the synchronous /v1/replay stream — is a registered
@@ -106,6 +111,16 @@ type server struct {
 	store     *joblog.Store
 	recovered recoveryInfo
 
+	// compactBytes is the online-compaction threshold (-journal-compact):
+	// once the journal grows this far past its last compacted size, a
+	// background goroutine rewrites it down to a checkpoint plus live
+	// tails. Zero disables online compaction (startup compaction always
+	// runs). compacting serialises the background passes; compactFloor is
+	// the journal size right after the last one.
+	compactBytes int64
+	compacting   atomic.Bool
+	compactFloor atomic.Int64
+
 	// draining flips once shutdown begins: new work is refused with
 	// 503 + Retry-After instead of hanging on a dying listener.
 	draining atomic.Bool
@@ -133,6 +148,10 @@ type job struct {
 	// silent; every successful ingest call re-arms it.
 	ingest    *consumelocal.IngestSource
 	idleTimer *time.Timer
+	// rawQuery is the creation request's query string, journalled with
+	// the created record of an ingest job so a restarted daemon can
+	// rebuild the same replay configuration and resume the stream.
+	rawQuery string
 
 	mu sync.Mutex
 	// status is "running", "done", "failed" or "cancelled".
@@ -301,6 +320,9 @@ type replaySpec struct {
 	// kind labels the submission for the lifecycle metrics and logs:
 	// trace | generator | ingest | sync.
 	kind string
+	// rawQuery is the submission's raw query string, kept only for
+	// ingest jobs — journalled so a restart can resume the stream.
+	rawQuery string
 }
 
 // options converts the spec into Replay options.
@@ -317,7 +339,13 @@ func (sp replaySpec) options() []consumelocal.Option {
 // parseSpec parses the replay query parameters shared by /v1/replay and
 // /v1/jobs.
 func parseSpec(r *http.Request) (replaySpec, error) {
-	q := r.URL.Query()
+	return parseSpecQuery(r.URL.Query())
+}
+
+// parseSpecQuery is parseSpec over bare query values — the form journal
+// recovery re-parses a resumed ingest job's journalled query through,
+// so a resume runs under exactly the validation its creation did.
+func parseSpecQuery(q url.Values) (replaySpec, error) {
 	getF := func(key string, def float64) (float64, error) {
 		v := q.Get(key)
 		if v == "" {
@@ -466,18 +494,9 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 		if err != nil {
 			return nil, nil, err
 		}
-		capacity := defaultIngestCapacity
-		if raw := q.Get("capacity"); raw != "" {
-			n, err := strconv.Atoi(raw)
-			if err != nil {
-				return nil, nil, fmt.Errorf("query capacity: %w", err)
-			}
-			// Bound the queue so one job cannot buffer an unbounded burst
-			// in memory; backpressure, not buffering, absorbs a slow replay.
-			if n < 1 || n > 1<<20 {
-				return nil, nil, fmt.Errorf("query capacity: must be in [1, %d], got %d", 1<<20, n)
-			}
-			capacity = n
+		capacity, err := parseIngestCapacity(q)
+		if err != nil {
+			return nil, nil, err
 		}
 		ing, err := consumelocal.NewIngestSource(meta, capacity)
 		if err != nil {
@@ -551,6 +570,24 @@ func (s *server) jobSource(w http.ResponseWriter, r *http.Request) (consumelocal
 	default:
 		return nil, nil, fmt.Errorf("query source: unknown source %q", v)
 	}
+}
+
+// parseIngestCapacity parses ?capacity=, the ingest queue bound: one
+// job cannot buffer an unbounded burst in memory — backpressure, not
+// buffering, absorbs a slow replay.
+func parseIngestCapacity(q url.Values) (int, error) {
+	capacity := defaultIngestCapacity
+	if raw := q.Get("capacity"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return 0, fmt.Errorf("query capacity: %w", err)
+		}
+		if n < 1 || n > 1<<20 {
+			return 0, fmt.Errorf("query capacity: must be in [1, %d], got %d", 1<<20, n)
+		}
+		capacity = n
+	}
+	return capacity, nil
 }
 
 // Upper bounds on ingest stream metadata. Every streaming worker
@@ -873,11 +910,12 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 		// rep.Meta was captured synchronously by Replay before the engine
 		// goroutines began consuming src; reading src.Meta() here instead
 		// would race any Source whose metadata is not an immutable field.
-		meta:    rep.Meta(),
-		replay:  rep,
-		cleanup: cleanup,
-		status:  "running",
-		changed: make(chan struct{}),
+		meta:     rep.Meta(),
+		replay:   rep,
+		cleanup:  cleanup,
+		status:   "running",
+		changed:  make(chan struct{}),
+		rawQuery: sp.rawQuery,
 	}
 	if j.name == "" {
 		j.name = j.meta.Name
@@ -887,37 +925,7 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 	// producer goes silent (a crashed broadcast system must not pin a
 	// quota slot forever). Successful ingest calls re-arm the watchdog.
 	j.ingest, _ = src.(*consumelocal.IngestSource)
-	if j.ingest != nil && s.ingestIdle > 0 {
-		idle := s.ingestIdle
-		fire := func() {
-			j.mu.Lock()
-			if j.watchdogDisarmed || j.status != "running" {
-				j.mu.Unlock()
-				return
-			}
-			// A producer blocked in backpressure is not idle: its queued
-			// sessions are still draining through the replay. Nor is one
-			// whose last successful push was under the deadline ago —
-			// re-arm for the remainder instead of trusting timer resets
-			// to have raced correctly.
-			remaining := idle - time.Since(j.lastActive)
-			if j.ingest.Pending() > 0 || remaining > 0 {
-				if remaining < idle/10 {
-					remaining = idle / 10
-				}
-				j.idleTimer.Reset(remaining)
-				j.mu.Unlock()
-				return
-			}
-			j.idleFired = true
-			j.mu.Unlock()
-			j.replay.Cancel()
-		}
-		j.mu.Lock()
-		j.lastActive = time.Now()
-		j.idleTimer = time.AfterFunc(idle, fire)
-		j.mu.Unlock()
-	}
+	s.armWatchdog(j)
 	s.mu.Lock()
 	s.pending--
 	j.id = s.nextID
@@ -939,6 +947,45 @@ func (s *server) startJob(ctx context.Context, sp replaySpec, src consumelocal.S
 		slog.String("name", j.name))
 	go j.pump()
 	return j, http.StatusOK, nil
+}
+
+// armWatchdog arms an ingest job's idle watchdog (a no-op for other
+// jobs or with the watchdog disabled). Shared by startJob and journal
+// recovery — a resumed stream gets a fresh idle window for its producer
+// to reattach in.
+func (s *server) armWatchdog(j *job) {
+	if j.ingest == nil || s.ingestIdle <= 0 {
+		return
+	}
+	idle := s.ingestIdle
+	fire := func() {
+		j.mu.Lock()
+		if j.watchdogDisarmed || j.status != "running" {
+			j.mu.Unlock()
+			return
+		}
+		// A producer blocked in backpressure is not idle: its queued
+		// sessions are still draining through the replay. Nor is one
+		// whose last successful push was under the deadline ago —
+		// re-arm for the remainder instead of trusting timer resets
+		// to have raced correctly.
+		remaining := idle - time.Since(j.lastActive)
+		if j.ingest.Pending() > 0 || remaining > 0 {
+			if remaining < idle/10 {
+				remaining = idle / 10
+			}
+			j.idleTimer.Reset(remaining)
+			j.mu.Unlock()
+			return
+		}
+		j.idleFired = true
+		j.mu.Unlock()
+		j.replay.Cancel()
+	}
+	j.mu.Lock()
+	j.lastActive = time.Now()
+	j.idleTimer = time.AfterFunc(idle, fire)
+	j.mu.Unlock()
 }
 
 // pump follows the replay to completion: snapshot history grows as the
@@ -1038,6 +1085,7 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		sp.kind = "generator"
 	case "ingest":
 		sp.kind = "ingest"
+		sp.rawQuery = r.URL.RawQuery
 	default:
 		sp.kind = "trace"
 	}
@@ -1165,7 +1213,7 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 			// The accepted prefix is real ingested data the response
 			// reports (and producers resume from) — journal it before
 			// acknowledging it.
-			if perr := s.journalBatch(j, pushed, false); perr != nil {
+			if perr := s.journalBatch(j, sessions[:pushed], false); perr != nil {
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", perr))
 				return
 			}
@@ -1182,7 +1230,7 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 	advanced := false
 	if watermark != nil {
 		if err := j.ingest.AdvanceContext(r.Context(), *watermark); err != nil {
-			if perr := s.journalBatch(j, pushed, false); perr != nil {
+			if perr := s.journalBatch(j, sessions[:pushed], false); perr != nil {
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", perr))
 				return
 			}
@@ -1196,7 +1244,7 @@ func (s *server) handleIngestSessions(w http.ResponseWriter, r *http.Request) {
 	// acknowledges it. A journal failure here refuses the ack — the
 	// producer must treat the batch as indeterminate — rather than
 	// acknowledging sessions a restart would forget.
-	if err := s.journalBatch(j, pushed, advanced); err != nil {
+	if err := s.journalBatch(j, sessions[:pushed], advanced); err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("journal batch: %w", err))
 		return
 	}

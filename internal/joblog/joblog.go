@@ -67,17 +67,24 @@ type Record struct {
 	Type string `json:"type"`
 	Job  int    `json:"job,omitempty"`
 
-	// created (and compacted terminal records).
+	// created (and compacted terminal records). Query is the job's
+	// original submission query string, journalled for ingest jobs so a
+	// restarted daemon can rebuild the exact replay configuration and
+	// resume the stream; a created record without one is not resumable.
 	Name    string      `json:"name,omitempty"`
 	Kind    string      `json:"kind,omitempty"`
 	Mode    string      `json:"mode,omitempty"`
 	Started time.Time   `json:"started,omitzero"`
 	Meta    *trace.Meta `json:"meta,omitempty"`
+	Query   string      `json:"query,omitempty"`
 
-	// batch / checkpoint accounting.
-	Sessions     int64 `json:"sessions,omitempty"`
-	Batches      int64 `json:"batches,omitempty"`
-	WatermarkSec int64 `json:"watermark_sec,omitempty"`
+	// batch / checkpoint accounting. CSV carries the accepted sessions
+	// themselves (bare interchange rows, chunked under the frame cap) —
+	// the payload a restarted daemon re-feeds to resume the stream.
+	Sessions     int64  `json:"sessions,omitempty"`
+	Batches      int64  `json:"batches,omitempty"`
+	WatermarkSec int64  `json:"watermark_sec,omitempty"`
+	CSV          string `json:"csv,omitempty"`
 
 	// finished.
 	Status    string `json:"status,omitempty"`
@@ -118,6 +125,16 @@ type JobState struct {
 	Status    string
 	Error     string
 	Snapshots int
+
+	// Created is the job's created record as journalled (nil when the
+	// job's history was compacted into a terminal record). For an
+	// in-flight ingest job it carries the Query needed to resume.
+	Created *Record
+	// Tail holds the job's batch and watermark records, in journal
+	// order, while the job has no terminal record — the payload replayed
+	// to resume the stream. Cleared when the job finishes; compaction
+	// preserves it for running jobs.
+	Tail []Record
 }
 
 // Recovery is what replaying the journal yields.
@@ -140,6 +157,27 @@ type Recovery struct {
 	Records int
 }
 
+// Faults injects failures into the journal's write path, modelling the
+// disk letting the daemon down: a full disk or I/O error on write, an
+// fsync that fails after the bytes were handed to the kernel (written
+// but not durable), or a frame corrupted on its way to the platter.
+// Each hook is consulted per append while installed; a nil hook (or a
+// hook returning the zero value) injects nothing.
+type Faults struct {
+	// WriteErr, when non-nil and returning an error for the framed
+	// bytes about to be written, fails the append before any byte
+	// reaches the file — the disk-full / EIO case.
+	WriteErr func(frame []byte) error
+	// SyncErr, when non-nil and returning an error, fails the commit
+	// fsync after the write — the record may or may not be durable, and
+	// the daemon must answer the client accordingly (500 before ack).
+	SyncErr func() error
+	// MangleFrame, when non-nil and returning a non-nil slice, replaces
+	// the framed bytes actually written — the torn/corrupt-frame case,
+	// observed as a CRC reject or torn tail on the next replay.
+	MangleFrame func(frame []byte) []byte
+}
+
 // Journal is the append-only log. Append is safe for concurrent use;
 // the observer hooks are set once, before the first Append.
 type Journal struct {
@@ -148,12 +186,17 @@ type Journal struct {
 	OnFsync func(seconds float64)
 	// OnAppend, when set, observes each committed record's type.
 	OnAppend func(recordType string)
+	// OnFault, when set, observes each injected fault by kind
+	// ("write", "fsync", "mangle").
+	OnFault func(kind string)
 
-	mu   sync.Mutex
-	dir  string
-	path string
-	f    *os.File
-	buf  []byte
+	mu     sync.Mutex
+	dir    string
+	path   string
+	f      *os.File
+	buf    []byte
+	size   int64
+	faults *Faults
 }
 
 // Open opens (creating if needed) the journal under dir and replays
@@ -190,7 +233,23 @@ func Open(dir string) (*Journal, *Recovery, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("joblog: seek journal end: %w", err)
 	}
-	return &Journal{dir: dir, path: path, f: f}, rec, nil
+	return &Journal{dir: dir, path: path, f: f, size: good}, rec, nil
+}
+
+// InjectFaults installs (or, with nil, removes) the fault-injection
+// hooks. Testing seam only; takes effect from the next append.
+func (j *Journal) InjectFaults(f *Faults) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.faults = f
+}
+
+// Size reports the journal file's current length in bytes — the online
+// compaction trigger reads this after each append.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // replay scans frames from data, reducing them into a Recovery. It
@@ -254,6 +313,9 @@ func (rec *Recovery) apply(states map[int]*JobState, r *Record) {
 		if r.Meta != nil {
 			st.Meta = *r.Meta
 		}
+		// replay allocates a fresh Record per frame, so retaining the
+		// pointer is safe.
+		st.Created = r
 	case TypeBatch:
 		st := ensure()
 		st.Sessions += r.Sessions
@@ -262,14 +324,21 @@ func (rec *Recovery) apply(states map[int]*JobState, r *Record) {
 		}
 		rec.Sessions += r.Sessions
 		rec.Batches++
+		if st.Status == "" {
+			st.Tail = append(st.Tail, *r)
+		}
 	case TypeWatermark:
 		st := ensure()
 		if r.WatermarkSec > st.Watermark {
 			st.Watermark = r.WatermarkSec
 		}
+		if st.Status == "" {
+			st.Tail = append(st.Tail, *r)
+		}
 	case TypeFinished:
 		st := ensure()
 		st.Status, st.Error, st.Snapshots = r.Status, r.Error, r.Snapshots
+		st.Tail = nil
 		if r.Sessions > st.Sessions {
 			st.Sessions = r.Sessions
 		}
@@ -312,13 +381,55 @@ func frame(buf []byte, r Record) ([]byte, error) {
 func (j *Journal) Append(r Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	buf, err := frame(j.buf[:0], r)
-	j.buf = buf[:0]
-	if err != nil {
-		return err
+	return j.appendLocked(r)
+}
+
+// AppendBatch commits several records as one write and one fsync — the
+// chunked-batch path, where a single ingest ack may span multiple
+// frames but must cost a single commit.
+func (j *Journal) AppendBatch(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(recs...)
+}
+
+func (j *Journal) appendLocked(recs ...Record) error {
+	if j.f == nil {
+		return fmt.Errorf("joblog: append: journal closed")
 	}
-	if _, err := j.f.Write(buf); err != nil {
+	buf := j.buf[:0]
+	var err error
+	for _, r := range recs {
+		if buf, err = frame(buf, r); err != nil {
+			j.buf = buf[:0]
+			return err
+		}
+	}
+	j.buf = buf[:0]
+	if f := j.faults; f != nil {
+		if f.WriteErr != nil {
+			if werr := f.WriteErr(buf); werr != nil {
+				j.fault("write")
+				return fmt.Errorf("joblog: append: %w", werr)
+			}
+		}
+		if f.MangleFrame != nil {
+			if m := f.MangleFrame(buf); m != nil {
+				j.fault("mangle")
+				buf = m
+			}
+		}
+	}
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	if err != nil {
 		return fmt.Errorf("joblog: append: %w", err)
+	}
+	if f := j.faults; f != nil && f.SyncErr != nil {
+		if serr := f.SyncErr(); serr != nil {
+			j.fault("fsync")
+			return fmt.Errorf("joblog: fsync: %w", serr)
+		}
 	}
 	t0 := time.Now()
 	if err := j.f.Sync(); err != nil {
@@ -328,9 +439,17 @@ func (j *Journal) Append(r Record) error {
 		j.OnFsync(time.Since(t0).Seconds())
 	}
 	if j.OnAppend != nil {
-		j.OnAppend(r.Type)
+		for _, r := range recs {
+			j.OnAppend(r.Type)
+		}
 	}
 	return nil
+}
+
+func (j *Journal) fault(kind string) {
+	if j.OnFault != nil {
+		j.OnFault(kind)
+	}
 }
 
 // Rewrite atomically replaces the journal's contents with recs — the
@@ -341,6 +460,74 @@ func (j *Journal) Append(r Record) error {
 func (j *Journal) Rewrite(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.rewriteLocked(recs)
+}
+
+// Compact compacts the journal online: under the append lock it
+// re-reads and replays the current log, asks build for the replacement
+// records, and atomically rewrites the file. Appends block for the
+// duration, which the size threshold that triggers compaction keeps
+// bounded. It returns the bytes reclaimed (old size minus new).
+func (j *Journal) Compact(build func(*Recovery) []Record) (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("joblog: compact: journal closed")
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return 0, fmt.Errorf("joblog: compact read: %w", err)
+	}
+	rec, good := replay(data)
+	_ = good // a torn tail cannot exist mid-serve; replay is defensive anyway
+	before := j.size
+	if err := j.rewriteLocked(build(rec)); err != nil {
+		return 0, err
+	}
+	return before - j.size, nil
+}
+
+// CompactionPlan is the canonical build function for Compact (the
+// daemon also uses it for the startup rewrite): one checkpoint carrying
+// the aggregate totals, each terminal job reduced to a created/finished
+// pair, and each still-running job's created record plus its full batch
+// tail — so an in-flight ingest stream stays resumable across any
+// number of compactions. The sessions and batches that remain as live
+// tail records are subtracted from the checkpoint, keeping the next
+// replay's totals exact instead of double-counted.
+func CompactionPlan(rec *Recovery) []Record {
+	ckpt := Record{Type: TypeCheckpoint, Sessions: rec.Sessions, Batches: rec.Batches}
+	recs := make([]Record, 0, 1+2*len(rec.Jobs))
+	recs = append(recs, ckpt)
+	for _, st := range rec.Jobs {
+		created := st.Created
+		if created == nil {
+			created = &Record{
+				Type: TypeCreated, Job: st.ID,
+				Name: st.Name, Kind: st.Kind, Mode: st.Mode, Started: st.Started,
+			}
+		}
+		recs = append(recs, *created)
+		if st.Status == "" {
+			for _, t := range st.Tail {
+				if t.Type == TypeBatch {
+					recs[0].Sessions -= t.Sessions
+					recs[0].Batches--
+				}
+				recs = append(recs, t)
+			}
+			continue
+		}
+		recs = append(recs, Record{
+			Type: TypeFinished, Job: st.ID,
+			Status: st.Status, Error: st.Error, Snapshots: st.Snapshots,
+			Sessions: st.Sessions, WatermarkSec: st.Watermark, Name: st.Name,
+		})
+	}
+	return recs
+}
+
+func (j *Journal) rewriteLocked(recs []Record) error {
 	tmp, err := os.CreateTemp(j.dir, journalName+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("joblog: rewrite: %w", err)
@@ -373,12 +560,14 @@ func (j *Journal) Rewrite(recs []Record) error {
 	if err != nil {
 		return fmt.Errorf("joblog: reopen journal: %w", err)
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	end, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return fmt.Errorf("joblog: seek journal end: %w", err)
 	}
 	j.f.Close()
 	j.f = f
+	j.size = end
 	return nil
 }
 

@@ -9,20 +9,23 @@ import (
 	"time"
 )
 
-// chaosOutcome is what the fault injection measured: when the daemon
-// was killed (into the run), how long the process took to die, to
-// listen again, and to answer /healthz with its recovery report — plus
-// that report's headline numbers. err records a restart that never
-// came back; the run still finishes and reports it.
+// chaosOutcome is what the fault injection measured across every
+// kill/restart cycle: when the first kill landed, the slowest timings
+// observed (exit, relisten, healthy — the run's worst case), and the
+// recovery headline numbers summed over cycles. err records a restart
+// that never came back; the run still finishes and reports it.
 type chaosOutcome struct {
-	killedAt    time.Duration
-	exit        time.Duration
-	relisten    time.Duration
-	healthy     time.Duration
-	restored    int
-	interrupted int
-	tornTail    bool
-	err         error
+	kills        int
+	killedAt     time.Duration // first kill, into the run
+	exit         time.Duration // slowest observed
+	relisten     time.Duration // slowest observed
+	healthy      time.Duration // slowest observed
+	restored     int
+	resumed      int
+	resumeFailed int
+	interrupted  int
+	tornTail     bool
+	err          error
 }
 
 // healthzView is the slice of GET /healthz the chaos cycle reads back
@@ -30,33 +33,60 @@ type chaosOutcome struct {
 type healthzView struct {
 	Status   string `json:"status"`
 	Recovery struct {
-		Restored    int  `json:"restored_jobs"`
-		Interrupted int  `json:"interrupted_jobs"`
-		TornTail    bool `json:"torn_tail"`
+		Restored     int  `json:"restored_jobs"`
+		Resumed      int  `json:"resumed_jobs"`
+		ResumeFailed int  `json:"resume_failed_jobs"`
+		Interrupted  int  `json:"interrupted_jobs"`
+		TornTail     bool `json:"torn_tail"`
 	} `json:"recovery"`
 }
 
-// chaosCycle is the fault injection: at half time it SIGKILLs the
-// spawned daemon — no drain, no flush, exactly the crash the journal
-// exists for — and restarts it on the same address and data directory
-// while the fleet keeps offering load. The restart window (kill until
-// healthy-plus-grace) diverts transport errors into their own ledger;
-// everything after the window must behave as if nothing happened.
+// chaosCycle is the fault injection: ChaosKills times, spread evenly
+// through the run, it SIGKILLs the spawned daemon — no drain, no
+// flush, exactly the crash the journal exists for — and restarts it on
+// the same address and data directory while the fleet keeps offering
+// load. Live ingest streams must survive every cycle: the restarted
+// daemon resumes them from the journal, and producers reattach. The
+// restart window (kill until healthy-plus-grace) diverts transport
+// errors into their own ledger; everything after each window must
+// behave as if nothing happened.
 func (r *run) chaosCycle(ctx, runCtx context.Context) *chaosOutcome {
-	epoch := time.Now()
-	half := time.NewTimer(r.cfg.Duration / 2)
-	defer half.Stop()
-	select {
-	case <-runCtx.Done():
-		return nil
-	case <-half.C:
+	kills := r.cfg.ChaosKills
+	if kills <= 0 {
+		kills = 1
 	}
+	epoch := time.Now()
+	out := &chaosOutcome{}
+	for i := 0; i < kills; i++ {
+		at := r.cfg.Duration * time.Duration(i+1) / time.Duration(kills+1)
+		timer := time.NewTimer(at - time.Since(epoch))
+		select {
+		case <-runCtx.Done():
+			timer.Stop()
+			if out.kills == 0 {
+				return nil
+			}
+			return out
+		case <-timer.C:
+		}
+		if err := r.killOnce(ctx, epoch, out); err != nil {
+			out.err = err
+			return out
+		}
+	}
+	return out
+}
 
-	out := &chaosOutcome{killedAt: time.Since(epoch)}
+// killOnce runs one SIGKILL/respawn/recover cycle, folding its
+// measurements into out.
+func (r *run) killOnce(ctx context.Context, epoch time.Time, out *chaosOutcome) error {
+	killedAt := time.Since(epoch)
+	if out.kills == 0 {
+		out.killedAt = killedAt
+	}
 	d := r.curDaemon()
 	if d == nil {
-		out.err = fmt.Errorf("loadgen: chaos armed without a spawned daemon")
-		return out
+		return fmt.Errorf("loadgen: chaos armed without a spawned daemon")
 	}
 
 	// Open the window before the kill so no failed request between the
@@ -65,40 +95,41 @@ func (r *run) chaosCycle(ctx, runCtx context.Context) *chaosOutcome {
 	// after a dead daemon is still the injected fault.
 	r.window.Store(true)
 	t0 := time.Now()
-	r.logf("loadtest: chaos: SIGKILL daemon pid %d at t+%.1fs", d.cmd.Process.Pid, out.killedAt.Seconds())
+	r.logf("loadtest: chaos: SIGKILL daemon pid %d at t+%.1fs (cycle %d)", d.cmd.Process.Pid, killedAt.Seconds(), out.kills+1)
 	d.kill()
-	out.exit = time.Since(t0)
+	out.exit = max(out.exit, time.Since(t0))
 
 	nd, err := spawnDaemon(ctx, r.cfg.DaemonPath, r.spawnOpt, r.cfg.Out)
 	if err != nil {
-		out.err = fmt.Errorf("loadgen: chaos respawn: %w", err)
-		return out
+		return fmt.Errorf("loadgen: chaos respawn: %w", err)
 	}
-	out.relisten = time.Since(t0)
+	out.relisten = max(out.relisten, time.Since(t0))
 	// Carry the old peak forward so the report's RSS covers the run,
 	// not just the survivor.
 	nd.rssPeak.Store(d.rssPeak.Load())
 	r.setDaemon(nd)
 
 	deadline := time.Now().Add(15 * time.Second)
+	var v *healthzView
 	for {
 		if time.Now().After(deadline) {
-			out.err = fmt.Errorf("loadgen: restarted daemon not healthy within 15s")
-			return out
+			return fmt.Errorf("loadgen: restarted daemon not healthy within 15s")
 		}
-		if v, ok := r.probeHealth(ctx); ok {
-			out.healthy = time.Since(t0)
-			out.restored = v.Recovery.Restored
-			out.interrupted = v.Recovery.Interrupted
-			out.tornTail = v.Recovery.TornTail
+		var ok bool
+		if v, ok = r.probeHealth(ctx); ok {
+			out.healthy = max(out.healthy, time.Since(t0))
+			out.restored += v.Recovery.Restored
+			out.resumed += v.Recovery.Resumed
+			out.resumeFailed += v.Recovery.ResumeFailed
+			out.interrupted += v.Recovery.Interrupted
+			out.tornTail = out.tornTail || v.Recovery.TornTail
 			break
 		}
 		probe := time.NewTimer(50 * time.Millisecond)
 		select {
 		case <-ctx.Done():
 			probe.Stop()
-			out.err = ctx.Err()
-			return out
+			return ctx.Err()
 		case <-probe.C:
 		}
 	}
@@ -113,9 +144,11 @@ func (r *run) chaosCycle(ctx, runCtx context.Context) *chaosOutcome {
 	case <-grace.C:
 	}
 	r.window.Store(false)
-	r.logf("loadtest: chaos: daemon pid %d healthy %.0fms after kill (restored %d, interrupted %d, torn tail %v)",
-		nd.cmd.Process.Pid, out.healthy.Seconds()*1e3, out.restored, out.interrupted, out.tornTail)
-	return out
+	out.kills++
+	r.logf("loadtest: chaos: daemon pid %d healthy %.0fms after kill (restored %d, resumed %d, resume failed %d, interrupted %d, torn tail %v)",
+		nd.cmd.Process.Pid, time.Since(t0).Seconds()*1e3,
+		v.Recovery.Restored, v.Recovery.Resumed, v.Recovery.ResumeFailed, v.Recovery.Interrupted, v.Recovery.TornTail)
+	return nil
 }
 
 // probeHealth asks /healthz once, off the measured path (no counters,

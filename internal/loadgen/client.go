@@ -186,6 +186,11 @@ func (r *run) producer(ctx context.Context, id int, wall bool) {
 // re-ingest sessions into a new job the ledger never promised.
 func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall bool) bool {
 	sessionsURL := fmt.Sprintf("%s/v1/jobs/%d/sessions", r.base, jobID)
+	// acked is the cumulative session count the daemon has acknowledged
+	// to this producer — the client half of the reattach protocol. After
+	// a crash, a resumed job's total_pushed above acked is journalled
+	// progress the producer never saw an ack for.
+	acked := int64(0)
 	for _, b := range r.batches {
 		if ctx.Err() != nil {
 			return true
@@ -197,9 +202,10 @@ func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall 
 		if !wall {
 			pushURL = fmt.Sprintf("%s?watermark=%d", sessionsURL, b.boundary)
 		}
+		body := b.csv
 		attempt := 0
 		for {
-			pres := r.do(ctx, http.MethodPost, pushURL, "text/csv", b.csv, r.batchLat.Observe,
+			pres := r.do(ctx, http.MethodPost, pushURL, "text/csv", body, r.batchLat.Observe,
 				http.StatusNotFound, http.StatusGone)
 			if pres.status == http.StatusNotFound || pres.status == http.StatusGone {
 				return false
@@ -209,9 +215,15 @@ func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall 
 				// check tripped; it was genuinely ingested.
 				var out struct {
 					Pushed *int64 `json:"pushed"`
+					Total  *int64 `json:"total_pushed"`
 				}
 				if json.Unmarshal(pres.body, &out) == nil && out.Pushed != nil {
 					r.sessionsAccepted.Add(float64(*out.Pushed))
+					if out.Total != nil {
+						acked = *out.Total
+					} else {
+						acked += *out.Pushed
+					}
 				} else if pres.status == http.StatusConflict {
 					// A 409 without a pushed count is not the ordering
 					// conflict — it is a settled job (e.g. one recovered
@@ -235,11 +247,29 @@ func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall 
 			attempt++
 			if pres.err != nil {
 				// The socket died mid-push — possibly the crash under
-				// test. Probe before re-offering: a recovered job is
-				// settled, so this is what turns "connection reset"
-				// into "recycle".
-				if alive, ok := r.jobRunning(ctx, rng, jobID); ok && !alive {
+				// test. Probe before re-offering: a job recovered as
+				// settled means recycle, while a job the restarted daemon
+				// *resumed* is still running with its journalled progress
+				// — including, possibly, the very batch whose ack was
+				// lost. Reattach: credit the rows the journal kept, skip
+				// them, and resend only the remainder.
+				v, alive, ok := r.probeJob(ctx, rng, jobID)
+				if !ok {
+					continue
+				}
+				if !alive {
 					return false
+				}
+				if skip := v.Pushed - acked; skip > 0 {
+					r.sessionsAccepted.Add(float64(skip))
+					r.reattached.Inc()
+					acked = v.Pushed
+					body = skipRows(body, skip)
+					if body == "" {
+						// The whole batch (watermark included — it rides
+						// the final journalled chunk) survived the crash.
+						break
+					}
 				}
 			}
 		}
@@ -247,22 +277,35 @@ func (r *run) pushSchedule(ctx context.Context, rng *rand.Rand, jobID int, wall 
 	return true
 }
 
-// jobRunning polls one job's status through the retry policy. ok is
-// false when the daemon could not be reached at all.
-func (r *run) jobRunning(ctx context.Context, rng *rand.Rand, jobID int) (alive, ok bool) {
+// skipRows drops the first n CSV rows of a batch body — the rows a
+// resumed job's journal already accounts for.
+func skipRows(csv string, n int64) string {
+	for ; n > 0 && csv != ""; n-- {
+		i := strings.IndexByte(csv, '\n')
+		if i < 0 {
+			return ""
+		}
+		csv = csv[i+1:]
+	}
+	return csv
+}
+
+// probeJob polls one job's view through the retry policy. ok is false
+// when the daemon could not be reached at all; a missing (evicted) job
+// reports not alive.
+func (r *run) probeJob(ctx context.Context, rng *rand.Rand, jobID int) (v jobInfo, alive, ok bool) {
 	res := r.doIdempotent(ctx, rng, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", r.base, jobID), nil,
 		http.StatusNotFound)
 	if res.err != nil {
-		return false, false
+		return v, false, false
 	}
 	if res.status == http.StatusNotFound {
-		return false, true
+		return v, false, true
 	}
-	var v jobInfo
 	if res.status == http.StatusOK && json.Unmarshal(res.body, &v) == nil {
-		return v.Status == "running", true
+		return v, v.Status == "running", true
 	}
-	return false, false
+	return v, false, false
 }
 
 // follower drives one snapshot client: find a running job, stream its

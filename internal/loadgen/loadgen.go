@@ -79,10 +79,15 @@ type Config struct {
 	// Chaos injects a fault mid-run: halfway through, the spawned
 	// daemon is SIGKILLed and restarted on the same address and data
 	// directory while the fleet keeps driving load. The report gains a
-	// chaos section (recovery timings, restored/interrupted jobs, a
-	// post-restart ledger cross-check). Requires spawn mode (empty
-	// Addr) — the harness will not kill a daemon it does not own.
+	// chaos section (recovery timings, restored/resumed/interrupted
+	// jobs, a post-restart ledger cross-check). Requires spawn mode
+	// (empty Addr) — the harness will not kill a daemon it does not own.
 	Chaos bool
+	// ChaosKills is how many kill/restart cycles chaos mode runs,
+	// spread evenly through the run (cycle i fires at
+	// Duration*(i+1)/(kills+1)). Zero defaults to one cycle; values
+	// above one prove a live ingest stream survives *repeated* crashes.
+	ChaosKills int
 	// DataDir is passed to a spawned daemon as -data-dir. Empty with
 	// Chaos set uses a temporary directory torn down with the run.
 	DataDir string
@@ -144,6 +149,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Chaos && c.Addr != "" {
 		return fmt.Errorf("loadgen: -chaos needs a spawned daemon (drop -addr): the harness only kills daemons it owns")
+	}
+	if c.ChaosKills < 0 || c.ChaosKills > 16 {
+		return fmt.Errorf("loadgen: -chaos-kills must be in [0,16], got %d", c.ChaosKills)
+	}
+	if c.ChaosKills > 1 && !c.Chaos {
+		return fmt.Errorf("loadgen: -chaos-kills needs -chaos")
 	}
 	return nil
 }
@@ -434,10 +445,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if c.RestartError != "" {
 			r.logf("loadtest: chaos: RESTART FAILED: %s", c.RestartError)
 		} else {
-			r.logf("loadtest: chaos: killed at %.1fs; relisten %.0fms, healthy %.0fms; recovered %d restored / %d interrupted (torn tail %v); %d errors in window; ledger diff %d within bound %d: %v",
-				c.KilledAtSec, c.RelistenMs, c.RecoveryMs,
-				c.RestoredJobs, c.InterruptedJobs, c.TornTail,
-				rep.Errors.RestartWindow, c.LedgerDiff, c.LedgerBound, c.LedgerOK)
+			r.logf("loadtest: chaos: %d kill(s), first at %.1fs; relisten %.0fms, healthy %.0fms; recovered %d restored / %d resumed / %d resume failed / %d interrupted (torn tail %v); %d producers reattached; %d errors in window; ledger diff %d within bound %d: %v",
+				c.Kills, c.KilledAtSec, c.RelistenMs, c.RecoveryMs,
+				c.RestoredJobs, c.ResumedJobs, c.ResumeFailedJobs, c.InterruptedJobs, c.TornTail,
+				rep.Ingest.ProducersReattached, rep.Errors.RestartWindow, c.LedgerDiff, c.LedgerBound, c.LedgerOK)
 		}
 	}
 	if cfg.Output != "" {
@@ -532,6 +543,7 @@ type run struct {
 	err5xx           *obs.Counter
 	errNet           *obs.Counter
 	restartErrs      *obs.Counter
+	reattached       *obs.Counter
 }
 
 // curDaemon returns the live spawned daemon (nil in -addr mode).
@@ -579,6 +591,8 @@ func (r *run) initMetrics() {
 		"Transport-level request failures (excluding run-shutdown cancellations).")
 	r.restartErrs = r.reg.Counter("consumelocal_loadtest_restart_window_errors_total",
 		"Transport failures inside the chaos restart window — the injected fault, kept out of the network-error ledger.")
+	r.reattached = r.reg.Counter("consumelocal_loadtest_producers_reattached_total",
+		"Producer reattachments to crash-surviving ingest jobs: journalled-but-unacknowledged rows credited and skipped, the stream continued.")
 }
 
 func (r *run) logf(format string, args ...any) {

@@ -52,6 +52,10 @@ type Report struct {
 		TraceJobs        int64   `json:"trace_jobs"`
 		SessionsAccepted int64   `json:"sessions_accepted"`
 		SessionsPerSec   float64 `json:"sessions_per_sec"`
+		// ProducersReattached counts producers that continued a
+		// crash-surviving (resumed) ingest job from its journalled
+		// progress instead of recycling.
+		ProducersReattached int64 `json:"producers_reattached"`
 	} `json:"ingest"`
 
 	Latency struct {
@@ -99,26 +103,32 @@ type Report struct {
 	Chaos *ChaosSection `json:"chaos,omitempty"`
 }
 
-// ChaosSection reports the mid-run kill/restart cycle: its timings,
-// what the restarted daemon recovered, and whether the session ledger
-// still reconciles across the crash.
+// ChaosSection reports the mid-run kill/restart cycles: their timings
+// (slowest observed when more than one cycle ran), what the restarted
+// daemon recovered — summed across cycles — and whether the session
+// ledger still reconciles across the crashes.
 type ChaosSection struct {
+	Kills       int     `json:"kills"`
 	KilledAtSec float64 `json:"killed_at_sec"`
 	ExitMs      float64 `json:"daemon_exit_ms"`
 	RelistenMs  float64 `json:"relisten_ms"`
 	RecoveryMs  float64 `json:"recovery_ms"`
 
-	RestoredJobs    int    `json:"restored_jobs"`
-	InterruptedJobs int    `json:"interrupted_jobs"`
-	TornTail        bool   `json:"torn_tail"`
-	RestartError    string `json:"restart_error,omitempty"`
+	RestoredJobs     int    `json:"restored_jobs"`
+	ResumedJobs      int    `json:"resumed_jobs"`
+	ResumeFailedJobs int    `json:"resume_failed_jobs"`
+	InterruptedJobs  int    `json:"interrupted_jobs"`
+	TornTail         bool   `json:"torn_tail"`
+	RestartError     string `json:"restart_error,omitempty"`
 
 	// The post-crash ledger cross-check. The daemon journals and
 	// fsyncs every batch before acknowledging it, so the server-side
 	// session count may only EXCEED the client's — by at most one
-	// in-flight (unacknowledged) batch per producer, which is what
-	// LedgerBound encodes. A diff outside [0, bound] means sessions
-	// were lost or double-counted across the crash.
+	// in-flight (unacknowledged) batch per producer per kill, which is
+	// what LedgerBound encodes (reattaching producers reclaim most of
+	// that slack by crediting journalled rows). A diff outside
+	// [0, bound] means sessions were lost or double-counted across a
+	// crash.
 	LedgerDiff  int64 `json:"ledger_diff"`
 	LedgerBound int64 `json:"ledger_bound"`
 	LedgerOK    bool  `json:"ledger_ok"`
@@ -255,6 +265,7 @@ func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSamp
 	rep.Ingest.JobsFinished = int64(r.jobsFinished.Value())
 	rep.Ingest.TraceJobs = int64(r.tracesSubmitted.Value())
 	rep.Ingest.SessionsAccepted = int64(r.sessionsAccepted.Value())
+	rep.Ingest.ProducersReattached = int64(r.reattached.Value())
 	if elapsed > 0 {
 		rep.Ingest.SessionsPerSec = r.sessionsAccepted.Value() / elapsed.Seconds()
 	}
@@ -304,26 +315,34 @@ func (r *run) buildReport(elapsed time.Duration, initial, mid, final *serverSamp
 
 	if chaos != nil {
 		c := &ChaosSection{
-			KilledAtSec:     chaos.killedAt.Seconds(),
-			ExitMs:          chaos.exit.Seconds() * 1e3,
-			RelistenMs:      chaos.relisten.Seconds() * 1e3,
-			RecoveryMs:      chaos.healthy.Seconds() * 1e3,
-			RestoredJobs:    chaos.restored,
-			InterruptedJobs: chaos.interrupted,
-			TornTail:        chaos.tornTail,
+			Kills:            chaos.kills,
+			KilledAtSec:      chaos.killedAt.Seconds(),
+			ExitMs:           chaos.exit.Seconds() * 1e3,
+			RelistenMs:       chaos.relisten.Seconds() * 1e3,
+			RecoveryMs:       chaos.healthy.Seconds() * 1e3,
+			RestoredJobs:     chaos.restored,
+			ResumedJobs:      chaos.resumed,
+			ResumeFailedJobs: chaos.resumeFailed,
+			InterruptedJobs:  chaos.interrupted,
+			TornTail:         chaos.tornTail,
 		}
 		if chaos.err != nil {
 			c.RestartError = chaos.err.Error()
 		}
-		// One unacknowledged batch per producer is the most the crash
-		// may leave journalled on the server without a client-side ack.
+		// One unacknowledged batch per producer per kill is the most the
+		// crashes may leave journalled on the server without a
+		// client-side ack.
 		maxBatch := 0
 		for _, b := range r.batches {
 			if b.sessions > maxBatch {
 				maxBatch = b.sessions
 			}
 		}
-		c.LedgerBound = int64(r.counts.producers) * int64(maxBatch)
+		kills := chaos.kills
+		if kills < 1 {
+			kills = 1
+		}
+		c.LedgerBound = int64(kills) * int64(r.counts.producers) * int64(maxBatch)
 		c.LedgerDiff = rep.Skew.Diff
 		c.LedgerOK = c.RestartError == "" && rep.Server != nil &&
 			c.LedgerDiff >= 0 && c.LedgerDiff <= c.LedgerBound

@@ -50,6 +50,27 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// AppendSessionCSV appends one session as a bare interchange CSV row
+// (the csvHeader columns, newline-terminated) to dst — the inverse of
+// ReadSessionsCSV for a single row. No field needs quoting: every
+// column is numeric.
+func AppendSessionCSV(dst []byte, s Session) []byte {
+	dst = strconv.AppendUint(dst, uint64(s.UserID), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(s.ContentID), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(s.ISP), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(s.Exchange), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, s.StartSec, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(s.DurationSec), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(s.Bitrate), 10)
+	return append(dst, '\n')
+}
+
 // ReadCSV parses a trace previously produced by WriteCSV. It is the
 // materialising counterpart of NewScanner: the whole session list is
 // loaded into memory and validated as a Trace.
